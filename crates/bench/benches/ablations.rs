@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each
+//! bench reports runtime; the *quality* comparison (miss rates) is
+//! printed once at the start of the run via `eprintln!` so `cargo bench`
+//! output doubles as an ablation table.
+
+use bcache_core::{BCacheParams, BalancedCache, PdHitPolicy, PiTagBits};
+use cache_sim::{AccessKind, Addr, CacheGeometry, CacheModel, PolicyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trace_gen::{profiles, Op, Trace};
+
+const RECORDS: usize = 200_000;
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::new(16 * 1024, 32, 1).unwrap()
+}
+
+/// Replays a benchmark's data stream through a B-Cache variant and
+/// returns the miss rate.
+fn miss_rate(benchmark: &str, params: BCacheParams) -> f64 {
+    let profile = profiles::by_name(benchmark).unwrap();
+    let mut bc = BalancedCache::new(params);
+    for r in Trace::new(&profile, 1).take(RECORDS) {
+        if let Some(a) = r.op.data_addr() {
+            let kind = if matches!(r.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
+            bc.access(Addr::new(a), kind);
+        }
+    }
+    bc.stats().miss_rate()
+}
+
+fn bench_replacement_policy(c: &mut Criterion) {
+    // Section 3.3: LRU vs random replacement in the B-Cache.
+    let lru = BCacheParams::new(geom(), 8, 8, PolicyKind::Lru).unwrap();
+    let rnd = BCacheParams::new(geom(), 8, 8, PolicyKind::Random).unwrap().with_seed(7);
+    eprintln!(
+        "[ablation] equake D$ miss rate: LRU {:.3}% vs random {:.3}%",
+        miss_rate("equake", lru) * 100.0,
+        miss_rate("equake", rnd) * 100.0
+    );
+    let mut g = c.benchmark_group("ablation-replacement");
+    g.sample_size(10);
+    for (name, params) in [("lru", lru), ("random", rnd)] {
+        g.bench_function(name, |b| b.iter(|| black_box(miss_rate("equake", params))));
+    }
+    g.finish();
+}
+
+fn bench_pd_hit_policy(c: &mut Criterion) {
+    // Section 2.3: forced victim vs the evict-both alternative the paper
+    // rejects.
+    let forced = BCacheParams::paper_default(geom()).unwrap();
+    let both = forced.with_pd_hit_policy(PdHitPolicy::EvictBoth);
+    eprintln!(
+        "[ablation] wupwise D$ miss rate: forced-victim {:.3}% vs evict-both {:.3}%",
+        miss_rate("wupwise", forced) * 100.0,
+        miss_rate("wupwise", both) * 100.0
+    );
+    let mut g = c.benchmark_group("ablation-pd-hit-policy");
+    g.sample_size(10);
+    for (name, params) in [("forced-victim", forced), ("evict-both", both)] {
+        g.bench_function(name, |b| b.iter(|| black_box(miss_rate("wupwise", params))));
+    }
+    g.finish();
+}
+
+fn bench_pi_bit_selection(c: &mut Criterion) {
+    // The indexing-choice question the paper leaves open: low vs high tag
+    // bits in the PI.
+    let low = BCacheParams::paper_default(geom()).unwrap();
+    let high = low.with_pi_tag_bits(PiTagBits::High);
+    eprintln!(
+        "[ablation] facerec D$ miss rate: PI from low tag bits {:.3}% vs high {:.3}%",
+        miss_rate("facerec", low) * 100.0,
+        miss_rate("facerec", high) * 100.0
+    );
+    let mut g = c.benchmark_group("ablation-pi-bits");
+    g.sample_size(10);
+    for (name, params) in [("low-tag-bits", low), ("high-tag-bits", high)] {
+        g.bench_function(name, |b| b.iter(|| black_box(miss_rate("facerec", params))));
+    }
+    g.finish();
+}
+
+fn bench_design_a_vs_b(c: &mut Criterion) {
+    // Section 6.3: equal PD length, clusters vs mapping factor.
+    let a = BCacheParams::new(geom(), 8, 8, PolicyKind::Lru).unwrap(); // 6-bit PD
+    let b_ = BCacheParams::new(geom(), 16, 4, PolicyKind::Lru).unwrap(); // 6-bit PD
+    eprintln!(
+        "[ablation] twolf D$ miss rate: design A (MF8,BAS8) {:.3}% vs design B (MF16,BAS4) {:.3}%",
+        miss_rate("twolf", a) * 100.0,
+        miss_rate("twolf", b_) * 100.0
+    );
+    let mut g = c.benchmark_group("ablation-design-a-vs-b");
+    g.sample_size(10);
+    for (name, params) in [("A-mf8-bas8", a), ("B-mf16-bas4", b_)] {
+        g.bench_function(name, |b| b.iter(|| black_box(miss_rate("twolf", params))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_replacement_policy,
+    bench_pd_hit_policy,
+    bench_pi_bit_selection,
+    bench_design_a_vs_b
+);
+criterion_main!(ablations);

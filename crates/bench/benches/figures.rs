@@ -1,0 +1,118 @@
+//! One Criterion group per paper figure: each benchmark runs a
+//! scaled-down version of the harness experiment that regenerates the
+//! figure, so `cargo bench` exercises every figure's full code path.
+
+use bcache_bench::BENCH_RECORDS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::config::CacheConfig;
+use harness::run::{run_bcache_pd_stats, run_miss_rates, RunLength, Side};
+use harness::{fig3, perf};
+use std::hint::black_box;
+use trace_gen::profiles;
+
+fn len() -> RunLength {
+    RunLength::with_records(BENCH_RECORDS)
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    // The wupwise MF sweep; one representative point per iteration.
+    let profile = profiles::by_name("wupwise").unwrap();
+    let mut g = c.benchmark_group("fig3");
+    for mf in [8usize, 64] {
+        g.bench_function(format!("wupwise-MF{mf}"), |b| {
+            b.iter(|| {
+                black_box(run_bcache_pd_stats(&profile, mf, 8, 16 * 1024, Side::Data, len()))
+            })
+        });
+    }
+    g.bench_function("full-sweep", |b| {
+        b.iter(|| black_box(fig3::figure3_for("wupwise", RunLength::with_records(5_000))))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    // D$ miss-rate reductions over the nine comparison configurations.
+    let configs = CacheConfig::figure4_set();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for name in ["equake", "mcf"] {
+        let profile = profiles::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_miss_rates(&profile, &configs, 16 * 1024, Side::Data, len())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // I$ miss-rate reductions.
+    let configs = CacheConfig::figure4_set();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for name in ["crafty", "wupwise"] {
+        let profile = profiles::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(run_miss_rates(&profile, &configs, 16 * 1024, Side::Instruction, len()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    // IPC: full CPU + hierarchy runs, baseline vs B-Cache.
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (name, config) in [
+        ("equake-baseline", CacheConfig::DirectMapped),
+        ("equake-bcache", CacheConfig::BCache { mf: 8, bas: 8 }),
+    ] {
+        let profile = profiles::by_name("equake").unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(perf::run_config(&profile, &config, len())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // Energy: the Figure 9 pipeline (run + normalization) on one
+    // benchmark across baseline, 8-way and B-Cache.
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("gzip-energy-pipeline", |b| {
+        let profile = profiles::by_name("gzip").unwrap();
+        let configs = [
+            CacheConfig::DirectMapped,
+            CacheConfig::SetAssoc(8),
+            CacheConfig::BCache { mf: 8, bas: 8 },
+        ];
+        b.iter(|| {
+            let row = perf::PerfRow {
+                benchmark: "gzip".into(),
+                outcomes: configs.iter().map(|c| perf::run_config(&profile, c, len())).collect(),
+            };
+            black_box(row.normalized_energy())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    // 8 kB / 32 kB sweeps over the twelve configurations.
+    let configs = CacheConfig::figure12_set();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for size in [8 * 1024usize, 32 * 1024] {
+        let profile = profiles::by_name("twolf").unwrap();
+        g.bench_function(format!("twolf-{}k", size / 1024), |b| {
+            b.iter(|| black_box(run_miss_rates(&profile, &configs, size, Side::Data, len())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig3, bench_fig4, bench_fig5, bench_fig8, bench_fig9, bench_fig12);
+criterion_main!(figures);

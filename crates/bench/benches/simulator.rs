@@ -1,0 +1,105 @@
+//! Substrate micro-benchmarks: raw accesses/second of each cache model,
+//! trace generation throughput, and the CPU timing model.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{
+    AccessKind, Addr, CacheGeometry, CacheModel, ColumnAssociativeCache, DirectMappedCache,
+    MemoryHierarchy, PolicyKind, SetAssociativeCache, SkewedAssociativeCache, VictimCache,
+};
+use cpu_model::{Cpu, CpuConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use trace_gen::{profiles, Trace};
+
+const N: u64 = 10_000;
+
+/// A deterministic mixed address pattern with hits and conflicts.
+fn addresses() -> Vec<Addr> {
+    let mut x = 0x1234_5678u64;
+    (0..N)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Addr::new((x >> 16) % (1 << 20))
+        })
+        .collect()
+}
+
+fn bench_cache_models(c: &mut Criterion) {
+    let addrs = addresses();
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    let mut g = c.benchmark_group("cache-models");
+    g.throughput(Throughput::Elements(N));
+
+    let mut run = |name: &str, mut model: Box<dyn CacheModel>| {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(model.access(a, AccessKind::Read));
+                }
+            })
+        });
+    };
+    run("direct-mapped", Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()));
+    run(
+        "8-way-lru",
+        Box::new(SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap()),
+    );
+    run("victim16", Box::new(VictimCache::new(16 * 1024, 32, 16).unwrap()));
+    run(
+        "bcache-mf8-bas8",
+        Box::new(BalancedCache::new(BCacheParams::paper_default(geom).unwrap())),
+    );
+    run("column-assoc", Box::new(ColumnAssociativeCache::new(16 * 1024, 32).unwrap()));
+    run("skewed-2way", Box::new(SkewedAssociativeCache::new(16 * 1024, 32).unwrap()));
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-gen");
+    g.throughput(Throughput::Elements(N));
+    for name in ["equake", "mcf"] {
+        let profile = profiles::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(Trace::new(&profile, 1).take(N as usize).count());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cpu_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu-model");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("out-of-order-core", |b| {
+        let profile = profiles::by_name("gcc").unwrap();
+        b.iter(|| {
+            let hierarchy = MemoryHierarchy::new(
+                Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+                Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+            );
+            let mut cpu = Cpu::new(CpuConfig::default(), hierarchy);
+            black_box(cpu.run(Trace::new(&profile, 1).take(N as usize)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_vm_kernels(c: &mut Criterion) {
+    use trace_gen::kernels::{matmul, run_kernel};
+    let mut g = c.benchmark_group("vm-kernels");
+    g.bench_function("matmul-16", |b| {
+        let k = matmul(16);
+        b.iter(|| black_box(run_kernel(&k, 2_000_000).1.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_cache_models,
+    bench_trace_generation,
+    bench_cpu_model,
+    bench_vm_kernels
+);
+criterion_main!(simulator);

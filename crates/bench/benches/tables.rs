@@ -1,0 +1,70 @@
+//! One Criterion group per paper table.
+
+use bcache_bench::BENCH_RECORDS;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::run::{run_bcache_pd_stats, RunLength, Side};
+use harness::{balance, tables};
+use power_model::{table1_rows, table2};
+use std::hint::black_box;
+use trace_gen::profiles;
+
+fn len() -> RunLength {
+    RunLength::with_records(BENCH_RECORDS)
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    c.benchmark_group("tab1")
+        .bench_function("decoder-timing-rows", |b| b.iter(|| black_box(table1_rows())))
+        .bench_function("render", |b| b.iter(|| black_box(tables::render_table1())));
+}
+
+fn bench_tab2(c: &mut Criterion) {
+    use bcache_core::BCacheParams;
+    use cache_sim::CacheGeometry;
+    let params =
+        BCacheParams::paper_default(CacheGeometry::new(16 * 1024, 32, 1).unwrap()).unwrap();
+    c.benchmark_group("tab2")
+        .bench_function("storage-cost", |b| b.iter(|| black_box(table2(&params))))
+        .bench_function("render", |b| b.iter(|| black_box(tables::render_table2())));
+}
+
+fn bench_tab3(c: &mut Criterion) {
+    c.benchmark_group("tab3")
+        .bench_function("energy-breakdowns", |b| b.iter(|| black_box(tables::table3_breakdowns())))
+        .bench_function("render", |b| b.iter(|| black_box(tables::render_table3())));
+}
+
+fn bench_tab4(c: &mut Criterion) {
+    c.benchmark_group("tab4")
+        .bench_function("render", |b| b.iter(|| black_box(tables::render_table4())));
+}
+
+fn bench_tab5_tab6(c: &mut Criterion) {
+    // The MF x BAS design-space grid; one representative cell per
+    // iteration (the full grid is 8 cells x 26 benchmarks).
+    let mut g = c.benchmark_group("tab5-tab6");
+    g.sample_size(10);
+    for (mf, bas) in [(8usize, 8usize), (16, 4)] {
+        let profile = profiles::by_name("twolf").unwrap();
+        g.bench_function(format!("cell-MF{mf}-BAS{bas}"), |b| {
+            b.iter(|| black_box(run_bcache_pd_stats(&profile, mf, bas, 16 * 1024, Side::Data, len())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tab7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab7");
+    g.sample_size(10);
+    g.bench_function("balance-equake", |b| {
+        b.iter(|| {
+            // One benchmark's baseline-vs-B-Cache balance classification.
+            let rows = balance::table7(RunLength::with_records(2_000));
+            black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables_group, bench_tab1, bench_tab2, bench_tab3, bench_tab4, bench_tab5_tab6, bench_tab7);
+criterion_main!(tables_group);

@@ -1,0 +1,20 @@
+//! Criterion benchmark crate for the B-Cache reproduction.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one group per paper figure (3, 4, 5, 8, 9, 12), running
+//!   a scaled-down version of the corresponding harness experiment;
+//! * `tables` — one group per paper table (1–7);
+//! * `simulator` — micro-benchmarks of the substrate (cache models,
+//!   trace generation, the CPU core);
+//! * `ablations` — the design-choice studies DESIGN.md calls out (LRU vs
+//!   random replacement, forced-victim vs evict-both, PI bit selection,
+//!   design A vs B).
+//!
+//! Run them with `cargo bench --workspace`. Record counts are kept small
+//! so a full sweep finishes in minutes; the harness binary
+//! (`bcache-repro`) is the tool for full-scale regeneration.
+
+/// Record count used by the figure/table benches (scaled down from the
+/// harness default of 2 M so Criterion sampling stays fast).
+pub const BENCH_RECORDS: u64 = 20_000;

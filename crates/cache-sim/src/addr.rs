@@ -1,0 +1,239 @@
+//! Memory addresses and bit-field helpers.
+//!
+//! Every cache model in this workspace indexes and tags blocks by slicing
+//! bit fields out of an address. [`Addr`] is a thin newtype over `u64` so
+//! that raw trace offsets, PC values and cache-block bases cannot be mixed
+//! up with ordinary integers, plus a handful of bit-extraction helpers that
+//! the models share.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A byte address in the simulated 32-bit (by default) physical address
+/// space.
+///
+/// The paper assumes 32-bit addresses; the simulator stores them in a `u64`
+/// so synthetic workloads may exceed 4 GiB when convenient. Bit-slicing
+/// helpers treat bit 0 as the least significant bit.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::Addr;
+///
+/// let a = Addr::new(0xDEAD_BEEF);
+/// assert_eq!(a.bits(4, 8), 0xEE);         // bits [4, 12)
+/// assert_eq!(a.align_down(32), Addr::new(0xDEAD_BEE0));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw integer value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts `count` bits starting at bit `lo` (LSB = bit 0).
+    ///
+    /// Returns the bits right-aligned. `count == 0` yields `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + count > 64`.
+    pub const fn bits(self, lo: u32, count: u32) -> u64 {
+        assert!(lo + count <= 64, "bit range out of the 64-bit word");
+        if count == 0 {
+            return 0;
+        }
+        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        (self.0 >> lo) & mask
+    }
+
+    /// Rounds the address down to a multiple of `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub const fn align_down(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Returns `true` if the address is a multiple of `align` (a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub const fn is_aligned(self, align: u64) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// Returns the address advanced by `offset` bytes.
+    pub const fn offset(self, offset: u64) -> Self {
+        Addr(self.0.wrapping_add(offset))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// Returns `log2(n)` for a power-of-two `n`.
+///
+/// This is the workhorse for turning sizes (sets, ways, mapping factors)
+/// into field widths.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cache_sim::addr::log2_exact(512), 9);
+/// ```
+pub const fn log2_exact(n: u64) -> u32 {
+    assert!(n.is_power_of_two(), "value must be a power of two");
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_extracts_right_aligned_fields() {
+        let a = Addr::new(0b1011_0110);
+        assert_eq!(a.bits(0, 3), 0b110);
+        assert_eq!(a.bits(3, 3), 0b110);
+        assert_eq!(a.bits(4, 4), 0b1011);
+        assert_eq!(a.bits(0, 0), 0);
+    }
+
+    #[test]
+    fn bits_full_word() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.bits(0, 64), u64::MAX);
+        assert_eq!(a.bits(63, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit range")]
+    fn bits_rejects_out_of_range() {
+        Addr::new(0).bits(60, 8);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        assert_eq!(Addr::new(0x1234).align_down(32), Addr::new(0x1220));
+        assert_eq!(Addr::new(0x1220).align_down(32), Addr::new(0x1220));
+        assert_eq!(Addr::new(31).align_down(32), Addr::new(0));
+    }
+
+    #[test]
+    fn is_aligned_checks_low_bits() {
+        assert!(Addr::new(0x40).is_aligned(64));
+        assert!(!Addr::new(0x41).is_aligned(64));
+        assert!(Addr::new(0).is_aligned(1));
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a + 1, Addr::new(0));
+        assert_eq!(Addr::new(0) - 1, Addr::new(u64::MAX));
+        assert_eq!(Addr::new(0x100).offset(0x20), Addr::new(0x120));
+    }
+
+    #[test]
+    fn log2_exact_of_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(2), 1);
+        assert_eq!(log2_exact(1 << 20), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn log2_exact_rejects_non_powers() {
+        log2_exact(12);
+    }
+
+    #[test]
+    fn formatting_is_nonempty() {
+        let a = Addr::new(0xff);
+        assert_eq!(format!("{a}"), "0xff");
+        assert_eq!(format!("{a:?}"), "Addr(0xff)");
+        assert_eq!(format!("{a:x}"), "ff");
+        assert_eq!(format!("{a:X}"), "FF");
+        assert_eq!(format!("{a:b}"), "11111111");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: Addr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

@@ -1,0 +1,231 @@
+//! The difference-bit cache (Juan, Lang & Navarro), a related-work
+//! baseline from Section 7.2 of the paper.
+//!
+//! A 2-way set-associative cache with an access time close to a
+//! direct-mapped cache: since the two tags of a set must differ in at
+//! least one bit position, a special decoder remembers one such
+//! *difference bit* per set and uses the address's value at that
+//! position to select the way directly — no full-tag comparison on the
+//! way-select path, hence one cycle. The paper's counterpoints: its
+//! access path is still slower than the B-Cache's and a 2-way miss rate
+//! is the ceiling.
+
+use crate::addr::Addr;
+use crate::geometry::{CacheGeometry, GeometryError};
+use crate::model::{AccessKind, AccessResult, CacheModel};
+use crate::replacement::PolicyKind;
+use crate::set_assoc::SetAssociativeCache;
+use crate::stats::{CacheStats, SetUsage};
+
+/// A 2-way difference-bit cache.
+///
+/// Functionally (hits/misses) identical to a 2-way LRU cache; this model
+/// additionally maintains the per-set difference-bit metadata and counts
+/// how often a fill forces it to be recomputed — the bookkeeping the
+/// special decoder performs in hardware.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheModel, DifferenceBitCache};
+///
+/// let mut c = DifferenceBitCache::new(16 * 1024, 32)?;
+/// c.access(0x0u64.into(), AccessKind::Read);
+/// assert!(c.access(0x4u64.into(), AccessKind::Read).hit);
+/// # Ok::<(), cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct DifferenceBitCache {
+    inner: SetAssociativeCache,
+    // Shadow of the stored tags per (set, way).
+    tags: Vec<Option<u64>>,
+    // The difference-bit position per set (valid when both ways full).
+    diff_bit: Vec<Option<u32>>,
+    diff_bit_updates: u64,
+}
+
+impl DifferenceBitCache {
+    /// Creates a 2-way difference-bit cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn new(size_bytes: usize, line_bytes: usize) -> Result<Self, GeometryError> {
+        let inner = SetAssociativeCache::new(size_bytes, line_bytes, 2, PolicyKind::Lru, 0)?;
+        let sets = inner.geometry().sets();
+        Ok(DifferenceBitCache {
+            inner,
+            tags: vec![None; sets * 2],
+            diff_bit: vec![None; sets],
+            diff_bit_updates: 0,
+        })
+    }
+
+    /// How many fills recomputed a set's difference bit.
+    pub fn diff_bit_updates(&self) -> u64 {
+        self.diff_bit_updates
+    }
+
+    /// The way the difference-bit decoder would select for `addr`, when
+    /// the set is full (`None` during warm-up).
+    pub fn selected_way(&self, addr: Addr) -> Option<usize> {
+        let geom = self.inner.geometry();
+        let set = geom.set_index(addr);
+        let bit = self.diff_bit[set]?;
+        let tag0 = self.tags[set * 2]?;
+        let addr_bit = (geom.tag(addr) >> bit) & 1;
+        // Way 0 is the way whose tag bit equals... select the way whose
+        // stored tag matches the address at the difference position.
+        Some(if (tag0 >> bit) & 1 == addr_bit { 0 } else { 1 })
+    }
+
+    fn recompute_diff_bit(&mut self, set: usize) {
+        let (a, b) = (self.tags[set * 2], self.tags[set * 2 + 1]);
+        self.diff_bit[set] = match (a, b) {
+            (Some(x), Some(y)) => {
+                debug_assert_ne!(x, y, "two ways of a set can never hold equal tags");
+                Some((x ^ y).trailing_zeros())
+            }
+            _ => None,
+        };
+        self.diff_bit_updates += 1;
+    }
+}
+
+impl CacheModel for DifferenceBitCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let geom = self.inner.geometry();
+        let set = geom.set_index(addr);
+        let tag = geom.tag(addr);
+
+        // Check the decoder's invariant before mutating: if the block is
+        // resident and the set is full, the difference bit must select
+        // the way that holds it.
+        if let Some(way) = self.selected_way(addr) {
+            let selected_tag = self.tags[set * 2 + way];
+            let other_tag = self.tags[set * 2 + (1 - way)];
+            debug_assert!(
+                other_tag != Some(tag) || selected_tag == Some(tag),
+                "difference bit must never route a hit to the wrong way"
+            );
+        }
+
+        let result = self.inner.access(addr, kind);
+        if !result.hit {
+            if let Some(ev) = result.evicted {
+                let ev_tag = geom.tag(ev.block);
+                for slot in self.tags[set * 2..set * 2 + 2].iter_mut() {
+                    if *slot == Some(ev_tag) {
+                        *slot = None;
+                    }
+                }
+            }
+            let empty = (0..2)
+                .find(|w| self.tags[set * 2 + w].is_none())
+                .expect("eviction freed a way");
+            self.tags[set * 2 + empty] = Some(tag);
+            self.recompute_diff_bit(set);
+        }
+        result
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.diff_bit_updates = 0;
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        self.inner.set_usage()
+    }
+
+    fn label(&self) -> String {
+        format!("{}k-diffbit", self.geometry().size_bytes() / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DifferenceBitCache {
+        DifferenceBitCache::new(256, 32).unwrap()
+    }
+
+    #[test]
+    fn behaves_like_two_way() {
+        let mut db = tiny();
+        let mut sa = SetAssociativeCache::new(256, 32, 2, PolicyKind::Lru, 0).unwrap();
+        let mut x = 3u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = Addr::new((x >> 15) % 4096);
+            assert_eq!(
+                db.access(addr, AccessKind::Read).hit,
+                sa.access(addr, AccessKind::Read).hit
+            );
+        }
+        assert_eq!(db.stats().total(), sa.stats().total());
+    }
+
+    #[test]
+    fn difference_bit_selects_the_right_way() {
+        let mut c = tiny();
+        // 4 sets: tag = addr >> 7. Two blocks in set 0 with tags 1 and 2
+        // (differ at bit 0).
+        let a = Addr::new(1 << 7);
+        let b = Addr::new(2 << 7);
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        let wa = c.selected_way(a).unwrap();
+        let wb = c.selected_way(b).unwrap();
+        assert_ne!(wa, wb, "the two resident blocks must route to different ways");
+        // The routed accesses hit.
+        assert!(c.access(a, AccessKind::Read).hit);
+        assert!(c.access(b, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn diff_bit_is_a_real_differing_position() {
+        let mut c = tiny();
+        c.access(Addr::new(5 << 7), AccessKind::Read); // tag 5 = 0b101
+        c.access(Addr::new(4 << 7), AccessKind::Read); // tag 4 = 0b100
+        assert_eq!(c.diff_bit[0], Some(0), "5 ^ 4 = 1: bit 0 differs");
+        // Replace tag 5 (LRU) with tag 6: 6 ^ 4 = 2 -> bit 1.
+        c.access(Addr::new(4 << 7), AccessKind::Read);
+        c.access(Addr::new(6 << 7), AccessKind::Read);
+        assert_eq!(c.diff_bit[0], Some(1));
+    }
+
+    #[test]
+    fn updates_counted_per_fill() {
+        let mut c = tiny();
+        c.access(Addr::new(0), AccessKind::Read);
+        c.access(Addr::new(1 << 7), AccessKind::Read);
+        assert_eq!(c.diff_bit_updates(), 2);
+        c.access(Addr::new(0), AccessKind::Read); // hit: no update
+        assert_eq!(c.diff_bit_updates(), 2);
+        c.reset_stats();
+        assert_eq!(c.diff_bit_updates(), 0);
+    }
+
+    #[test]
+    fn warm_up_has_no_diff_bit() {
+        let mut c = tiny();
+        assert_eq!(c.selected_way(Addr::new(0)), None);
+        c.access(Addr::new(0), AccessKind::Read);
+        assert_eq!(c.selected_way(Addr::new(0)), None, "one way still empty");
+    }
+
+    #[test]
+    fn label_is_descriptive() {
+        assert_eq!(DifferenceBitCache::new(16 * 1024, 32).unwrap().label(), "16k-diffbit");
+    }
+}

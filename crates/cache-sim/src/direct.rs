@@ -1,0 +1,230 @@
+//! The conventional direct-mapped cache — the paper's baseline.
+
+use crate::addr::Addr;
+use crate::geometry::{CacheGeometry, GeometryError};
+use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
+use crate::stats::{CacheStats, SetUsage};
+
+/// A direct-mapped, write-back, write-allocate cache.
+///
+/// This is the baseline of every experiment in the paper: a 16 kB,
+/// 32-byte-line instance for both L1 caches.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheModel, DirectMappedCache};
+///
+/// let mut dm = DirectMappedCache::new(16 * 1024, 32)?;
+/// let miss = dm.access(0x1000u64.into(), AccessKind::Read);
+/// assert!(!miss.hit);
+/// let hit = dm.access(0x1004u64.into(), AccessKind::Read);
+/// assert!(hit.hit);
+/// # Ok::<(), cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct DirectMappedCache {
+    geom: CacheGeometry,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    stats: CacheStats,
+    usage: SetUsage,
+}
+
+impl DirectMappedCache {
+    /// Creates a direct-mapped cache of `size_bytes` with `line_bytes`
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn new(size_bytes: usize, line_bytes: usize) -> Result<Self, GeometryError> {
+        Self::from_geometry(CacheGeometry::new(size_bytes, line_bytes, 1)?)
+    }
+
+    /// Creates a direct-mapped cache from an explicit geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::AssocLargerThanLines`] if the geometry is
+    /// not direct-mapped.
+    pub fn from_geometry(geom: CacheGeometry) -> Result<Self, GeometryError> {
+        if geom.assoc() != 1 {
+            return Err(GeometryError::AssocLargerThanLines { assoc: geom.assoc(), lines: 1 });
+        }
+        let sets = geom.sets();
+        Ok(DirectMappedCache {
+            geom,
+            tags: vec![0; sets],
+            valid: vec![false; sets],
+            dirty: vec![false; sets],
+            stats: CacheStats::new(),
+            usage: SetUsage::new(sets),
+        })
+    }
+
+    /// Returns `true` if the block containing `addr` is resident, without
+    /// touching statistics or replacement state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let set = self.geom.set_index(addr);
+        self.valid[set] && self.tags[set] == self.geom.tag(addr)
+    }
+}
+
+impl CacheModel for DirectMappedCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        let hit = self.valid[set] && self.tags[set] == tag;
+        self.stats.record(kind, hit);
+        self.usage.record(set, hit);
+        if hit {
+            if kind.is_write() {
+                self.dirty[set] = true;
+            }
+            return AccessResult::hit();
+        }
+        // Miss: evict the resident block (if any) and fill.
+        let evicted = if self.valid[set] {
+            let block = self.geom.reconstruct(self.tags[set], set);
+            let dirty = self.dirty[set];
+            if dirty {
+                self.stats.record_writeback();
+            }
+            Some(Eviction { block, dirty })
+        } else {
+            None
+        };
+        self.tags[set] = tag;
+        self.valid[set] = true;
+        self.dirty[set] = kind.is_write();
+        AccessResult::miss(evicted)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.usage.reset();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        Some(&self.usage)
+    }
+
+    fn label(&self) -> String {
+        format!("{}k-dm", self.geom.size_bytes() / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DirectMappedCache {
+        // 8 sets of 32-byte lines, like the paper's Figure 1 example.
+        DirectMappedCache::new(256, 32).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(Addr::new(0x40), AccessKind::Read).hit);
+        assert!(c.access(Addr::new(0x5f), AccessKind::Read).hit, "same line must hit");
+        assert_eq!(c.stats().total().misses(), 1);
+        assert_eq!(c.stats().total().hits(), 1);
+    }
+
+    #[test]
+    fn conflicting_lines_thrash() {
+        // Paper Section 2.2: the sequence 0,1,8,9,0,1,8,9 (line granules)
+        // never hits in a direct-mapped cache with 8 sets.
+        let mut c = tiny();
+        let line = 32u64;
+        for _ in 0..2 {
+            for block in [0u64, 1, 8, 9] {
+                let r = c.access(Addr::new(block * line), AccessKind::Read);
+                assert!(!r.hit);
+            }
+        }
+        assert_eq!(c.stats().total().misses(), 8);
+        assert_eq!(c.stats().total().hits(), 0);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_block() {
+        let mut c = tiny();
+        c.access(Addr::new(0x0), AccessKind::Write);
+        // Block 8 maps to the same set 0 (8 * 32 = 256 = cache size).
+        let r = c.access(Addr::new(256), AccessKind::Read);
+        let ev = r.evicted.expect("conflict must evict");
+        assert_eq!(ev.block, Addr::new(0));
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_not_a_writeback() {
+        let mut c = tiny();
+        c.access(Addr::new(0x0), AccessKind::Read);
+        let r = c.access(Addr::new(256), AccessKind::Read);
+        assert!(!r.evicted.unwrap().dirty);
+        assert_eq!(c.stats().writebacks(), 0);
+    }
+
+    #[test]
+    fn write_hit_dirties_block() {
+        let mut c = tiny();
+        c.access(Addr::new(0x0), AccessKind::Read);
+        c.access(Addr::new(0x4), AccessKind::Write);
+        let r = c.access(Addr::new(256), AccessKind::Read);
+        assert!(r.evicted.unwrap().dirty);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_stats() {
+        let mut c = tiny();
+        c.access(Addr::new(0x40), AccessKind::Read);
+        assert!(c.probe(Addr::new(0x44)));
+        assert!(!c.probe(Addr::new(0x80)));
+        assert_eq!(c.stats().total().accesses(), 1);
+    }
+
+    #[test]
+    fn usage_tracks_sets() {
+        let mut c = tiny();
+        c.access(Addr::new(0x20), AccessKind::Read); // set 1
+        c.access(Addr::new(0x20), AccessKind::Read);
+        let u = c.set_usage().unwrap();
+        assert_eq!(u.misses(1), 1);
+        assert_eq!(u.hits(1), 1);
+        assert_eq!(u.accesses(0), 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access(Addr::new(0x40), AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().total().accesses(), 0);
+        assert!(c.access(Addr::new(0x40), AccessKind::Read).hit, "contents must survive reset");
+    }
+
+    #[test]
+    fn from_geometry_rejects_set_associative_shapes() {
+        let g = CacheGeometry::new(1024, 32, 2).unwrap();
+        assert!(DirectMappedCache::from_geometry(g).is_err());
+    }
+
+    #[test]
+    fn label_mentions_size() {
+        assert_eq!(DirectMappedCache::new(16 * 1024, 32).unwrap().label(), "16k-dm");
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`CacheModel`] trait implemented by every cache in this workspace,
+//! together with the access request/response types.
+
+use crate::addr::Addr;
+use crate::geometry::CacheGeometry;
+use crate::stats::{CacheStats, SetUsage};
+
+/// What kind of memory reference an access is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store (write-allocate: misses fill the block, then dirty it).
+    Write,
+    /// An instruction fetch.
+    InstrFetch,
+}
+
+impl AccessKind {
+    /// Whether this access dirties the block it touches.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A block pushed out of a cache by a fill.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block-aligned base address of the evicted block.
+    pub block: Addr,
+    /// Whether the block was dirty and must be written back.
+    pub dirty: bool,
+}
+
+/// The outcome of one cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the reference hit in this cache (victim-buffer hits count).
+    pub hit: bool,
+    /// Extra cycles beyond the cache's base hit latency.
+    ///
+    /// Zero for every hit in a direct-mapped cache or a B-Cache; one for a
+    /// swap hit in a victim buffer or a rehash hit in a column-associative
+    /// cache. Only meaningful when `hit` is `true`.
+    pub extra_latency: u32,
+    /// Block evicted to make room for the fill, if any.
+    pub evicted: Option<Eviction>,
+}
+
+impl AccessResult {
+    /// A plain single-cycle hit.
+    pub const fn hit() -> Self {
+        AccessResult { hit: true, extra_latency: 0, evicted: None }
+    }
+
+    /// A hit that costs `extra` additional cycles.
+    pub const fn slow_hit(extra: u32) -> Self {
+        AccessResult { hit: true, extra_latency: extra, evicted: None }
+    }
+
+    /// A miss, optionally evicting a block.
+    pub const fn miss(evicted: Option<Eviction>) -> Self {
+        AccessResult { hit: false, extra_latency: 0, evicted }
+    }
+}
+
+/// A cache that can service block-granular accesses.
+///
+/// Implementations are *functional* models: they track which blocks are
+/// resident and dirty, maintain replacement state, and count statistics.
+/// They do not store data bytes. All of them use write-back,
+/// write-allocate semantics, matching the paper's SimpleScalar setup.
+pub trait CacheModel {
+    /// Services one access and updates internal state and statistics.
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult;
+
+    /// Aggregate statistics since the last [`reset_stats`](Self::reset_stats).
+    fn stats(&self) -> &CacheStats;
+
+    /// Clears statistics without disturbing cache contents.
+    ///
+    /// Used by the harness to discard the warm-up prefix of a run, the
+    /// stand-in for the paper's fast-forward phase.
+    fn reset_stats(&mut self);
+
+    /// The nominal geometry (capacity / line / associativity).
+    fn geometry(&self) -> CacheGeometry;
+
+    /// Per-set usage counters, when the model tracks them.
+    fn set_usage(&self) -> Option<&SetUsage> {
+        None
+    }
+
+    /// Short human-readable configuration label, e.g. `"16k8way"`.
+    fn label(&self) -> String;
+}
+
+/// Convenience: `Box<dyn CacheModel>` forwards to the inner model.
+impl CacheModel for Box<dyn CacheModel> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        (**self).access(addr, kind)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        (**self).geometry()
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        (**self).set_usage()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_detection() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(!AccessKind::InstrFetch.is_write());
+    }
+
+    #[test]
+    fn result_constructors() {
+        assert!(AccessResult::hit().hit);
+        assert_eq!(AccessResult::hit().extra_latency, 0);
+        assert_eq!(AccessResult::slow_hit(2).extra_latency, 2);
+        let ev = Eviction { block: Addr::new(0x40), dirty: true };
+        let r = AccessResult::miss(Some(ev));
+        assert!(!r.hit);
+        assert_eq!(r.evicted, Some(ev));
+    }
+}

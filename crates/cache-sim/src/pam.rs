@@ -1,0 +1,227 @@
+//! Partial address matching (PAM), a related-work baseline from
+//! Section 7.2 of the paper.
+//!
+//! A 2-way set-associative cache whose tag store is split into a fast
+//! *partial address directory* (PAD, a few low tag bits) used to predict
+//! the hit way, and the full *main directory* (MD) that verifies it.
+//! When the PAD prediction is wrong — either a partial-tag alias or a
+//! PAD miss on a resident block (impossible here; aliases are the issue)
+//! — a second cycle is needed. The B-Cache's counterargument: every
+//! B-Cache hit is one cycle, with a miss rate a 2-way cache cannot reach.
+
+use crate::addr::Addr;
+use crate::geometry::{CacheGeometry, GeometryError};
+use crate::model::{AccessKind, AccessResult, CacheModel};
+use crate::replacement::PolicyKind;
+use crate::set_assoc::SetAssociativeCache;
+use crate::stats::{CacheStats, SetUsage};
+
+/// A 2-way cache with PAD-based way prediction.
+///
+/// Functionally (for hits/misses) identical to a 2-way LRU cache; the
+/// added value is the latency model: a hit whose way was mispredicted by
+/// the partial-tag comparison costs one extra cycle
+/// ([`AccessResult::extra_latency`]).
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheModel, PartialMatchCache};
+///
+/// let mut pam = PartialMatchCache::new(16 * 1024, 32, 5)?;
+/// pam.access(0x0u64.into(), AccessKind::Read);
+/// assert!(pam.access(0x4u64.into(), AccessKind::Read).hit);
+/// # Ok::<(), cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct PartialMatchCache {
+    inner: SetAssociativeCache,
+    pad_bits: u32,
+    // Shadow of the inner cache's contents: block ids per (set, way),
+    // kept in sync so PAD predictions can be evaluated.
+    shadow: Vec<Option<u64>>,
+    second_cycle_hits: u64,
+}
+
+impl PartialMatchCache {
+    /// Creates a 2-way PAM cache with `pad_bits` of partial tag (the
+    /// paper's example uses 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn new(size_bytes: usize, line_bytes: usize, pad_bits: u32) -> Result<Self, GeometryError> {
+        let inner = SetAssociativeCache::new(size_bytes, line_bytes, 2, PolicyKind::Lru, 0)?;
+        let sets = inner.geometry().sets();
+        Ok(PartialMatchCache {
+            inner,
+            pad_bits,
+            shadow: vec![None; sets * 2],
+            second_cycle_hits: 0,
+        })
+    }
+
+    fn partial_tag(&self, tag: u64) -> u64 {
+        tag & ((1u64 << self.pad_bits) - 1)
+    }
+
+    /// Hits that needed the second (corrective) cycle.
+    pub fn second_cycle_hits(&self) -> u64 {
+        self.second_cycle_hits
+    }
+
+    /// Fraction of hits served in the first cycle.
+    pub fn first_cycle_hit_fraction(&self) -> f64 {
+        let hits = self.inner.stats().total().hits();
+        if hits == 0 {
+            1.0
+        } else {
+            1.0 - self.second_cycle_hits as f64 / hits as f64
+        }
+    }
+}
+
+impl CacheModel for PartialMatchCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let geom = self.inner.geometry();
+        let set = geom.set_index(addr);
+        let tag = geom.tag(addr);
+        let id = (tag << geom.index_bits()) | set as u64;
+
+        // PAD prediction: the first way whose partial tag matches.
+        let predicted = (0..2).find(|w| {
+            self.shadow[set * 2 + w]
+                .map(|b| self.partial_tag(b >> geom.index_bits()) == self.partial_tag(tag))
+                .unwrap_or(false)
+        });
+        // Ground truth via the real cache.
+        let actual = (0..2).find(|w| self.shadow[set * 2 + w] == Some(id));
+
+        let mut result = self.inner.access(addr, kind);
+        if result.hit {
+            // Wrong-way prediction (a partial-tag alias in the other way)
+            // costs a corrective cycle.
+            if predicted != actual {
+                self.second_cycle_hits += 1;
+                result.extra_latency = 1;
+            }
+        } else {
+            // Mirror the fill into the shadow directory.
+            if let Some(ev) = result.evicted {
+                let ev_id = ev.block.raw() >> geom.offset_bits();
+                for slot in self.shadow[set * 2..set * 2 + 2].iter_mut() {
+                    if *slot == Some(ev_id) {
+                        *slot = None;
+                    }
+                }
+            }
+            let empty = (0..2)
+                .find(|w| self.shadow[set * 2 + w].is_none())
+                .expect("eviction freed a way");
+            self.shadow[set * 2 + empty] = Some(id);
+        }
+        result
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+        self.second_cycle_hits = 0;
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.inner.geometry()
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        self.inner.set_usage()
+    }
+
+    fn label(&self) -> String {
+        format!("{}k-pam{}", self.geometry().size_bytes() / 1024, self.pad_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_assoc::SetAssociativeCache;
+
+    fn tiny() -> PartialMatchCache {
+        PartialMatchCache::new(256, 32, 3).unwrap()
+    }
+
+    #[test]
+    fn hit_miss_behaviour_equals_two_way() {
+        let mut pam = tiny();
+        let mut sa = SetAssociativeCache::new(256, 32, 2, PolicyKind::Lru, 0).unwrap();
+        let mut x = 5u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = Addr::new((x >> 13) % 4096);
+            let a = pam.access(addr, AccessKind::Read);
+            let b = sa.access(addr, AccessKind::Read);
+            assert_eq!(a.hit, b.hit, "at {addr}");
+        }
+        assert_eq!(pam.stats().total(), sa.stats().total());
+    }
+
+    #[test]
+    fn correct_predictions_are_single_cycle() {
+        let mut pam = tiny();
+        pam.access(Addr::new(0x40), AccessKind::Read);
+        let r = pam.access(Addr::new(0x40), AccessKind::Read);
+        assert!(r.hit);
+        assert_eq!(r.extra_latency, 0);
+        assert_eq!(pam.second_cycle_hits(), 0);
+    }
+
+    #[test]
+    fn partial_tag_aliases_cost_a_second_cycle() {
+        // Two blocks in the same set whose tags agree in the low 3 bits:
+        // tags t and t + 8 (with 3 PAD bits).
+        let mut pam = tiny();
+        // 4 sets: tag = addr >> 7. Set 1: addr = 0x20.
+        let a = Addr::new(0x20); // tag 0
+        let b = Addr::new(0x20 + (8 << 7)); // tag 8: same low 3 bits as 0
+        pam.access(a, AccessKind::Read);
+        pam.access(b, AccessKind::Read);
+        // Accessing `b` predicts way 0 (block a's partial tag matches
+        // first) but the block lives in way 1: second-cycle hit.
+        let r = pam.access(b, AccessKind::Read);
+        assert!(r.hit);
+        assert_eq!(r.extra_latency, 1);
+        assert!(pam.second_cycle_hits() >= 1);
+    }
+
+    #[test]
+    fn distinct_partial_tags_predict_perfectly() {
+        let mut pam = tiny();
+        let a = Addr::new(0x20); // tag 0
+        let b = Addr::new(0x20 + (1 << 7)); // tag 1: differs in PAD bits
+        pam.access(a, AccessKind::Read);
+        pam.access(b, AccessKind::Read);
+        assert_eq!(pam.access(a, AccessKind::Read).extra_latency, 0);
+        assert_eq!(pam.access(b, AccessKind::Read).extra_latency, 0);
+        assert!((pam.first_cycle_hit_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_prediction_counters() {
+        let mut pam = tiny();
+        pam.access(Addr::new(0x20), AccessKind::Read);
+        pam.access(Addr::new(0x20 + (8 << 7)), AccessKind::Read);
+        pam.access(Addr::new(0x20 + (8 << 7)), AccessKind::Read);
+        pam.reset_stats();
+        assert_eq!(pam.second_cycle_hits(), 0);
+        assert_eq!(pam.stats().total().accesses(), 0);
+    }
+
+    #[test]
+    fn label_mentions_pad_width() {
+        assert_eq!(PartialMatchCache::new(16 * 1024, 32, 5).unwrap().label(), "16k-pam5");
+    }
+}

@@ -1,0 +1,340 @@
+//! Conventional set-associative caches (2-way … fully associative).
+
+use crate::addr::Addr;
+use crate::geometry::{CacheGeometry, GeometryError};
+use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
+use crate::replacement::{make_policy, PolicyKind, ReplacementPolicy};
+use crate::stats::{CacheStats, SetUsage};
+
+/// A set-associative, write-back, write-allocate cache with a pluggable
+/// replacement policy.
+///
+/// The paper compares the B-Cache against 2-, 4-, 8- and 32-way instances
+/// of this model (all LRU), and the unified L2 is a 4-way instance.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheModel, PolicyKind, SetAssociativeCache};
+///
+/// let mut l2 = SetAssociativeCache::new(256 * 1024, 128, 4, PolicyKind::Lru, 0)?;
+/// assert!(!l2.access(0x8000u64.into(), AccessKind::Read).hit);
+/// assert!(l2.access(0x8000u64.into(), AccessKind::Read).hit);
+/// # Ok::<(), cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct SetAssociativeCache {
+    geom: CacheGeometry,
+    // Way-major within each set: slot = set * assoc + way.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    usage: SetUsage,
+}
+
+impl SetAssociativeCache {
+    /// Creates a cache of `size_bytes` with `line_bytes` blocks and `assoc`
+    /// ways per set.
+    ///
+    /// `seed` feeds the random replacement policy; other policies ignore
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn new(
+        size_bytes: usize,
+        line_bytes: usize,
+        assoc: usize,
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Result<Self, GeometryError> {
+        Self::from_geometry(CacheGeometry::new(size_bytes, line_bytes, assoc)?, policy, seed)
+    }
+
+    /// Creates a cache from an explicit geometry.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid geometry; the `Result` mirrors
+    /// [`SetAssociativeCache::new`].
+    pub fn from_geometry(
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Result<Self, GeometryError> {
+        let sets = geom.sets();
+        let ways = geom.assoc();
+        Ok(SetAssociativeCache {
+            geom,
+            tags: vec![0; sets * ways],
+            valid: vec![false; sets * ways],
+            dirty: vec![false; sets * ways],
+            policy: make_policy(policy, sets, ways, seed),
+            stats: CacheStats::new(),
+            usage: SetUsage::new(sets),
+        })
+    }
+
+    /// Creates a fully-associative cache with `lines` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn fully_associative(
+        lines: usize,
+        line_bytes: usize,
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Result<Self, GeometryError> {
+        Self::new(lines * line_bytes, line_bytes, lines, policy, seed)
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.geom.assoc() + way
+    }
+
+    /// Looks up the way holding `addr`'s block, if resident.
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        (0..self.geom.assoc()).find(|&w| {
+            let s = self.slot(set, w);
+            self.valid[s] && self.tags[s] == tag
+        })
+    }
+
+    /// Returns `true` if the block containing `addr` is resident, without
+    /// touching statistics or replacement state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        self.find_way(self.geom.set_index(addr), self.geom.tag(addr)).is_some()
+    }
+
+    /// The replacement policy in use.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Removes the block containing `addr` (if resident) and returns it.
+    ///
+    /// Used by wrappers such as the victim buffer to migrate blocks
+    /// between arrays. Does not touch hit/miss statistics.
+    pub fn extract(&mut self, addr: Addr) -> Option<Eviction> {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        let way = self.find_way(set, tag)?;
+        let s = self.slot(set, way);
+        self.valid[s] = false;
+        Some(Eviction { block: self.geom.reconstruct(tag, set), dirty: self.dirty[s] })
+    }
+
+    /// Inserts a block without counting an access, evicting if necessary.
+    ///
+    /// Returns the displaced block, if any. Wrappers use this for
+    /// swap/demote traffic that the paper does not count as references.
+    pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<Eviction> {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        if let Some(way) = self.find_way(set, tag) {
+            // Already resident: refresh recency and merge dirtiness.
+            let s = self.slot(set, way);
+            self.dirty[s] |= dirty;
+            self.policy.on_access(set, way);
+            return None;
+        }
+        let (way, evicted) = self.choose_fill_slot(set);
+        let s = self.slot(set, way);
+        self.tags[s] = tag;
+        self.valid[s] = true;
+        self.dirty[s] = dirty;
+        self.policy.on_fill(set, way);
+        evicted
+    }
+
+    fn choose_fill_slot(&mut self, set: usize) -> (usize, Option<Eviction>) {
+        if let Some(way) = (0..self.geom.assoc()).find(|&w| !self.valid[self.slot(set, w)]) {
+            return (way, None);
+        }
+        let way = self.policy.victim(set);
+        debug_assert!(way < self.geom.assoc(), "policy returned out-of-range way");
+        let s = self.slot(set, way);
+        let block = self.geom.reconstruct(self.tags[s], set);
+        let dirty = self.dirty[s];
+        if dirty {
+            self.stats.record_writeback();
+        }
+        (way, Some(Eviction { block, dirty }))
+    }
+}
+
+impl CacheModel for SetAssociativeCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        if let Some(way) = self.find_way(set, tag) {
+            self.stats.record(kind, true);
+            self.usage.record(set, true);
+            self.policy.on_access(set, way);
+            if kind.is_write() {
+                let s = self.slot(set, way);
+                self.dirty[s] = true;
+            }
+            return AccessResult::hit();
+        }
+        self.stats.record(kind, false);
+        self.usage.record(set, false);
+        let (way, evicted) = self.choose_fill_slot(set);
+        let s = self.slot(set, way);
+        self.tags[s] = tag;
+        self.valid[s] = true;
+        self.dirty[s] = kind.is_write();
+        self.policy.on_fill(set, way);
+        AccessResult::miss(evicted)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.usage.reset();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        Some(&self.usage)
+    }
+
+    fn label(&self) -> String {
+        format!("{}k{}way", self.geom.size_bytes() / 1024, self.geom.assoc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectMappedCache;
+
+    fn tiny(assoc: usize) -> SetAssociativeCache {
+        SetAssociativeCache::new(256, 32, assoc, PolicyKind::Lru, 0).unwrap()
+    }
+
+    #[test]
+    fn two_way_absorbs_the_paper_thrash_sequence() {
+        // Paper Section 2.2: 0,1,8,9 repeated hits in a 2-way cache after
+        // the four warm-up misses.
+        let mut c = tiny(2);
+        let line = 32u64;
+        for block in [0u64, 1, 8, 9] {
+            assert!(!c.access(Addr::new(block * line), AccessKind::Read).hit);
+        }
+        for _ in 0..4 {
+            for block in [0u64, 1, 8, 9] {
+                assert!(c.access(Addr::new(block * line), AccessKind::Read).hit);
+            }
+        }
+        assert_eq!(c.stats().total().misses(), 4);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(2); // 4 sets
+        let line = 32u64;
+        let set0 = |tag: u64| Addr::new(tag * 4 * line); // tags in set 0
+        c.access(set0(0), AccessKind::Read);
+        c.access(set0(1), AccessKind::Read);
+        c.access(set0(0), AccessKind::Read); // 1 is now LRU
+        let r = c.access(set0(2), AccessKind::Read);
+        assert_eq!(r.evicted.unwrap().block, set0(1));
+        assert!(c.probe(set0(0)));
+        assert!(!c.probe(set0(1)));
+    }
+
+    #[test]
+    fn assoc_one_matches_direct_mapped() {
+        let mut sa = tiny(1);
+        let mut dm = DirectMappedCache::new(256, 32).unwrap();
+        // Pseudo-random but deterministic probe sequence.
+        let mut x = 0x12345678u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = Addr::new(x % 4096);
+            let kind = if x & 1 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let a = sa.access(addr, kind);
+            let b = dm.access(addr, kind);
+            assert_eq!(a.hit, b.hit, "divergence at {addr}");
+            assert_eq!(a.evicted, b.evicted);
+        }
+        assert_eq!(sa.stats(), dm.stats());
+    }
+
+    #[test]
+    fn fully_associative_uses_single_set() {
+        let c = SetAssociativeCache::fully_associative(16, 32, PolicyKind::Lru, 0).unwrap();
+        assert_eq!(c.geometry().sets(), 1);
+        assert_eq!(c.geometry().assoc(), 16);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(2);
+        let set0 = |tag: u64| Addr::new(tag * 128);
+        c.access(set0(0), AccessKind::Write);
+        c.access(set0(1), AccessKind::Read);
+        let r = c.access(set0(2), AccessKind::Read);
+        let ev = r.evicted.unwrap();
+        assert_eq!(ev.block, set0(0));
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn extract_removes_block_silently() {
+        let mut c = tiny(2);
+        c.access(Addr::new(0x40), AccessKind::Write);
+        let accesses_before = c.stats().total().accesses();
+        let ev = c.extract(Addr::new(0x40)).unwrap();
+        assert_eq!(ev.block, Addr::new(0x40));
+        assert!(ev.dirty);
+        assert!(!c.probe(Addr::new(0x40)));
+        assert_eq!(c.stats().total().accesses(), accesses_before);
+        assert!(c.extract(Addr::new(0x40)).is_none());
+    }
+
+    #[test]
+    fn insert_fills_and_displaces() {
+        let mut c = tiny(2);
+        assert!(c.insert(Addr::new(0x000), false).is_none());
+        assert!(c.insert(Addr::new(0x100), true).is_none());
+        // Third block in set 0 displaces the LRU (0x000).
+        let ev = c.insert(Addr::new(0x200), false).unwrap();
+        assert_eq!(ev.block, Addr::new(0x000));
+        assert!(!ev.dirty);
+        // Re-inserting a resident block merges dirtiness instead.
+        assert!(c.insert(Addr::new(0x100), false).is_none());
+        let ev2 = c.extract(Addr::new(0x100)).unwrap();
+        assert!(ev2.dirty, "dirtiness must be sticky across insert");
+    }
+
+    #[test]
+    fn random_policy_stays_within_bounds() {
+        let mut c = SetAssociativeCache::new(256, 32, 4, PolicyKind::Random, 9).unwrap();
+        for i in 0..4000u64 {
+            c.access(Addr::new(i * 64), AccessKind::Read);
+        }
+        // 2 sets * 4 ways = 8 lines; all still addressable without panic.
+        assert!(c.stats().total().accesses() == 4000);
+    }
+
+    #[test]
+    fn label_shows_ways() {
+        assert_eq!(
+            SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap().label(),
+            "16k8way"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! A direct-mapped cache backed by a small fully-associative victim
+//! buffer (Jouppi), the paper's main prior-art comparator (Section 6.6).
+
+use crate::addr::Addr;
+use crate::geometry::{CacheGeometry, GeometryError};
+use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
+use crate::replacement::PolicyKind;
+use crate::set_assoc::SetAssociativeCache;
+use crate::stats::{CacheStats, SetUsage};
+
+/// Direct-mapped cache plus an `N`-entry fully-associative victim buffer.
+///
+/// Semantics follow Jouppi's victim cache: every block evicted from the
+/// main array is demoted into the buffer; a main-array miss that hits in
+/// the buffer swaps the two blocks and counts as a (one-cycle-slower) hit.
+/// The paper evaluates a 16-entry buffer and charges the extra cycle when
+/// the buffer is probed sequentially after the main array.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{AccessKind, CacheModel, VictimCache};
+///
+/// let mut vc = VictimCache::new(16 * 1024, 32, 16)?;
+/// vc.access(0x0u64.into(), AccessKind::Read);       // miss
+/// vc.access(0x4000u64.into(), AccessKind::Read);    // conflict: 0x0 demoted
+/// let swap = vc.access(0x0u64.into(), AccessKind::Read);
+/// assert!(swap.hit);                                // recovered from buffer
+/// assert_eq!(swap.extra_latency, 1);
+/// # Ok::<(), cache_sim::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct VictimCache {
+    geom: CacheGeometry,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    buffer: SetAssociativeCache,
+    stats: CacheStats,
+    usage: SetUsage,
+    buffer_hits: u64,
+    buffer_probes: u64,
+}
+
+impl VictimCache {
+    /// Creates a direct-mapped cache of `size_bytes`/`line_bytes` with an
+    /// `entries`-block victim buffer (LRU).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn new(size_bytes: usize, line_bytes: usize, entries: usize) -> Result<Self, GeometryError> {
+        let geom = CacheGeometry::new(size_bytes, line_bytes, 1)?;
+        let buffer = SetAssociativeCache::fully_associative(entries, line_bytes, PolicyKind::Lru, 0)?;
+        let sets = geom.sets();
+        Ok(VictimCache {
+            geom,
+            tags: vec![0; sets],
+            valid: vec![false; sets],
+            dirty: vec![false; sets],
+            buffer,
+            stats: CacheStats::new(),
+            usage: SetUsage::new(sets),
+            buffer_hits: 0,
+            buffer_probes: 0,
+        })
+    }
+
+    /// Number of buffer entries.
+    pub fn buffer_entries(&self) -> usize {
+        self.buffer.geometry().lines()
+    }
+
+    /// How many main-array misses were recovered by the buffer.
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits
+    }
+
+    /// How many times the buffer was probed (= main-array misses).
+    pub fn buffer_probes(&self) -> u64 {
+        self.buffer_probes
+    }
+
+    /// Replaces the block in `set` with `addr`'s block, demoting the old
+    /// resident into the buffer. Returns the block pushed out of the
+    /// buffer, if any.
+    fn fill_main(&mut self, set: usize, addr: Addr, dirty: bool) -> Option<Eviction> {
+        let mut out = None;
+        if self.valid[set] {
+            let old = Eviction {
+                block: self.geom.reconstruct(self.tags[set], set),
+                dirty: self.dirty[set],
+            };
+            out = self.buffer.insert(old.block, old.dirty);
+        }
+        self.tags[set] = self.geom.tag(addr);
+        self.valid[set] = true;
+        self.dirty[set] = dirty;
+        out
+    }
+}
+
+impl CacheModel for VictimCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        if self.valid[set] && self.tags[set] == tag {
+            self.stats.record(kind, true);
+            self.usage.record(set, true);
+            if kind.is_write() {
+                self.dirty[set] = true;
+            }
+            return AccessResult::hit();
+        }
+        // Main-array miss: probe the buffer.
+        self.buffer_probes += 1;
+        if let Some(from_buffer) = self.buffer.extract(addr) {
+            // Swap: promoted block enters the main array, the resident
+            // block is demoted into the slot just vacated.
+            self.buffer_hits += 1;
+            self.stats.record(kind, true);
+            self.usage.record(set, true);
+            let displaced = self.fill_main(set, addr, from_buffer.dirty || kind.is_write());
+            debug_assert!(displaced.is_none(), "buffer cannot overflow during a swap");
+            return AccessResult::slow_hit(1);
+        }
+        // Full miss: fill the main array, demote the old resident.
+        self.stats.record(kind, false);
+        self.usage.record(set, false);
+        let evicted = self.fill_main(set, addr, kind.is_write());
+        if let Some(ev) = &evicted {
+            if ev.dirty {
+                self.stats.record_writeback();
+            }
+        }
+        AccessResult::miss(evicted)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.usage.reset();
+        self.buffer_hits = 0;
+        self.buffer_probes = 0;
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        Some(&self.usage)
+    }
+
+    fn label(&self) -> String {
+        format!("victim{}", self.buffer_entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8-set main array, 2-entry buffer.
+    fn tiny() -> VictimCache {
+        VictimCache::new(256, 32, 2).unwrap()
+    }
+
+    #[test]
+    fn buffer_recovers_conflict_victims() {
+        let mut c = tiny();
+        // Blocks 0 and 8 collide in set 0 of the 8-set main array.
+        assert!(!c.access(Addr::new(0), AccessKind::Read).hit);
+        assert!(!c.access(Addr::new(256), AccessKind::Read).hit);
+        // 0 was demoted to the buffer: this is a swap hit.
+        let r = c.access(Addr::new(0), AccessKind::Read);
+        assert!(r.hit);
+        assert_eq!(r.extra_latency, 1);
+        assert_eq!(c.buffer_hits(), 1);
+        // And 256 is now in the buffer.
+        assert!(c.access(Addr::new(256), AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn two_entry_buffer_absorbs_the_paper_thrash_sequence() {
+        // 0,1,8,9 on an 8-set DM cache: blocks 0/8 and 1/9 collide. A
+        // 2-entry buffer turns the steady state into all hits.
+        let mut c = tiny();
+        let line = 32u64;
+        for block in [0u64, 1, 8, 9] {
+            assert!(!c.access(Addr::new(block * line), AccessKind::Read).hit);
+        }
+        for _ in 0..4 {
+            for block in [0u64, 1, 8, 9] {
+                assert!(c.access(Addr::new(block * line), AccessKind::Read).hit);
+            }
+        }
+        assert_eq!(c.stats().total().misses(), 4);
+    }
+
+    #[test]
+    fn buffer_overflow_evicts_oldest_victim() {
+        let mut c = tiny();
+        // Four conflicting blocks in set 0; buffer holds only two victims.
+        for tag in 0..4u64 {
+            c.access(Addr::new(tag * 256), AccessKind::Read);
+        }
+        // Main: tag 3. Buffer: tags 1, 2 (tag 0 was pushed out).
+        assert!(!c.access(Addr::new(0), AccessKind::Read).hit, "oldest victim must be gone");
+        assert!(c.access(Addr::new(2 * 256), AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn dirtiness_survives_demotion_and_promotion() {
+        let mut c = tiny();
+        c.access(Addr::new(0), AccessKind::Write);
+        c.access(Addr::new(256), AccessKind::Read); // dirty 0 demoted
+        c.access(Addr::new(0), AccessKind::Read); // swap back (still dirty)
+        c.access(Addr::new(512), AccessKind::Read); // 0 demoted again
+        // Push two more victims through so dirty block 0 leaves the buffer.
+        c.access(Addr::new(768), AccessKind::Read);
+        let r = c.access(Addr::new(1024), AccessKind::Read);
+        let ev = r.evicted.expect("buffer overflow must surface an eviction");
+        assert_eq!(ev.block, Addr::new(0));
+        assert!(ev.dirty, "dirtiness must follow the block through swaps");
+    }
+
+    #[test]
+    fn miss_rate_never_worse_than_plain_dm_on_conflict_traffic() {
+        use crate::direct::DirectMappedCache;
+        let mut vc = VictimCache::new(256, 32, 4).unwrap();
+        let mut dm = DirectMappedCache::new(256, 32).unwrap();
+        let mut x = 7u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = Addr::new((x >> 16) % 2048);
+            vc.access(addr, AccessKind::Read);
+            dm.access(addr, AccessKind::Read);
+        }
+        assert!(vc.stats().total().misses() <= dm.stats().total().misses());
+    }
+
+    #[test]
+    fn probes_count_main_misses() {
+        let mut c = tiny();
+        c.access(Addr::new(0), AccessKind::Read); // probe (cold miss)
+        c.access(Addr::new(0), AccessKind::Read); // main hit, no probe
+        c.access(Addr::new(256), AccessKind::Read); // probe
+        assert_eq!(c.buffer_probes(), 2);
+    }
+
+    #[test]
+    fn reset_clears_buffer_counters() {
+        let mut c = tiny();
+        c.access(Addr::new(0), AccessKind::Read);
+        c.access(Addr::new(256), AccessKind::Read);
+        c.access(Addr::new(0), AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.buffer_hits(), 0);
+        assert_eq!(c.buffer_probes(), 0);
+        assert_eq!(c.stats().total().accesses(), 0);
+    }
+
+    #[test]
+    fn label_shows_entries() {
+        assert_eq!(VictimCache::new(16 * 1024, 32, 16).unwrap().label(), "victim16");
+    }
+}

@@ -1,0 +1,581 @@
+//! The Balanced Cache functional model.
+
+use cache_sim::{
+    AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, Eviction, SetUsage,
+};
+use cache_sim::replacement::{make_policy, ReplacementPolicy};
+
+use crate::decoder::ProgrammableDecoder;
+use crate::params::{BCacheParams, IndexLayout};
+
+/// Statistics specific to the programmable decoders.
+///
+/// The key quantity is the **PD hit rate during cache misses** (paper
+/// Figure 3, Table 6): a PD hit on a miss forces the victim (no
+/// replacement choice), so a *low* rate lets the replacement policy
+/// balance the sets.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PdStats {
+    /// Cache misses on which the PD matched (victim forced).
+    pub misses_with_pd_hit: u64,
+    /// Cache misses on which the PD also missed (victim chosen by the
+    /// replacement policy; tag/data arrays were never read).
+    pub misses_with_pd_miss: u64,
+}
+
+impl PdStats {
+    /// PD hit rate during cache misses, in `[0, 1]`.
+    pub fn pd_hit_rate_on_miss(&self) -> f64 {
+        let total = self.misses_with_pd_hit + self.misses_with_pd_miss;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses_with_pd_hit as f64 / total as f64
+        }
+    }
+}
+
+/// The Balanced Cache (B-Cache): a direct-mapped cache whose index is
+/// lengthened by `log2(MF) + log2(BAS) - log2(BAS) = log2(MF)` tag bits
+/// and decoded partly by programmable CAM decoders.
+///
+/// Behaviour on an access (paper Section 2.3):
+///
+/// 1. the NPI selects a group of `BAS` candidate sets; the PDs of the
+///    group compare their stored PI against the address's PI;
+/// 2. **PD hit + tag hit** → a one-cycle cache hit (only one set ever
+///    activates, as in a plain direct-mapped cache);
+/// 3. **PD hit + tag miss** → a miss whose victim is *forced* to the
+///    matching set (evicting any other set would break unique decoding);
+/// 4. **PD miss** → a predetermined miss (no tag/data read); the victim
+///    is chosen among the `BAS` candidates by the replacement policy and
+///    its PD entry is reprogrammed with the new PI.
+///
+/// # Examples
+///
+/// ```
+/// use bcache_core::{BCacheParams, BalancedCache};
+/// use cache_sim::{AccessKind, CacheGeometry, CacheModel};
+///
+/// let geom = CacheGeometry::new(16 * 1024, 32, 1)?;
+/// let mut bc = BalancedCache::new(BCacheParams::paper_default(geom)?);
+/// bc.access(0x0u64.into(), AccessKind::Read);
+/// assert!(bc.access(0x1fu64.into(), AccessKind::Read).hit);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BalancedCache {
+    params: BCacheParams,
+    layout: IndexLayout,
+    pd: ProgrammableDecoder,
+    // Per (group, way): full block identifier (addr >> offset_bits).
+    blocks: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    usage: SetUsage,
+    pd_stats: PdStats,
+}
+
+impl BalancedCache {
+    /// Creates a cold B-Cache.
+    pub fn new(params: BCacheParams) -> Self {
+        let layout = params.layout();
+        let groups = layout.groups();
+        let bas = params.bas();
+        BalancedCache {
+            params,
+            layout,
+            pd: ProgrammableDecoder::new(&layout, bas),
+            blocks: vec![0; groups * bas],
+            valid: vec![false; groups * bas],
+            dirty: vec![false; groups * bas],
+            policy: make_policy(params.policy(), groups, bas, params.seed()),
+            stats: CacheStats::new(),
+            usage: SetUsage::new(groups * bas),
+            pd_stats: PdStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn params(&self) -> &BCacheParams {
+        &self.params
+    }
+
+    /// The derived index layout.
+    pub fn layout(&self) -> &IndexLayout {
+        &self.layout
+    }
+
+    /// Programmable-decoder statistics.
+    pub fn pd_stats(&self) -> PdStats {
+        self.pd_stats
+    }
+
+    /// The decoder state (read-only; used by tests and diagnostics).
+    pub fn decoder(&self) -> &ProgrammableDecoder {
+        &self.pd
+    }
+
+    fn block_id(&self, addr: Addr) -> u64 {
+        addr.raw() >> self.params.geometry().offset_bits()
+    }
+
+    fn block_addr(&self, id: u64) -> Addr {
+        Addr::new(id << self.params.geometry().offset_bits())
+    }
+
+    fn slot(&self, group: usize, way: usize) -> usize {
+        group * self.params.bas() + way
+    }
+
+    /// Physical set number for Table 7 balance statistics: cluster-major,
+    /// mirroring the paper's Figure 2 (cluster `way` spans all groups).
+    fn physical_set(&self, group: usize, way: usize) -> usize {
+        way * self.layout.groups() + group
+    }
+
+    /// Returns `true` if the block containing `addr` is resident, without
+    /// touching statistics or replacement state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let group = self.layout.npi(addr);
+        let pi = self.layout.pi(addr);
+        match self.pd.lookup(group, pi) {
+            Some(way) => {
+                let s = self.slot(group, way);
+                self.valid[s] && self.blocks[s] == self.block_id(addr)
+            }
+            None => false,
+        }
+    }
+
+    /// Checks every internal invariant; linear in the cache size.
+    ///
+    /// * unique decoding within every group;
+    /// * a valid PD entry if and only if a valid block, and the stored
+    ///   block's PI/NPI fields agree with its slot.
+    pub fn invariants_hold(&self) -> bool {
+        if !self.pd.invariant_holds() {
+            return false;
+        }
+        (0..self.layout.groups()).all(|g| {
+            (0..self.params.bas()).all(|w| {
+                let s = self.slot(g, w);
+                match (self.pd.entry(g, w), self.valid[s]) {
+                    (None, false) => true,
+                    (Some(pi), true) => {
+                        let block = self.block_addr(self.blocks[s]);
+                        self.layout.npi(block) == g && self.layout.pi(block) == pi
+                    }
+                    _ => false,
+                }
+            })
+        })
+    }
+
+    fn fill(&mut self, group: usize, way: usize, id: u64, dirty: bool) {
+        let s = self.slot(group, way);
+        self.blocks[s] = id;
+        self.valid[s] = true;
+        self.dirty[s] = dirty;
+        self.policy.on_fill(group, way);
+    }
+
+    fn evict(&mut self, group: usize, way: usize) -> Option<Eviction> {
+        let s = self.slot(group, way);
+        if !self.valid[s] {
+            return None;
+        }
+        let ev = Eviction { block: self.block_addr(self.blocks[s]), dirty: self.dirty[s] };
+        if ev.dirty {
+            self.stats.record_writeback();
+        }
+        self.valid[s] = false;
+        Some(ev)
+    }
+}
+
+impl CacheModel for BalancedCache {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let group = self.layout.npi(addr);
+        let pi = self.layout.pi(addr);
+        let id = self.block_id(addr);
+
+        match self.pd.lookup(group, pi) {
+            Some(way) => {
+                let s = self.slot(group, way);
+                debug_assert!(self.valid[s], "PD entry valid but block invalid");
+                if self.blocks[s] == id {
+                    // PD hit + tag hit: a plain one-cycle hit.
+                    self.stats.record(kind, true);
+                    self.usage.record(self.physical_set(group, way), true);
+                    self.policy.on_access(group, way);
+                    if kind.is_write() {
+                        self.dirty[s] = true;
+                    }
+                    AccessResult::hit()
+                } else {
+                    // PD hit + tag miss: the victim is forced to this set;
+                    // choosing any other would leave two identical PIs in
+                    // the group (paper Section 2.3, address-25 case).
+                    self.stats.record(kind, false);
+                    self.usage.record(self.physical_set(group, way), false);
+                    self.pd_stats.misses_with_pd_hit += 1;
+                    match self.params.pd_hit_policy() {
+                        crate::params::PdHitPolicy::ForcedVictim => {
+                            let ev = self.evict(group, way);
+                            self.fill(group, way, id, kind.is_write());
+                            // The PD entry already holds this PI.
+                            AccessResult::miss(ev)
+                        }
+                        crate::params::PdHitPolicy::EvictBoth => {
+                            // Ablation: let the policy pick anyway. If it
+                            // picks another way, the matching way must be
+                            // invalidated too (unique decoding), losing a
+                            // second block — the cost the paper avoids.
+                            // Only the policy victim's eviction propagates;
+                            // the collateral one is counted in the stats.
+                            let victim = self.policy.victim(group);
+                            if victim != way {
+                                self.evict(group, way);
+                                self.pd.invalidate(group, way);
+                            }
+                            let ev = self.evict(group, victim);
+                            self.pd.invalidate(group, victim);
+                            self.pd.program(group, victim, pi);
+                            self.fill(group, victim, id, kind.is_write());
+                            AccessResult::miss(ev)
+                        }
+                    }
+                }
+            }
+            None => {
+                // PD miss: the miss is predetermined before any tag/data
+                // read. The victim comes from the replacement policy,
+                // fully exploiting the BAS candidate sets.
+                self.stats.record(kind, false);
+                self.pd_stats.misses_with_pd_miss += 1;
+                let way = match self.pd.invalid_way(group) {
+                    Some(w) => w,
+                    None => self.policy.victim(group),
+                };
+                self.usage.record(self.physical_set(group, way), false);
+                let ev = self.evict(group, way);
+                self.pd.program(group, way, pi);
+                self.fill(group, way, id, kind.is_write());
+                AccessResult::miss(ev)
+            }
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.usage.reset();
+        self.pd_stats = PdStats::default();
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.params.geometry()
+    }
+
+    fn set_usage(&self) -> Option<&SetUsage> {
+        Some(&self.usage)
+    }
+
+    fn label(&self) -> String {
+        format!("MF{}-BAS{}", self.params.mapping_factor(), self.params.bas())
+    }
+}
+
+impl std::fmt::Debug for BalancedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BalancedCache")
+            .field("params", &self.params)
+            .field("pd_stats", &self.pd_stats)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{DirectMappedCache, PolicyKind, SetAssociativeCache};
+
+    fn geom_16k() -> CacheGeometry {
+        CacheGeometry::new(16 * 1024, 32, 1).unwrap()
+    }
+
+    fn paper_bcache() -> BalancedCache {
+        BalancedCache::new(BCacheParams::paper_default(geom_16k()).unwrap())
+    }
+
+    /// The Figure 1(c) worked example: 8 sets, addresses 0,1,8,9 (block
+    /// granularity) behave like a 2-way cache once warm.
+    fn figure1_bcache() -> BalancedCache {
+        let g = CacheGeometry::with_addr_bits(256, 32, 1, 13).unwrap();
+        BalancedCache::new(BCacheParams::new(g, 2, 2, PolicyKind::Lru).unwrap())
+    }
+
+    #[test]
+    fn figure1_sequence_hits_like_two_way() {
+        let mut bc = figure1_bcache();
+        let line = 32u64;
+        for block in [0u64, 1, 8, 9] {
+            assert!(!bc.access(Addr::new(block * line), AccessKind::Read).hit);
+        }
+        for _ in 0..4 {
+            for block in [0u64, 1, 8, 9] {
+                assert!(bc.access(Addr::new(block * line), AccessKind::Read).hit);
+            }
+        }
+        assert_eq!(bc.stats().total().misses(), 4, "only the warm-up misses remain");
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn same_sequence_thrashes_direct_mapped() {
+        let mut dm = DirectMappedCache::new(256, 32).unwrap();
+        for _ in 0..5 {
+            for block in [0u64, 1, 8, 9] {
+                assert!(!dm.access(Addr::new(block * 32), AccessKind::Read).hit);
+            }
+        }
+    }
+
+    #[test]
+    fn pd_hit_forces_victim() {
+        // Figure 1(c)'s address-25 case: an address whose PI matches a
+        // programmed entry must replace exactly that set's block.
+        let mut bc = figure1_bcache();
+        for block in [0u64, 1, 8, 9] {
+            bc.access(Addr::new(block * 32), AccessKind::Read);
+        }
+        // Address block 25 = 0b11001: NPI = 01, PI = 10 — same PI as
+        // block 9 (0b01001 -> PI bits (3,4) = 01? see layout); compute
+        // directly instead of hard-coding.
+        let victim_block = 9u64;
+        let l = *bc.layout();
+        let candidate = (0..64u64)
+            .map(|b| Addr::new(b * 32))
+            .find(|&a| {
+                let v = Addr::new(victim_block * 32);
+                l.npi(a) == l.npi(v)
+                    && l.pi(a) == l.pi(v)
+                    && bc.block_id(a) != bc.block_id(v)
+            })
+            .expect("a conflicting address exists");
+        let r = bc.access(candidate, AccessKind::Read);
+        assert!(!r.hit);
+        assert_eq!(r.evicted.unwrap().block, Addr::new(victim_block * 32));
+        assert_eq!(bc.pd_stats().misses_with_pd_hit, 1);
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn pd_miss_uses_replacement_policy() {
+        let mut bc = figure1_bcache();
+        for block in [0u64, 1, 8, 9] {
+            bc.access(Addr::new(block * 32), AccessKind::Read);
+        }
+        // Find an address with a fresh PI in group 1: PD miss; the LRU
+        // candidate in the group must be evicted.
+        let l = *bc.layout();
+        let g1_resident = Addr::new(32);
+        let fresh = (0..512u64)
+            .map(|b| Addr::new(b * 32))
+            .find(|&a| l.npi(a) == l.npi(g1_resident) && bc.pd.lookup(l.npi(a), l.pi(a)).is_none())
+            .expect("a PD-missing address exists");
+        let r = bc.access(fresh, AccessKind::Read);
+        assert!(!r.hit);
+        assert_eq!(bc.pd_stats().misses_with_pd_miss, 5); // 4 cold + this
+        // LRU in group of NPI(1): block 1 was touched before block 9.
+        assert_eq!(r.evicted.unwrap().block, Addr::new(32));
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn mf1_bas1_equals_direct_mapped() {
+        let params = BCacheParams::new(geom_16k(), 1, 1, PolicyKind::Lru).unwrap();
+        let mut bc = BalancedCache::new(params);
+        let mut dm = DirectMappedCache::new(16 * 1024, 32).unwrap();
+        let mut x = 0xABCD_1234u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = Addr::new((x >> 16) & 0xF_FFFF);
+            let kind = if x & 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let a = bc.access(addr, kind);
+            let b = dm.access(addr, kind);
+            assert_eq!(a.hit, b.hit, "divergence at {addr}");
+        }
+        assert_eq!(bc.stats().total().misses(), dm.stats().total().misses());
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn full_pi_equals_set_associative() {
+        // When the PI covers the entire tag, a PD hit implies a tag hit,
+        // so the replacement policy always chooses the victim: the
+        // B-Cache *is* a BAS-way set-associative cache indexed by NPI.
+        let g = CacheGeometry::with_addr_bits(1024, 32, 1, 16).unwrap();
+        // tag_bits = 16 - 5 - 5 = 6; MF = 2^6 consumes the whole tag.
+        let params = BCacheParams::new(g, 1 << 6, 4, PolicyKind::Lru).unwrap();
+        let mut bc = BalancedCache::new(params);
+        let sa_geom = CacheGeometry::with_addr_bits(1024, 32, 4, 16).unwrap();
+        let mut sa = SetAssociativeCache::from_geometry(sa_geom, PolicyKind::Lru, 0).unwrap();
+        let mut x = 99u64;
+        for _ in 0..30_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let addr = Addr::new((x >> 20) & 0xFFFF);
+            let kind = if x & 7 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let a = bc.access(addr, kind);
+            let b = sa.access(addr, kind);
+            assert_eq!(a.hit, b.hit, "divergence at {addr}");
+        }
+        assert_eq!(bc.stats().total().misses(), sa.stats().total().misses());
+        assert_eq!(bc.pd_stats().misses_with_pd_hit, 0, "full-PI PD hits imply tag hits");
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn paper_bcache_beats_dm_on_conflict_heavy_traffic() {
+        let mut bc = paper_bcache();
+        let mut dm = DirectMappedCache::new(16 * 1024, 32).unwrap();
+        // Four arrays spaced by the cache size: guaranteed DM conflicts.
+        for _ in 0..200 {
+            for k in 0..4u64 {
+                for blk in 0..16u64 {
+                    let a = Addr::new(k * 16 * 1024 + blk * 32);
+                    bc.access(a, AccessKind::Read);
+                    dm.access(a, AccessKind::Read);
+                }
+            }
+        }
+        let bm = bc.stats().total().misses();
+        let dmm = dm.stats().total().misses();
+        assert!(bm * 10 < dmm, "B-Cache {bm} misses vs DM {dmm}");
+        assert!(bc.invariants_hold());
+    }
+
+    #[test]
+    fn write_dirtiness_round_trips() {
+        let mut bc = paper_bcache();
+        bc.access(Addr::new(0x40), AccessKind::Write);
+        // Evict it via BAS conflicting fills with the same PI and NPI:
+        // the same block address plus multiples of 2^(5+9+3)=2^17 shares
+        // PI and NPI, forcing PD-hit evictions.
+        let r = bc.access(Addr::new(0x40 + (1 << 17)), AccessKind::Read);
+        let ev = r.evicted.expect("PD-hit miss must evict the forced victim");
+        assert_eq!(ev.block, Addr::new(0x40));
+        assert!(ev.dirty);
+        assert_eq!(bc.stats().writebacks(), 1);
+        assert_eq!(bc.pd_stats().misses_with_pd_hit, 1);
+    }
+
+    #[test]
+    fn usage_covers_physical_sets() {
+        let mut bc = paper_bcache();
+        for blk in 0..2048u64 {
+            bc.access(Addr::new(blk * 32), AccessKind::Read);
+        }
+        let usage = bc.set_usage().unwrap();
+        assert_eq!(usage.sets(), 512);
+        let total: u64 = (0..512).map(|s| usage.accesses(s)).sum();
+        assert_eq!(total, 2048);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut bc = paper_bcache();
+        bc.access(Addr::new(0x1000), AccessKind::Read);
+        bc.reset_stats();
+        assert_eq!(bc.stats().total().accesses(), 0);
+        assert_eq!(bc.pd_stats(), PdStats::default());
+        assert!(bc.access(Addr::new(0x1000), AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn pd_hit_rate_definition() {
+        let s = PdStats { misses_with_pd_hit: 3, misses_with_pd_miss: 1 };
+        assert!((s.pd_hit_rate_on_miss() - 0.75).abs() < 1e-12);
+        assert_eq!(PdStats::default().pd_hit_rate_on_miss(), 0.0);
+    }
+
+    #[test]
+    fn label_shows_design_point() {
+        assert_eq!(paper_bcache().label(), "MF8-BAS8");
+    }
+
+    #[test]
+    fn evict_both_ablation_is_worse_and_keeps_invariants() {
+        use crate::params::PdHitPolicy;
+        // Far-spaced conflicts (same PI) stress the PD-hit path.
+        let run = |policy: PdHitPolicy| {
+            let params = BCacheParams::paper_default(geom_16k()).unwrap().with_pd_hit_policy(policy);
+            let mut bc = BalancedCache::new(params);
+            let mut misses = 0u64;
+            for _round in 0..100u64 {
+                // Seven resident blocks with distinct PIs fill group 0…
+                for k in 1..8u64 {
+                    if !bc.access(Addr::new(k << 14), AccessKind::Read).hit {
+                        misses += 1;
+                    }
+                }
+                // …plus a pair sharing PI 0 (spaced 2^19) that thrashes
+                // the eighth way. Under ForcedVictim the pair only hurts
+                // itself; under EvictBoth its misses collaterally evict
+                // the LRU resident block as well.
+                for base in [0u64, 1 << 19] {
+                    if !bc.access(Addr::new(base), AccessKind::Read).hit {
+                        misses += 1;
+                    }
+                }
+            }
+            assert!(bc.invariants_hold(), "{policy:?}");
+            misses
+        };
+        let forced = run(PdHitPolicy::ForcedVictim);
+        let both = run(PdHitPolicy::EvictBoth);
+        assert!(
+            both > forced + 50,
+            "evicting two blocks per PD-hit miss must hurt: forced {forced} vs both {both}"
+        );
+    }
+
+    #[test]
+    fn high_tag_bits_unlock_far_conflicts() {
+        use crate::params::PiTagBits;
+        // Two streams spaced 2^30 share the LOW tag bits (PD-hit thrash
+        // under the paper's layout) but differ in the HIGH ones.
+        let run = |bits: PiTagBits| {
+            let params = BCacheParams::paper_default(geom_16k()).unwrap().with_pi_tag_bits(bits);
+            let mut bc = BalancedCache::new(params);
+            let mut misses = 0u64;
+            for round in 0..200u64 {
+                for base in [0u64, 1 << 30] {
+                    if !bc.access(Addr::new(base + (round % 4) * 32), AccessKind::Read).hit {
+                        misses += 1;
+                    }
+                }
+            }
+            assert!(bc.invariants_hold());
+            misses
+        };
+        let low = run(PiTagBits::Low);
+        let high = run(PiTagBits::High);
+        assert!(high < low / 4, "high tag bits should fix 2^28-spaced conflicts: {high} vs {low}");
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut bc = paper_bcache();
+        bc.access(Addr::new(0x2000), AccessKind::Read);
+        assert!(bc.probe(Addr::new(0x2010)));
+        assert!(!bc.probe(Addr::new(0x8000)));
+        assert_eq!(bc.stats().total().accesses(), 1);
+    }
+}

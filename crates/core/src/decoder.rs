@@ -1,0 +1,206 @@
+//! The programmable decoder (PD): small CAM arrays that match the
+//! programmable index of an address against per-set entries programmed on
+//! the fly during refills (paper Sections 2.3 and 5).
+//!
+//! The functional model here is a per-group array of `BAS` optional PI
+//! values. Physically each entry is a `PI`-bit CAM word; the hardware
+//! organization (how the entries split across subarrays, Table 1/2) is
+//! described by [`crate::organization`].
+
+use crate::params::IndexLayout;
+
+/// The functional state of all programmable decoders of a B-Cache.
+///
+/// Maintains the *unique-decoding invariant*: within one NPI group, no two
+/// valid entries hold the same PI. The B-Cache is a direct-mapped cache,
+/// so at most one word line may activate per access (paper Figure 1(c):
+/// "The two PIs must be different to maintain unique address decoding").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgrammableDecoder {
+    bas: usize,
+    /// `groups x bas`, flattened; `None` is an invalid (cold) entry.
+    entries: Vec<Option<u64>>,
+}
+
+impl ProgrammableDecoder {
+    /// Creates cold decoders for `layout` with `bas` ways per group.
+    pub fn new(layout: &IndexLayout, bas: usize) -> Self {
+        ProgrammableDecoder { bas, entries: vec![None; layout.groups() * bas] }
+    }
+
+    /// Number of candidate ways per group.
+    pub fn bas(&self) -> usize {
+        self.bas
+    }
+
+    /// Number of NPI groups.
+    pub fn groups(&self) -> usize {
+        self.entries.len() / self.bas
+    }
+
+    /// Searches group `group` for an entry matching `pi`.
+    ///
+    /// Returns the matching way, or `None` on a PD miss. By the
+    /// unique-decoding invariant at most one entry can match.
+    pub fn lookup(&self, group: usize, pi: u64) -> Option<usize> {
+        let base = group * self.bas;
+        let found = self.entries[base..base + self.bas]
+            .iter()
+            .position(|e| *e == Some(pi));
+        debug_assert!(
+            found.is_none_or(|w| {
+                self.entries[base..base + self.bas]
+                    .iter()
+                    .filter(|e| **e == Some(pi))
+                    .count()
+                    == 1
+                    && w < self.bas
+            }),
+            "unique-decoding invariant violated in group {group}"
+        );
+        found
+    }
+
+    /// Returns the PI stored at `(group, way)`, or `None` if cold.
+    pub fn entry(&self, group: usize, way: usize) -> Option<u64> {
+        self.entries[group * self.bas + way]
+    }
+
+    /// Finds a cold (invalid) way in `group`, if any.
+    pub fn invalid_way(&self, group: usize) -> Option<usize> {
+        let base = group * self.bas;
+        self.entries[base..base + self.bas].iter().position(Option::is_none)
+    }
+
+    /// Programs `(group, way)` with `pi` during a refill.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if another way of the group already holds
+    /// `pi` — the caller must only program on a PD miss (or reprogram the
+    /// matching way itself).
+    pub fn program(&mut self, group: usize, way: usize, pi: u64) {
+        let base = group * self.bas;
+        debug_assert!(
+            self.entries[base..base + self.bas]
+                .iter()
+                .enumerate()
+                .all(|(w, e)| w == way || *e != Some(pi)),
+            "programming a duplicate PI into group {group}"
+        );
+        self.entries[base + way] = Some(pi);
+    }
+
+    /// Invalidates the entry at `(group, way)` (used by the evict-both
+    /// ablation, where a PD-hit miss steals a different way and the
+    /// matching entry must be dropped to preserve unique decoding).
+    pub fn invalidate(&mut self, group: usize, way: usize) {
+        self.entries[group * self.bas + way] = None;
+    }
+
+    /// Checks the unique-decoding invariant for every group.
+    ///
+    /// Intended for tests and `debug_assert!`s; linear in the decoder
+    /// size.
+    pub fn invariant_holds(&self) -> bool {
+        (0..self.groups()).all(|g| {
+            let base = g * self.bas;
+            let valid: Vec<u64> =
+                self.entries[base..base + self.bas].iter().flatten().copied().collect();
+            let mut dedup = valid.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            dedup.len() == valid.len()
+        })
+    }
+
+    /// Fraction of entries still cold; 1.0 right after construction.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 1.0;
+        }
+        self.entries.iter().filter(|e| e.is_none()).count() as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BCacheParams;
+    use cache_sim::{CacheGeometry, PolicyKind};
+
+    fn layout() -> IndexLayout {
+        let g = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        BCacheParams::new(g, 8, 8, PolicyKind::Lru).unwrap().layout()
+    }
+
+    #[test]
+    fn starts_cold() {
+        let pd = ProgrammableDecoder::new(&layout(), 8);
+        assert_eq!(pd.groups(), 64);
+        assert_eq!(pd.bas(), 8);
+        assert_eq!(pd.cold_fraction(), 1.0);
+        assert_eq!(pd.lookup(0, 0), None);
+        assert_eq!(pd.invalid_way(0), Some(0));
+    }
+
+    #[test]
+    fn program_then_lookup() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 8);
+        pd.program(3, 5, 0b10_1101);
+        assert_eq!(pd.lookup(3, 0b10_1101), Some(5));
+        assert_eq!(pd.lookup(3, 0b10_1100), None);
+        assert_eq!(pd.lookup(2, 0b10_1101), None, "groups are independent");
+        assert_eq!(pd.entry(3, 5), Some(0b10_1101));
+    }
+
+    #[test]
+    fn invalid_way_skips_programmed_entries() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 4);
+        pd.program(0, 0, 1);
+        pd.program(0, 1, 2);
+        assert_eq!(pd.invalid_way(0), Some(2));
+        pd.program(0, 2, 3);
+        pd.program(0, 3, 4);
+        assert_eq!(pd.invalid_way(0), None);
+    }
+
+    #[test]
+    fn reprogramming_a_way_is_allowed() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 4);
+        pd.program(1, 0, 7);
+        pd.program(1, 0, 9); // same way, new PI: fine
+        assert_eq!(pd.lookup(1, 7), None);
+        assert_eq!(pd.lookup(1, 9), Some(0));
+        assert!(pd.invariant_holds());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate PI")]
+    fn duplicate_pi_panics_in_debug() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 4);
+        pd.program(0, 0, 5);
+        pd.program(0, 1, 5);
+    }
+
+    #[test]
+    fn invariant_detects_duplicates() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 4);
+        pd.program(0, 0, 5);
+        pd.program(0, 1, 6);
+        assert!(pd.invariant_holds());
+        // Forge a duplicate directly.
+        pd.entries[1] = Some(5);
+        assert!(!pd.invariant_holds());
+    }
+
+    #[test]
+    fn cold_fraction_decreases() {
+        let mut pd = ProgrammableDecoder::new(&layout(), 8);
+        let total = (pd.groups() * pd.bas()) as f64;
+        pd.program(0, 0, 1);
+        pd.program(5, 3, 2);
+        assert!((pd.cold_fraction() - (total - 2.0) / total).abs() < 1e-12);
+    }
+}

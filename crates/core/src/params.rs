@@ -1,0 +1,436 @@
+//! B-Cache parameters and the lengthened index layout.
+//!
+//! The paper defines two knobs on top of a direct-mapped geometry
+//! (Section 3.1):
+//!
+//! * the **memory address mapping factor** `MF = 2^(PI+NPI) / 2^OI`: only
+//!   `1/MF` of the address space maps to the cache sets at any instant;
+//! * the **B-Cache associativity** `BAS = 2^OI / 2^NPI`: how many candidate
+//!   sets a victim may be chosen from on a programmable-decoder miss.
+//!
+//! `OI` is the original index length, `NPI`/`PI` the non-programmable and
+//! programmable index lengths. Fixing `MF` and `BAS` determines both
+//! field widths: `NPI = OI - log2(BAS)` and `PI = log2(BAS) + log2(MF)`.
+
+use std::fmt;
+
+use cache_sim::addr::log2_exact;
+use cache_sim::{Addr, CacheGeometry, PolicyKind};
+
+/// Errors produced while validating [`BCacheParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// The base geometry is not direct-mapped.
+    NotDirectMapped {
+        /// Associativity found in the geometry.
+        assoc: usize,
+    },
+    /// `MF` or `BAS` is zero or not a power of two.
+    NotPowerOfTwo {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// `BAS` exceeds the number of sets.
+    BasTooLarge {
+        /// Requested BAS.
+        bas: usize,
+        /// Sets available.
+        sets: usize,
+    },
+    /// `log2(MF)` exceeds the available tag bits.
+    MfTooLarge {
+        /// Requested MF.
+        mf: usize,
+        /// Tag bits available.
+        tag_bits: u32,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NotDirectMapped { assoc } => {
+                write!(f, "B-Cache base geometry must be direct-mapped, got {assoc}-way")
+            }
+            ParamError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a nonzero power of two, got {value}")
+            }
+            ParamError::BasTooLarge { bas, sets } => {
+                write!(f, "BAS {bas} exceeds the set count {sets}")
+            }
+            ParamError::MfTooLarge { mf, tag_bits } => {
+                write!(f, "MF {mf} needs more programmable bits than the {tag_bits}-bit tag offers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Full configuration of a Balanced Cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BCacheParams {
+    geometry: CacheGeometry,
+    mapping_factor: usize,
+    bas: usize,
+    policy: PolicyKind,
+    seed: u64,
+    pd_hit_policy: PdHitPolicy,
+    pi_tag_bits: PiTagBits,
+}
+
+/// What a PD-hit, tag-miss access does (Section 2.3's address-25 case).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PdHitPolicy {
+    /// The paper's design: the matching set is the forced victim. No
+    /// second block is disturbed and the PD is left unchanged.
+    #[default]
+    ForcedVictim,
+    /// Ablation: pick the replacement policy's victim anyway. If that is
+    /// a different set, the PD-matching set must *also* be invalidated to
+    /// preserve unique decoding — two blocks lost per miss. The paper
+    /// argues this "definitely impacts the hit rate inadvertently and
+    /// should be avoided"; this variant exists to measure that claim.
+    EvictBoth,
+}
+
+/// Which tag bits feed the programmable index (an indexing-choice
+/// ablation; the paper uses the tag's least significant bits and notes
+/// that index optimization is out of scope).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PiTagBits {
+    /// Tag bits adjacent to the index (paper Figure 2: `T2 T1 T0`).
+    #[default]
+    Low,
+    /// The most significant tag bits instead.
+    High,
+}
+
+impl BCacheParams {
+    /// Creates and validates a parameter set.
+    ///
+    /// `MF = 1` or `BAS = 1` degenerate to a plain direct-mapped cache
+    /// (paper Section 3.1); they are accepted because the equivalence is a
+    /// useful correctness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] when the geometry is not direct-mapped,
+    /// when `MF`/`BAS` are not powers of two, when `BAS` exceeds the set
+    /// count, or when `MF` consumes more bits than the tag holds.
+    pub fn new(
+        geometry: CacheGeometry,
+        mapping_factor: usize,
+        bas: usize,
+        policy: PolicyKind,
+    ) -> Result<Self, ParamError> {
+        if geometry.assoc() != 1 {
+            return Err(ParamError::NotDirectMapped { assoc: geometry.assoc() });
+        }
+        for (what, value) in [("MF", mapping_factor), ("BAS", bas)] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(ParamError::NotPowerOfTwo { what, value });
+            }
+        }
+        if bas > geometry.sets() {
+            return Err(ParamError::BasTooLarge { bas, sets: geometry.sets() });
+        }
+        if log2_exact(mapping_factor as u64) > geometry.tag_bits() {
+            return Err(ParamError::MfTooLarge { mf: mapping_factor, tag_bits: geometry.tag_bits() });
+        }
+        Ok(BCacheParams {
+            geometry,
+            mapping_factor,
+            bas,
+            policy,
+            seed: 0,
+            pd_hit_policy: PdHitPolicy::default(),
+            pi_tag_bits: PiTagBits::default(),
+        })
+    }
+
+    /// The paper's chosen design point: `MF = 8`, `BAS = 8`, LRU
+    /// (Sections 4.3.1, 4.3.2, 6.3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BCacheParams::new`].
+    pub fn paper_default(geometry: CacheGeometry) -> Result<Self, ParamError> {
+        Self::new(geometry, 8, 8, PolicyKind::Lru)
+    }
+
+    /// Sets the seed used by the random replacement policy.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the PD-hit-miss behaviour (ablation knob).
+    #[must_use]
+    pub fn with_pd_hit_policy(mut self, policy: PdHitPolicy) -> Self {
+        self.pd_hit_policy = policy;
+        self
+    }
+
+    /// Selects which tag bits feed the PI (ablation knob).
+    #[must_use]
+    pub fn with_pi_tag_bits(mut self, bits: PiTagBits) -> Self {
+        self.pi_tag_bits = bits;
+        self
+    }
+
+    /// The PD-hit-miss behaviour.
+    pub fn pd_hit_policy(&self) -> PdHitPolicy {
+        self.pd_hit_policy
+    }
+
+    /// Which tag bits feed the PI.
+    pub fn pi_tag_bits(&self) -> PiTagBits {
+        self.pi_tag_bits
+    }
+
+    /// The base direct-mapped geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The memory address mapping factor `MF`.
+    pub fn mapping_factor(&self) -> usize {
+        self.mapping_factor
+    }
+
+    /// The B-Cache associativity `BAS`.
+    pub fn bas(&self) -> usize {
+        self.bas
+    }
+
+    /// The replacement policy applied on programmable-decoder misses.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Seed for the random replacement policy.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The derived index layout.
+    pub fn layout(&self) -> IndexLayout {
+        IndexLayout::from_params(self)
+    }
+}
+
+impl fmt::Display for BCacheParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "B-Cache {} MF={} BAS={} ({})",
+            self.geometry, self.mapping_factor, self.bas, self.policy
+        )
+    }
+}
+
+/// The bit-field layout of the lengthened B-Cache index.
+///
+/// ```text
+///  MSB                                              LSB
+///  | residual tag | PI (programmable) | NPI | offset |
+///                  <-- pi_bits ------> <npi>  <off>
+/// ```
+///
+/// With the default [`PiTagBits::Low`] selection the PI field is
+/// contiguous: it spans the top `OI - NPI` original index bits plus the
+/// lowest `log2(MF)` tag bits (paper Figure 2: `I8 I7 I6` plus `T2 T1 T0`
+/// for the 16 kB design). [`PiTagBits::High`] takes the most significant
+/// tag bits instead (an indexing-choice ablation).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IndexLayout {
+    offset_bits: u32,
+    npi_bits: u32,
+    pi_bits: u32,
+    mf_bits: u32,
+    residual_tag_bits: u32,
+    addr_bits: u32,
+    pi_tag_bits: PiTagBits,
+}
+
+impl IndexLayout {
+    fn from_params(p: &BCacheParams) -> Self {
+        let g = p.geometry();
+        let oi = g.index_bits();
+        let bas_bits = log2_exact(p.bas() as u64);
+        let mf_bits = log2_exact(p.mapping_factor() as u64);
+        let npi_bits = oi - bas_bits;
+        let pi_bits = bas_bits + mf_bits;
+        IndexLayout {
+            offset_bits: g.offset_bits(),
+            npi_bits,
+            pi_bits,
+            mf_bits,
+            residual_tag_bits: g.tag_bits() - mf_bits,
+            addr_bits: g.addr_bits(),
+            pi_tag_bits: p.pi_tag_bits(),
+        }
+    }
+
+    /// Width of the non-programmable index.
+    pub const fn npi_bits(&self) -> u32 {
+        self.npi_bits
+    }
+
+    /// Width of the programmable index (the CAM width of each PD entry).
+    pub const fn pi_bits(&self) -> u32 {
+        self.pi_bits
+    }
+
+    /// Tag bits left to compare after the PI consumed `log2(MF)` of them.
+    pub const fn residual_tag_bits(&self) -> u32 {
+        self.residual_tag_bits
+    }
+
+    /// Number of NPI groups (`2^NPI`); each holds `BAS` candidate sets.
+    pub const fn groups(&self) -> usize {
+        1 << self.npi_bits
+    }
+
+    /// Extracts the NPI (group number) of `addr`.
+    pub fn npi(&self, addr: Addr) -> usize {
+        addr.bits(self.offset_bits, self.npi_bits) as usize
+    }
+
+    /// Extracts the PI of `addr` — the value a PD entry must match.
+    pub fn pi(&self, addr: Addr) -> u64 {
+        let index_part_bits = self.pi_bits - self.mf_bits;
+        match self.pi_tag_bits {
+            PiTagBits::Low => addr.bits(self.offset_bits + self.npi_bits, self.pi_bits),
+            PiTagBits::High => {
+                let index_part = addr.bits(self.offset_bits + self.npi_bits, index_part_bits);
+                let tag_part = addr.bits(self.addr_bits - self.mf_bits, self.mf_bits);
+                (tag_part << index_part_bits) | index_part
+            }
+        }
+    }
+
+    /// Extracts the residual tag of `addr` (stored in the tag array).
+    pub fn residual_tag(&self, addr: Addr) -> u64 {
+        match self.pi_tag_bits {
+            PiTagBits::Low => {
+                addr.bits(self.offset_bits + self.npi_bits + self.pi_bits, self.residual_tag_bits)
+            }
+            PiTagBits::High => {
+                addr.bits(self.offset_bits + self.npi_bits + self.pi_bits - self.mf_bits,
+                    self.residual_tag_bits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> CacheGeometry {
+        CacheGeometry::new(16 * 1024, 32, 1).unwrap()
+    }
+
+    #[test]
+    fn paper_design_point_layout() {
+        // 16 kB, 32 B lines: OI = 9, tag = 18. MF = 8, BAS = 8:
+        // NPI = 9 - 3 = 6, PI = 3 + 3 = 6, residual tag = 15.
+        let p = BCacheParams::paper_default(baseline()).unwrap();
+        let l = p.layout();
+        assert_eq!(l.npi_bits(), 6);
+        assert_eq!(l.pi_bits(), 6);
+        assert_eq!(l.residual_tag_bits(), 15);
+        assert_eq!(l.groups(), 64);
+    }
+
+    #[test]
+    fn fields_partition_the_address() {
+        let p = BCacheParams::paper_default(baseline()).unwrap();
+        let l = p.layout();
+        let addr = Addr::new(0xDEAD_BEEF);
+        // Reassemble the block address from the three fields.
+        let rebuilt = (l.residual_tag(addr) << (l.pi_bits() + l.npi_bits()))
+            | (l.pi(addr) << l.npi_bits())
+            | l.npi(addr) as u64;
+        assert_eq!(rebuilt, addr.bits(5, 27));
+    }
+
+    #[test]
+    fn degenerate_mf1_bas1_is_plain_index() {
+        let p = BCacheParams::new(baseline(), 1, 1, PolicyKind::Lru).unwrap();
+        let l = p.layout();
+        assert_eq!(l.npi_bits(), 9);
+        assert_eq!(l.pi_bits(), 0);
+        assert_eq!(l.residual_tag_bits(), 18);
+        assert_eq!(l.pi(Addr::new(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn mf_consumes_tag_bits() {
+        for (mf, expect_pi, expect_resid) in [(2usize, 4u32, 17u32), (16, 7, 14), (512, 12, 9)] {
+            let p = BCacheParams::new(baseline(), mf, 8, PolicyKind::Lru).unwrap();
+            let l = p.layout();
+            assert_eq!(l.pi_bits(), expect_pi, "MF={mf}");
+            assert_eq!(l.residual_tag_bits(), expect_resid, "MF={mf}");
+        }
+    }
+
+    #[test]
+    fn figure1_example_layout() {
+        // The worked example of Figure 1(c): 8 sets, 8-bit addresses,
+        // one-byte "lines" are modelled as 2-byte lines for a valid
+        // geometry; MF = 2, BAS = 2.
+        let g = CacheGeometry::with_addr_bits(16, 2, 1, 8).unwrap();
+        let p = BCacheParams::new(g, 2, 2, PolicyKind::Lru).unwrap();
+        let l = p.layout();
+        assert_eq!(l.npi_bits(), 2);
+        assert_eq!(l.pi_bits(), 2);
+        assert_eq!(l.groups(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let g2 = CacheGeometry::new(16 * 1024, 32, 2).unwrap();
+        assert!(matches!(
+            BCacheParams::new(g2, 8, 8, PolicyKind::Lru),
+            Err(ParamError::NotDirectMapped { assoc: 2 })
+        ));
+        assert!(matches!(
+            BCacheParams::new(baseline(), 3, 8, PolicyKind::Lru),
+            Err(ParamError::NotPowerOfTwo { what: "MF", .. })
+        ));
+        assert!(matches!(
+            BCacheParams::new(baseline(), 8, 0, PolicyKind::Lru),
+            Err(ParamError::NotPowerOfTwo { what: "BAS", .. })
+        ));
+        assert!(matches!(
+            BCacheParams::new(baseline(), 8, 1024, PolicyKind::Lru),
+            Err(ParamError::BasTooLarge { .. })
+        ));
+        // 18 tag bits: MF = 2^19 is one too many.
+        assert!(matches!(
+            BCacheParams::new(baseline(), 1 << 19, 8, PolicyKind::Lru),
+            Err(ParamError::MfTooLarge { .. })
+        ));
+        // MF = 2^18 exactly exhausts the tag and is fine.
+        assert!(BCacheParams::new(baseline(), 1 << 18, 8, PolicyKind::Lru).is_ok());
+    }
+
+    #[test]
+    fn display_mentions_both_knobs() {
+        let p = BCacheParams::paper_default(baseline()).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("MF=8") && s.contains("BAS=8"));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ParamError::MfTooLarge { mf: 1 << 20, tag_bits: 18 };
+        assert!(e.to_string().contains("MF"));
+    }
+}

@@ -1,0 +1,83 @@
+//! A per-cycle bandwidth regulator used by the fetch, issue and retire
+//! stages.
+
+/// Grants at most `width` slots per cycle, never going backwards in time.
+#[derive(Clone, Debug)]
+pub struct BandwidthLimiter {
+    width: u32,
+    cycle: u64,
+    used: u32,
+}
+
+impl BandwidthLimiter {
+    /// Creates a limiter granting `width` slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "bandwidth must be positive");
+        BandwidthLimiter { width, cycle: 0, used: 0 }
+    }
+
+    /// Reserves the next slot at or after `earliest`; returns its cycle.
+    pub fn slot(&mut self, earliest: u64) -> u64 {
+        if earliest > self.cycle {
+            self.cycle = earliest;
+            self.used = 0;
+        }
+        if self.used >= self.width {
+            self.cycle += 1;
+            self.used = 0;
+        }
+        self.used += 1;
+        self.cycle
+    }
+
+    /// The cycle of the most recently granted slot.
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_slots_per_cycle() {
+        let mut b = BandwidthLimiter::new(2);
+        assert_eq!(b.slot(0), 0);
+        assert_eq!(b.slot(0), 0);
+        assert_eq!(b.slot(0), 1, "third request spills into the next cycle");
+        assert_eq!(b.slot(0), 1);
+        assert_eq!(b.slot(0), 2);
+    }
+
+    #[test]
+    fn earliest_constraint_resets_the_count() {
+        let mut b = BandwidthLimiter::new(2);
+        b.slot(0);
+        b.slot(0);
+        assert_eq!(b.slot(5), 5);
+        assert_eq!(b.slot(0), 5, "past constraints cannot move time backwards");
+        assert_eq!(b.slot(0), 6);
+    }
+
+    #[test]
+    fn monotonic_grants() {
+        let mut b = BandwidthLimiter::new(3);
+        let mut last = 0;
+        for i in 0..100u64 {
+            let c = b.slot(i / 5);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        BandwidthLimiter::new(0);
+    }
+}

@@ -1,0 +1,173 @@
+//! A translation lookaside buffer model.
+//!
+//! Section 6.8 of the paper discusses virtually-indexed,
+//! physically-tagged L1s, where the B-Cache's PI tag bits may need
+//! translation before the programmable decoders can fire. This TLB model
+//! lets the timing experiments charge translation latency and quantify
+//! how often the bits would have been unavailable.
+//!
+//! Translation is identity (the synthetic traces use flat addresses);
+//! only the reach/miss behaviour and its latency are modelled.
+
+use cache_sim::Addr;
+
+/// Configuration of one TLB.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Cycles added to an access on a TLB miss (page-walk cost).
+    pub miss_penalty: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        // A typical early-2000s core: 64-entry fully associative, 8 kB
+        // pages (Alpha-like), ~30-cycle walk.
+        TlbConfig { entries: 64, page_bytes: 8192, miss_penalty: 30 }
+    }
+}
+
+/// A fully-associative TLB with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    // (virtual page number, last-use stamp) pairs.
+    entries: Vec<(u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power of two or `entries` is 0.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(config.entries > 0, "TLB must have at least one entry");
+        Tlb { config, entries: Vec::with_capacity(config.entries), clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    fn vpn(&self, addr: Addr) -> u64 {
+        addr.raw() / self.config.page_bytes
+    }
+
+    /// Translates `addr`, returning the added latency (0 on a hit).
+    pub fn translate(&mut self, addr: Addr) -> u64 {
+        self.clock += 1;
+        let vpn = self.vpn(addr);
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.clock;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        if self.entries.len() < self.config.entries {
+            self.entries.push((vpn, self.clock));
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, stamp)| *stamp)
+                .expect("TLB is non-empty");
+            *lru = (vpn, self.clock);
+        }
+        self.config.miss_penalty
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Total coverage in bytes (`entries × page size`).
+    pub fn reach_bytes(&self) -> u64 {
+        self.config.entries as u64 * self.config.page_bytes
+    }
+
+    /// Clears statistics, keeping the entries.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, miss_penalty: 25 })
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert_eq!(t.translate(Addr::new(0x1000)), 25);
+        assert_eq!(t.translate(Addr::new(0x1FFF)), 0, "same page");
+        assert_eq!(t.translate(Addr::new(0x2000)), 25, "next page");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = tiny();
+        t.translate(Addr::new(0x0000)); // page 0
+        t.translate(Addr::new(0x1000)); // page 1
+        t.translate(Addr::new(0x0000)); // touch page 0
+        t.translate(Addr::new(0x2000)); // page 2 evicts page 1 (LRU)
+        assert_eq!(t.translate(Addr::new(0x0000)), 0, "page 0 survived");
+        assert_eq!(t.translate(Addr::new(0x1000)), 25, "page 1 evicted");
+    }
+
+    #[test]
+    fn reach_and_miss_rate() {
+        let mut t = tiny();
+        assert_eq!(t.reach_bytes(), 8192);
+        t.translate(Addr::new(0));
+        t.translate(Addr::new(0));
+        assert!((t.miss_rate() - 0.5).abs() < 1e-12);
+        t.reset_stats();
+        assert_eq!(t.miss_rate(), 0.0);
+        assert_eq!(t.translate(Addr::new(0)), 0, "entries survive a stats reset");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = TlbConfig::default();
+        assert!(c.page_bytes.is_power_of_two());
+        assert!(c.entries >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_page_size() {
+        Tlb::new(TlbConfig { entries: 4, page_bytes: 3000, miss_penalty: 10 });
+    }
+}

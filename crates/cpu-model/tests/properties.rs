@@ -1,0 +1,93 @@
+//! Property-based tests for the CPU timing model.
+
+use cache_sim::{DirectMappedCache, MemoryHierarchy};
+use cpu_model::{Cpu, CpuConfig};
+use proptest::prelude::*;
+use trace_gen::{Op, TraceRecord};
+
+fn hierarchy() -> MemoryHierarchy {
+    MemoryHierarchy::new(
+        Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+        Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+    )
+}
+
+/// Strategy over small synthetic traces with all operation kinds.
+fn trace_strategy(max_len: usize) -> impl Strategy<Value = Vec<TraceRecord>> {
+    prop::collection::vec(
+        (0u64..4096, 0u32..5, 0u64..(1 << 22), any::<bool>()).prop_map(|(pc, kind, addr, flag)| {
+            let op = match kind {
+                0 => Op::Alu,
+                1 => Op::Long,
+                2 => Op::Load(addr),
+                3 => Op::Store(addr),
+                _ => Op::Branch { mispredict: flag },
+            };
+            TraceRecord { pc: pc * 4, op }
+        }),
+        1..max_len,
+    )
+}
+
+proptest! {
+    /// IPC never exceeds the machine width and cycles grow at least with
+    /// retire bandwidth.
+    #[test]
+    fn ipc_bounded_by_machine_width(trace in trace_strategy(2000)) {
+        let n = trace.len() as u64;
+        let report = Cpu::new(CpuConfig::default(), hierarchy()).run(trace);
+        prop_assert_eq!(report.instructions, n);
+        prop_assert!(report.ipc() <= 4.0 + 1e-9);
+        prop_assert!(report.cycles >= n.div_ceil(4));
+    }
+
+    /// The model is deterministic: same trace, same report.
+    #[test]
+    fn deterministic(trace in trace_strategy(800)) {
+        let a = Cpu::new(CpuConfig::default(), hierarchy()).run(trace.clone());
+        let b = Cpu::new(CpuConfig::default(), hierarchy()).run(trace);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A wider window never makes execution slower (monotone resource).
+    #[test]
+    fn bigger_window_never_hurts(trace in trace_strategy(800)) {
+        let small = Cpu::new(CpuConfig { window: 8, ..CpuConfig::default() }, hierarchy())
+            .run(trace.clone());
+        let large = Cpu::new(CpuConfig { window: 64, ..CpuConfig::default() }, hierarchy())
+            .run(trace);
+        prop_assert!(large.cycles <= small.cycles, "{} vs {}", large.cycles, small.cycles);
+    }
+
+    /// A faster memory system never makes execution slower.
+    #[test]
+    fn faster_memory_never_hurts(trace in trace_strategy(800)) {
+        use cache_sim::{LatencyConfig, PolicyKind, SetAssociativeCache};
+        let slow_lat = LatencyConfig { l1_hit: 1, l2_hit: 6, memory: 200 };
+        let fast_lat = LatencyConfig { l1_hit: 1, l2_hit: 6, memory: 50 };
+        let build = |lat: LatencyConfig| {
+            MemoryHierarchy::with_l2(
+                Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+                Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+                SetAssociativeCache::new(256 * 1024, 128, 4, PolicyKind::Lru, 0).unwrap(),
+                lat,
+            )
+        };
+        let slow = Cpu::new(CpuConfig::default(), build(slow_lat)).run(trace.clone());
+        let fast = Cpu::new(CpuConfig::default(), build(fast_lat)).run(trace);
+        prop_assert!(fast.cycles <= slow.cycles);
+    }
+
+    /// Memory-op and mispredict counters match the trace contents.
+    #[test]
+    fn counters_match_trace(trace in trace_strategy(800)) {
+        let mem = trace.iter().filter(|r| r.op.is_mem()).count() as u64;
+        let misp = trace
+            .iter()
+            .filter(|r| matches!(r.op, Op::Branch { mispredict: true }))
+            .count() as u64;
+        let report = Cpu::new(CpuConfig::default(), hierarchy()).run(trace);
+        prop_assert_eq!(report.memory_ops, mem);
+        prop_assert_eq!(report.mispredicts, misp);
+    }
+}

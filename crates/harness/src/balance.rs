@@ -1,0 +1,174 @@
+//! Table 7: the balance evaluation (Section 6.4) — frequent-hit sets,
+//! frequent-miss sets and less-accessed sets, baseline versus B-Cache.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{
+    AccessKind, Addr, BalanceReport, CacheGeometry, CacheModel, DirectMappedCache,
+};
+use trace_gen::{profiles, Op, Trace};
+
+use crate::report::{pct, TextTable};
+use crate::run::RunLength;
+
+/// Balance statistics of one benchmark: baseline row and B-Cache row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BalanceRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline direct-mapped balance classification.
+    pub baseline: BalanceReport,
+    /// B-Cache (MF=8, BAS=8) balance classification.
+    pub bcache: BalanceReport,
+}
+
+/// Runs the Table 7 analysis over the data caches of all 26 benchmarks.
+pub fn table7(len: RunLength) -> Vec<BalanceRow> {
+    profiles::all().iter().map(|p| balance_for(p, len)).collect()
+}
+
+fn balance_for(profile: &trace_gen::BenchmarkProfile, len: RunLength) -> BalanceRow {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid geometry");
+    let mut dm = DirectMappedCache::from_geometry(geom).expect("valid geometry");
+    let params = BCacheParams::paper_default(geom).expect("paper design point");
+    let mut bc = BalancedCache::new(params);
+
+    let mut warmed = false;
+    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
+        if !warmed && (i as u64) >= len.warmup {
+            warmed = true;
+            dm.reset_stats();
+            bc.reset_stats();
+        }
+        if let Some(a) = rec.op.data_addr() {
+            let kind =
+                if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
+            dm.access(Addr::new(a), kind);
+            bc.access(Addr::new(a), kind);
+        }
+    }
+    BalanceRow {
+        benchmark: profile.name.to_string(),
+        baseline: dm.set_usage().expect("dm tracks usage").balance(),
+        bcache: bc.set_usage().expect("bcache tracks usage").balance(),
+    }
+}
+
+/// Averages the six balance statistics over rows.
+pub fn average(rows: &[BalanceRow], pick: impl Fn(&BalanceRow) -> BalanceReport) -> BalanceReport {
+    let n = rows.len().max(1) as f64;
+    let mut sum = BalanceReport::default();
+    for r in rows {
+        let b = pick(r);
+        sum.frequent_hit_sets += b.frequent_hit_sets;
+        sum.hits_in_frequent_hit_sets += b.hits_in_frequent_hit_sets;
+        sum.frequent_miss_sets += b.frequent_miss_sets;
+        sum.misses_in_frequent_miss_sets += b.misses_in_frequent_miss_sets;
+        sum.less_accessed_sets += b.less_accessed_sets;
+        sum.accesses_in_less_accessed_sets += b.accesses_in_less_accessed_sets;
+    }
+    BalanceReport {
+        frequent_hit_sets: sum.frequent_hit_sets / n,
+        hits_in_frequent_hit_sets: sum.hits_in_frequent_hit_sets / n,
+        frequent_miss_sets: sum.frequent_miss_sets / n,
+        misses_in_frequent_miss_sets: sum.misses_in_frequent_miss_sets / n,
+        less_accessed_sets: sum.less_accessed_sets / n,
+        accesses_in_less_accessed_sets: sum.accesses_in_less_accessed_sets / n,
+    }
+}
+
+/// Renders Table 7.
+pub fn render_table7(rows: &[BalanceRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "benchmark", "", "fhs", "ch", "fms", "cm", "las", "tca",
+    ]);
+    let mut add = |name: &str, which: &str, b: &BalanceReport| {
+        t.row(vec![
+            name.to_string(),
+            which.to_string(),
+            pct(b.frequent_hit_sets),
+            pct(b.hits_in_frequent_hit_sets),
+            pct(b.frequent_miss_sets),
+            pct(b.misses_in_frequent_miss_sets),
+            pct(b.less_accessed_sets),
+            pct(b.accesses_in_less_accessed_sets),
+        ]);
+    };
+    for r in rows {
+        add(&r.benchmark, "dm", &r.baseline);
+        add("", "bc", &r.bcache);
+    }
+    add("Ave", "dm", &average(rows, |r| r.baseline));
+    add("", "bc", &average(rows, |r| r.bcache));
+    format!(
+        "Table 7: data-cache memory access behaviour (fhs: frequent-hit sets; ch: hits therein;\n\
+         fms: frequent-miss sets; cm: misses therein; las: less-accessed sets; tca: accesses therein)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcache_balances_the_conflict_heavy_benchmarks() {
+        let p = profiles::by_name("equake").unwrap();
+        let r = balance_for(&p, RunLength::with_records(120_000));
+        // Section 6.4's three trends:
+        // misses concentrate less in frequent-miss sets…
+        assert!(
+            r.bcache.misses_in_frequent_miss_sets < r.baseline.misses_in_frequent_miss_sets,
+            "dm {} vs bc {}",
+            r.baseline.misses_in_frequent_miss_sets,
+            r.bcache.misses_in_frequent_miss_sets
+        );
+        // …and hits spread across more sets.
+        assert!(
+            r.bcache.hits_in_frequent_hit_sets <= r.baseline.hits_in_frequent_hit_sets + 0.05
+        );
+    }
+
+    #[test]
+    fn capacity_benchmarks_have_no_frequent_miss_sets() {
+        // Table 7's observation for art/lucas/swim/mcf: misses fall
+        // evenly on all sets.
+        for name in ["art", "swim"] {
+            let p = profiles::by_name(name).unwrap();
+            let r = balance_for(&p, RunLength::with_records(100_000));
+            assert!(
+                r.baseline.misses_in_frequent_miss_sets < 0.2,
+                "{name}: {:?}",
+                r.baseline
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_averages() {
+        let p = profiles::by_name("gzip").unwrap();
+        let rows = vec![balance_for(&p, RunLength::with_records(50_000))];
+        let s = render_table7(&rows);
+        assert!(s.contains("Ave"));
+        assert!(s.contains("gzip"));
+    }
+
+    #[test]
+    fn average_is_componentwise_mean() {
+        let a = BalanceReport {
+            frequent_hit_sets: 0.2,
+            hits_in_frequent_hit_sets: 0.4,
+            frequent_miss_sets: 0.1,
+            misses_in_frequent_miss_sets: 0.3,
+            less_accessed_sets: 0.5,
+            accesses_in_less_accessed_sets: 0.2,
+        };
+        let b = BalanceReport::default();
+        let rows = vec![
+            BalanceRow { benchmark: "x".into(), baseline: a, bcache: b },
+            BalanceRow { benchmark: "y".into(), baseline: b, bcache: a },
+        ];
+        let avg = average(&rows, |r| r.baseline);
+        assert!((avg.frequent_hit_sets - 0.1).abs() < 1e-12);
+        assert!((avg.less_accessed_sets - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! The cache configurations compared throughout the paper's evaluation.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{
+    AgacCache, CacheGeometry, CacheModel, ColumnAssociativeCache, DifferenceBitCache,
+    DirectMappedCache, GeometryError, HighlyAssociativeCache, PartialMatchCache, PolicyKind,
+    SetAssociativeCache, SkewedAssociativeCache, VictimCache,
+};
+
+/// A named L1 configuration from the paper's figures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheConfig {
+    /// The baseline direct-mapped cache.
+    DirectMapped,
+    /// A conventional set-associative cache (LRU).
+    SetAssoc(usize),
+    /// Direct-mapped plus an `N`-entry victim buffer.
+    Victim(usize),
+    /// The B-Cache at a given `(MF, BAS)` point (LRU).
+    BCache {
+        /// Memory address mapping factor.
+        mf: usize,
+        /// B-Cache associativity.
+        bas: usize,
+    },
+    /// The B-Cache with random replacement (Section 3.3 ablation).
+    BCacheRandom {
+        /// Memory address mapping factor.
+        mf: usize,
+        /// B-Cache associativity.
+        bas: usize,
+    },
+    /// Column-associative cache (related work, Section 7.1).
+    ColumnAssoc,
+    /// 2-way skewed-associative cache (related work, Section 7.1).
+    SkewedAssoc,
+    /// Highly-associative CAM-tag cache (Section 6.7).
+    Hac,
+    /// Adaptive group-associative cache (related work, Section 7.1).
+    Agac,
+    /// Partial-address-matching 2-way cache (related work, Section 7.2).
+    Pam,
+    /// Difference-bit 2-way cache (related work, Section 7.2).
+    DiffBit,
+}
+
+impl CacheConfig {
+    /// The nine configurations of Figures 4 and 5, in plotting order.
+    pub fn figure4_set() -> Vec<CacheConfig> {
+        vec![
+            CacheConfig::SetAssoc(2),
+            CacheConfig::SetAssoc(4),
+            CacheConfig::SetAssoc(8),
+            CacheConfig::SetAssoc(32),
+            CacheConfig::Victim(16),
+            CacheConfig::BCache { mf: 2, bas: 8 },
+            CacheConfig::BCache { mf: 4, bas: 8 },
+            CacheConfig::BCache { mf: 8, bas: 8 },
+            CacheConfig::BCache { mf: 16, bas: 8 },
+        ]
+    }
+
+    /// The twelve configurations of Figure 12.
+    pub fn figure12_set() -> Vec<CacheConfig> {
+        let mut v = vec![
+            CacheConfig::SetAssoc(2),
+            CacheConfig::SetAssoc(4),
+            CacheConfig::SetAssoc(8),
+            CacheConfig::Victim(16),
+        ];
+        for bas in [4usize, 8] {
+            for mf in [2usize, 4, 8, 16] {
+                v.push(CacheConfig::BCache { mf, bas });
+            }
+        }
+        v
+    }
+
+    /// The five configurations of Figures 8 and 9 (plus the baseline).
+    pub fn figure8_set() -> Vec<CacheConfig> {
+        vec![
+            CacheConfig::SetAssoc(2),
+            CacheConfig::SetAssoc(4),
+            CacheConfig::SetAssoc(8),
+            CacheConfig::BCache { mf: 8, bas: 8 },
+            CacheConfig::Victim(16),
+        ]
+    }
+
+    /// Instantiates the configuration for an L1 of `size_bytes` with
+    /// 32-byte lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if the shape is invalid (e.g. a BAS
+    /// larger than the set count).
+    pub fn build(&self, size_bytes: usize, seed: u64) -> Result<Box<dyn CacheModel>, GeometryError> {
+        const LINE: usize = 32;
+        let geom = CacheGeometry::new(size_bytes, LINE, 1)?;
+        Ok(match *self {
+            CacheConfig::DirectMapped => Box::new(DirectMappedCache::new(size_bytes, LINE)?),
+            CacheConfig::SetAssoc(n) => {
+                Box::new(SetAssociativeCache::new(size_bytes, LINE, n, PolicyKind::Lru, seed)?)
+            }
+            CacheConfig::Victim(entries) => Box::new(VictimCache::new(size_bytes, LINE, entries)?),
+            CacheConfig::BCache { mf, bas } => {
+                let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru)
+                    .map_err(|_| GeometryError::AssocLargerThanLines { assoc: bas, lines: geom.lines() })?
+                    .with_seed(seed);
+                Box::new(BalancedCache::new(params))
+            }
+            CacheConfig::BCacheRandom { mf, bas } => {
+                let params = BCacheParams::new(geom, mf, bas, PolicyKind::Random)
+                    .map_err(|_| GeometryError::AssocLargerThanLines { assoc: bas, lines: geom.lines() })?
+                    .with_seed(seed);
+                Box::new(BalancedCache::new(params))
+            }
+            CacheConfig::ColumnAssoc => Box::new(ColumnAssociativeCache::new(size_bytes, LINE)?),
+            CacheConfig::SkewedAssoc => Box::new(SkewedAssociativeCache::new(size_bytes, LINE)?),
+            CacheConfig::Hac => Box::new(HighlyAssociativeCache::new(size_bytes, LINE, 1024)?),
+            CacheConfig::Agac => Box::new(AgacCache::new(size_bytes, LINE, 64)?),
+            CacheConfig::Pam => Box::new(PartialMatchCache::new(size_bytes, LINE, 5)?),
+            CacheConfig::DiffBit => Box::new(DifferenceBitCache::new(size_bytes, LINE)?),
+        })
+    }
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match *self {
+            CacheConfig::DirectMapped => "baseline".into(),
+            CacheConfig::SetAssoc(n) => format!("{n}way"),
+            CacheConfig::Victim(n) => format!("victim{n}"),
+            CacheConfig::BCache { mf, bas } => format!("MF{mf}-BAS{bas}"),
+            CacheConfig::BCacheRandom { mf, bas } => format!("MF{mf}-BAS{bas}-rnd"),
+            CacheConfig::ColumnAssoc => "column".into(),
+            CacheConfig::SkewedAssoc => "skew2".into(),
+            CacheConfig::Hac => "hac32".into(),
+            CacheConfig::Agac => "agac".into(),
+            CacheConfig::Pam => "pam5".into(),
+            CacheConfig::DiffBit => "diffbit".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::{AccessKind, Addr};
+
+    #[test]
+    fn figure_sets_have_the_papers_counts() {
+        assert_eq!(CacheConfig::figure4_set().len(), 9);
+        assert_eq!(CacheConfig::figure12_set().len(), 12);
+        assert_eq!(CacheConfig::figure8_set().len(), 5);
+    }
+
+    #[test]
+    fn every_config_builds_and_serves_accesses() {
+        let mut configs = CacheConfig::figure4_set();
+        configs.extend([
+            CacheConfig::DirectMapped,
+            CacheConfig::ColumnAssoc,
+            CacheConfig::SkewedAssoc,
+            CacheConfig::Hac,
+            CacheConfig::BCacheRandom { mf: 8, bas: 8 },
+            CacheConfig::Agac,
+            CacheConfig::Pam,
+            CacheConfig::DiffBit,
+        ]);
+        for c in configs {
+            let mut m = c.build(16 * 1024, 0).unwrap();
+            m.access(Addr::new(0x1234), AccessKind::Read);
+            assert!(m.access(Addr::new(0x1234), AccessKind::Read).hit, "{}", c.label());
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(CacheConfig::SetAssoc(8).label(), "8way");
+        assert_eq!(CacheConfig::Victim(16).label(), "victim16");
+        assert_eq!(CacheConfig::BCache { mf: 8, bas: 8 }.label(), "MF8-BAS8");
+    }
+
+    #[test]
+    fn builds_at_all_three_paper_sizes() {
+        for size in [8 * 1024, 16 * 1024, 32 * 1024] {
+            for c in CacheConfig::figure12_set() {
+                assert!(c.build(size, 0).is_ok(), "{} at {size}", c.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 3: `wupwise` data-cache miss rate and PD hit rate versus the
+//! mapping factor MF (2 … 512) at BAS = 8, 16 kB.
+//!
+//! The mechanism on display: `wupwise`'s conflicting arrays are spaced
+//! `2^19` bytes apart, so every `MF < 64` leaves their programmable
+//! indices identical — the PD hits during the miss, the victim is forced,
+//! and the replacement policy never gets to act. Once `log2(MF)` tag bits
+//! reach bit 19 the PD hit rate collapses and the miss rate falls with
+//! it.
+
+use crate::report::{pct2, TextTable};
+use crate::run::{run_bcache_pd_stats, BCachePdOutcome, RunLength, Side};
+use trace_gen::profiles;
+
+/// One point of the Figure 3 sweep.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Fig3Point {
+    /// The mapping factor.
+    pub mf: usize,
+    /// D$ miss rate at this MF.
+    pub miss_rate: f64,
+    /// PD hit rate during cache misses.
+    pub pd_hit_rate: f64,
+}
+
+/// Runs the Figure 3 sweep for a benchmark (the paper uses `wupwise`).
+pub fn figure3_for(benchmark: &str, len: RunLength) -> Vec<Fig3Point> {
+    let profile = profiles::by_name(benchmark).expect("known benchmark");
+    [2usize, 4, 8, 16, 32, 64, 128, 256, 512]
+        .into_iter()
+        .map(|mf| {
+            let BCachePdOutcome { miss_rate, pd_hit_rate_on_miss } =
+                run_bcache_pd_stats(&profile, mf, 8, 16 * 1024, Side::Data, len);
+            Fig3Point { mf, miss_rate, pd_hit_rate: pd_hit_rate_on_miss }
+        })
+        .collect()
+}
+
+/// Runs and renders Figure 3 (wupwise).
+pub fn figure3(len: RunLength) -> (Vec<Fig3Point>, String) {
+    let points = figure3_for("wupwise", len);
+    let mut t = TextTable::new(vec!["MF", "miss_rate", "PD_hit_rate"]);
+    for p in &points {
+        t.row(vec![format!("MF{}", p.mf), pct2(p.miss_rate), pct2(p.pd_hit_rate)]);
+    }
+    let rendered = format!(
+        "Figure 3: wupwise 16 kB D$ miss rate and PD hit rate during misses vs MF (BAS = 8)\n{}",
+        t.render()
+    );
+    (points, rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wupwise_pd_hit_rate_collapses_at_mf64() {
+        let points = figure3_for("wupwise", RunLength::with_records(150_000));
+        let at = |mf: usize| points.iter().find(|p| p.mf == mf).unwrap();
+        // High PD hit rate while the far-spaced arrays share PIs…
+        assert!(at(8).pd_hit_rate > 0.4, "MF8 PD hit rate {}", at(8).pd_hit_rate);
+        // …then a sharp drop between MF = 32 and MF = 64 (paper Fig. 3).
+        assert!(
+            at(64).pd_hit_rate < at(32).pd_hit_rate - 0.25,
+            "expected collapse: MF32 {} vs MF64 {}",
+            at(32).pd_hit_rate,
+            at(64).pd_hit_rate
+        );
+        // The miss rate falls alongside the PD hit rate.
+        assert!(at(64).miss_rate < at(32).miss_rate * 0.8);
+        // And stays low at the extreme points.
+        assert!(at(512).miss_rate <= at(64).miss_rate * 1.1);
+    }
+
+    #[test]
+    fn rendering_contains_all_mf_points() {
+        let (points, text) = figure3(RunLength::with_records(60_000));
+        assert_eq!(points.len(), 9);
+        for mf in [2, 64, 512] {
+            assert!(text.contains(&format!("MF{mf}")), "{text}");
+        }
+    }
+}

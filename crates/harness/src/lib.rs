@@ -1,0 +1,40 @@
+//! # harness — experiment drivers for every table and figure
+//!
+//! Each module regenerates one artifact of the paper's evaluation, and
+//! the `bcache-repro` binary exposes them as subcommands:
+//!
+//! | Artifact | Module | Subcommand |
+//! |---|---|---|
+//! | Fig. 3 (wupwise MF sweep) | [`fig3`] | `fig3` |
+//! | Fig. 4 (D$ reductions) | [`missrate`] | `fig4` |
+//! | Fig. 5 (I$ reductions) | [`missrate`] | `fig5` |
+//! | Fig. 8 (IPC) | [`perf`] | `fig8` |
+//! | Fig. 9 (energy) | [`perf`] | `fig9` |
+//! | Fig. 12 (8/32 kB) | [`missrate`] | `fig12` |
+//! | Tab. 1–4 | [`tables`] | `tab1`…`tab4` |
+//! | Tab. 5/6 (design space) | [`design_space`] | `tab5`, `tab6` |
+//! | Tab. 7 (balance) | [`balance`] | `tab7` |
+//! | §7.1 related work | [`missrate::related_work`] | `related` |
+//!
+//! Experiments default to 2 M trace records with a 10% warm-up prefix
+//! (statistics are reset after warm-up, standing in for the paper's
+//! 2 B-instruction fast-forward); `--records` rescales.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod balance;
+pub mod config;
+pub mod design_space;
+pub mod extensions;
+pub mod fig3;
+pub mod kernels_exp;
+pub mod missrate;
+pub mod perf;
+pub mod report;
+pub mod run;
+pub mod sensitivity;
+pub mod tables;
+
+pub use config::CacheConfig;
+pub use run::{run_bcache_pd_stats, run_miss_rates, RunLength, Side};

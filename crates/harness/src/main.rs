@@ -1,0 +1,146 @@
+//! `bcache-repro`: regenerate any table or figure of the B-Cache paper.
+//!
+//! ```text
+//! bcache-repro <experiment> [--records N] [--seed S] [--csv]
+//!
+//! experiments:
+//!   fig3 fig4 fig5 fig8 fig9 fig12
+//!   tab1 tab2 tab3 tab4 tab5 tab6 tab7
+//!   related   (Section 7.1 comparison)
+//!   hac drowsy vp   (Sections 6.7 / 6.4 / 6.8 extension analyses)
+//!   kernels   (VM-executed program kernels cross-check)
+//!   sweep     (victim-size sweep, cold start, L2 B-Cache extension)
+//!   all       (everything, in paper order)
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use harness::run::RunLength;
+use harness::{balance, design_space, extensions, fig3, kernels_exp, missrate, perf, sensitivity, tables};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bcache-repro <experiment> [--records N] [--seed S] [--csv]\n\
+         experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(experiment) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut len = RunLength::default();
+    let mut csv = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                let seed = len.seed;
+                len = RunLength::with_records(v);
+                len.seed = seed;
+                i += 2;
+            }
+            "--csv" => {
+                csv = true;
+                i += 1;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                len.seed = v;
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return usage();
+            }
+        }
+    }
+
+    match experiment.as_str() {
+        "fig3" => print!("{}", fig3::figure3(len).1),
+        "fig4" => {
+            let (fp, int) = missrate::figure4(len);
+            if csv {
+                print!("{}{}", fp.render_csv(), int.render_csv());
+            } else {
+                print!("{}\n{}", fp.render(), int.render());
+            }
+        }
+        "fig5" => {
+            let fig = missrate::figure5(len);
+            print!("{}", if csv { fig.render_csv() } else { fig.render() });
+        }
+        "fig8" => print!("{}", perf::render_figure8(&perf::run_perf(len))),
+        "fig9" => print!("{}", perf::render_figure9(&perf::run_perf(len))),
+        "fig12" => {
+            for fig in missrate::figure12(len) {
+                if csv {
+                    print!("{}", fig.render_csv());
+                } else {
+                    println!("{}", fig.render());
+                }
+            }
+        }
+        "tab1" => print!("{}", tables::render_table1()),
+        "tab2" => print!("{}", tables::render_table2()),
+        "tab3" => print!("{}", tables::render_table3()),
+        "tab4" => print!("{}", tables::render_table4()),
+        "tab5" | "tab6" => {
+            let grid = design_space::design_space_grid(len);
+            print!("{}", design_space::render_tables_5_and_6(&grid));
+        }
+        "tab7" => print!("{}", balance::render_table7(&balance::table7(len))),
+        "related" => {
+            let fig = missrate::related_work(len);
+            print!("{}", if csv { fig.render_csv() } else { fig.render() });
+        }
+        "sweep" => {
+            let points = sensitivity::victim_sweep(len, &[2, 4, 8, 16, 32, 64]);
+            print!("{}", sensitivity::render_victim_sweep(&points));
+            let windows = sensitivity::cold_start("equake", 20_000, 8, len);
+            print!("{}", sensitivity::render_cold_start("equake", &windows, 20_000));
+            print!("{}", sensitivity::render_l2_bcache(&sensitivity::l2_bcache(len)));
+        }
+        "kernels" => {
+            print!("{}", kernels_exp::render_kernels(&kernels_exp::run_kernels(len.records)))
+        }
+        "hac" => print!("{}", extensions::render_hac_comparison()),
+        "drowsy" => print!("{}", extensions::render_drowsy(&extensions::drowsy_analysis(len))),
+        "vp" => print!("{}", extensions::render_vp_analysis()),
+        "all" => {
+            print!("{}", tables::render_table4());
+            let (fp, int) = missrate::figure4(len);
+            print!("{}\n{}", fp.render(), int.render());
+            print!("{}", missrate::figure5(len).render());
+            print!("{}", fig3::figure3(len).1);
+            print!("{}", tables::render_table1());
+            print!("{}", tables::render_table2());
+            print!("{}", tables::render_table3());
+            let rows = perf::run_perf(len);
+            print!("{}", perf::render_figure8(&rows));
+            print!("{}", perf::render_figure9(&rows));
+            let grid = design_space::design_space_grid(len);
+            print!("{}", design_space::render_tables_5_and_6(&grid));
+            print!("{}", balance::render_table7(&balance::table7(len)));
+            for fig in missrate::figure12(len) {
+                println!("{}", fig.render());
+            }
+            print!("{}", missrate::related_work(len).render());
+            print!("{}", extensions::render_hac_comparison());
+            print!("{}", extensions::render_drowsy(&extensions::drowsy_analysis(len)));
+            print!("{}", extensions::render_vp_analysis());
+            print!("{}", kernels_exp::render_kernels(&kernels_exp::run_kernels(len.records)));
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

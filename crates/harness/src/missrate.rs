@@ -1,0 +1,218 @@
+//! Miss-rate reduction experiments: Figures 4, 5 and 12.
+
+use trace_gen::{profiles, BenchmarkProfile, Suite};
+
+use crate::config::CacheConfig;
+use crate::report::{pct, pct2, TextTable};
+use crate::run::{mean, run_miss_rates, BenchmarkMissRates, RunLength, Side};
+
+/// Results of one miss-rate-reduction figure: one row per benchmark plus
+/// configuration labels.
+#[derive(Clone, Debug)]
+pub struct MissRateFigure {
+    /// Figure title.
+    pub title: String,
+    /// Configuration labels, in column order.
+    pub labels: Vec<String>,
+    /// Per-benchmark results.
+    pub rows: Vec<BenchmarkMissRates>,
+}
+
+impl MissRateFigure {
+    /// Mean reduction for configuration column `i` (the "Ave" bar).
+    pub fn average_reduction(&self, i: usize) -> f64 {
+        mean(&self.rows, |r| r.reduction(i))
+    }
+
+    /// Index of a configuration by label.
+    pub fn column(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// Builds the reduction table shared by text and CSV rendering.
+    fn table(&self) -> TextTable {
+        let mut header = vec!["benchmark".to_string(), "dm-miss".to_string()];
+        header.extend(self.labels.clone());
+        let mut t = TextTable::new(header);
+        for r in &self.rows {
+            let mut cells = vec![r.benchmark.clone(), pct2(r.baseline_miss_rate)];
+            cells.extend((0..self.labels.len()).map(|i| pct(r.reduction(i))));
+            t.row(cells);
+        }
+        let mut ave = vec!["Ave".to_string(), String::new()];
+        ave.extend((0..self.labels.len()).map(|i| pct(self.average_reduction(i))));
+        t.row(ave);
+        t
+    }
+
+    /// Renders the figure as a text table of reductions.
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.title, self.table().render())
+    }
+
+    /// Renders the figure as CSV (for plotting pipelines).
+    pub fn render_csv(&self) -> String {
+        self.table().render_csv()
+    }
+}
+
+fn run_figure(
+    title: String,
+    benchmarks: &[BenchmarkProfile],
+    configs: &[CacheConfig],
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> MissRateFigure {
+    let rows = benchmarks
+        .iter()
+        .map(|p| run_miss_rates(p, configs, size_bytes, side, len))
+        .collect();
+    MissRateFigure { title, labels: configs.iter().map(CacheConfig::label).collect(), rows }
+}
+
+/// Figure 4: data-cache miss-rate reductions at 16 kB over the nine
+/// comparison configurations, grouped CFP2K then CINT2K like the paper.
+pub fn figure4(len: RunLength) -> (MissRateFigure, MissRateFigure) {
+    let configs = CacheConfig::figure4_set();
+    let fp = run_figure(
+        "Figure 4 (top): D$ miss-rate reductions, SPEC CFP2K, 16 kB".into(),
+        &profiles::cfp(),
+        &configs,
+        16 * 1024,
+        Side::Data,
+        len,
+    );
+    let int = run_figure(
+        "Figure 4 (bottom): D$ miss-rate reductions, SPEC CINT2K, 16 kB".into(),
+        &profiles::cint(),
+        &configs,
+        16 * 1024,
+        Side::Data,
+        len,
+    );
+    (fp, int)
+}
+
+/// Figure 5: instruction-cache miss-rate reductions at 16 kB on the
+/// fifteen reported benchmarks.
+pub fn figure5(len: RunLength) -> MissRateFigure {
+    run_figure(
+        "Figure 5: I$ miss-rate reductions, reported benchmarks, 16 kB".into(),
+        &profiles::icache_reported(),
+        &CacheConfig::figure4_set(),
+        16 * 1024,
+        Side::Instruction,
+        len,
+    )
+}
+
+/// Figure 12: miss-rate reductions at 8 kB and 32 kB over the twelve
+/// configurations (suite averages, as the paper plots aggregate bars).
+pub fn figure12(len: RunLength) -> Vec<MissRateFigure> {
+    let configs = CacheConfig::figure12_set();
+    let mut figures = Vec::new();
+    for size in [32 * 1024usize, 8 * 1024] {
+        let kb = size / 1024;
+        figures.push(run_figure(
+            format!("Figure 12: D$ miss-rate reductions, {kb} kB"),
+            &profiles::all(),
+            &configs,
+            size,
+            Side::Data,
+            len,
+        ));
+        figures.push(run_figure(
+            format!("Figure 12: I$ miss-rate reductions, {kb} kB"),
+            &profiles::icache_reported(),
+            &configs,
+            size,
+            Side::Instruction,
+            len,
+        ));
+    }
+    figures
+}
+
+/// Related-work comparison (Section 7.1): the B-Cache against the
+/// column-associative and skewed-associative caches and the HAC.
+pub fn related_work(len: RunLength) -> MissRateFigure {
+    let configs = vec![
+        CacheConfig::ColumnAssoc,
+        CacheConfig::SkewedAssoc,
+        CacheConfig::Agac,
+        CacheConfig::Pam,
+        CacheConfig::DiffBit,
+        CacheConfig::SetAssoc(2),
+        CacheConfig::SetAssoc(4),
+        CacheConfig::Hac,
+        CacheConfig::BCache { mf: 8, bas: 8 },
+    ];
+    run_figure(
+        "Section 7.1: related-work D$ comparison, 16 kB".into(),
+        &profiles::all(),
+        &configs,
+        16 * 1024,
+        Side::Data,
+        len,
+    )
+}
+
+/// The suite split used when summarizing Figure 4 ("CINT2K"/"CFP2K").
+pub fn suite_of(benchmark: &str) -> Option<Suite> {
+    profiles::by_name(benchmark).map(|p| p.suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunLength {
+        RunLength::with_records(100_000)
+    }
+
+    #[test]
+    fn figure4_has_all_benchmarks_and_configs() {
+        let (fp, int) = figure4(quick());
+        assert_eq!(fp.rows.len(), 14);
+        assert_eq!(int.rows.len(), 12);
+        assert_eq!(fp.labels.len(), 9);
+        assert!(fp.render().contains("Ave"));
+    }
+
+    #[test]
+    fn figure4_average_orderings_match_the_paper() {
+        let (fp, int) = figure4(quick());
+        for fig in [&fp, &int] {
+            let red = |l: &str| fig.average_reduction(fig.column(l).unwrap());
+            // Associativity staircase.
+            assert!(red("4way") > red("2way"), "{}", fig.title);
+            assert!(red("8way") > red("4way"), "{}", fig.title);
+            // MF staircase with diminishing returns.
+            assert!(red("MF4-BAS8") > red("MF2-BAS8"), "{}", fig.title);
+            assert!(red("MF8-BAS8") > red("MF4-BAS8"), "{}", fig.title);
+            assert!(
+                red("MF16-BAS8") - red("MF8-BAS8") < 0.06,
+                "MF16 should add little: {}",
+                fig.title
+            );
+            // The paper's design point beats the victim buffer on average.
+            assert!(red("MF8-BAS8") > red("victim16"), "{}", fig.title);
+        }
+    }
+
+    #[test]
+    fn figure5_reports_fifteen_benchmarks() {
+        let fig = figure5(quick());
+        assert_eq!(fig.rows.len(), 15);
+        let red = |l: &str| fig.average_reduction(fig.column(l).unwrap());
+        assert!(red("MF8-BAS8") > red("victim16") + 0.3, "I$ B-Cache crushes the victim buffer");
+    }
+
+    #[test]
+    fn suite_lookup() {
+        assert_eq!(suite_of("gcc"), Some(Suite::Int));
+        assert_eq!(suite_of("swim"), Some(Suite::Fp));
+        assert_eq!(suite_of("nonesuch"), None);
+    }
+}

@@ -1,0 +1,293 @@
+//! Shared experiment machinery: single-pass trace replay over many cache
+//! models, warm-up handling, and result records.
+
+use bcache_core::BalancedCache;
+use cache_sim::{AccessKind, Addr, CacheModel};
+use trace_gen::{BenchmarkProfile, Op, Trace};
+
+use crate::config::CacheConfig;
+
+/// Which reference stream of the trace feeds the caches.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Instruction fetches (one access per fetched 32-byte block).
+    Instruction,
+    /// Data loads and stores.
+    Data,
+}
+
+/// How many trace records to generate and how many to treat as warm-up
+/// (statistics reset after the warm-up, mirroring the paper's
+/// fast-forward).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RunLength {
+    /// Total trace records.
+    pub records: u64,
+    /// Records before statistics are reset.
+    pub warmup: u64,
+    /// Trace generator seed.
+    pub seed: u64,
+}
+
+impl Default for RunLength {
+    fn default() -> Self {
+        RunLength { records: 2_000_000, warmup: 200_000, seed: 1 }
+    }
+}
+
+impl RunLength {
+    /// A scaled copy (used by `--records`-style overrides and quick
+    /// tests); warm-up stays at 10%.
+    pub fn with_records(records: u64) -> Self {
+        RunLength { records, warmup: records / 10, seed: 1 }
+    }
+}
+
+/// The outcome of replaying one benchmark against one configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigOutcome {
+    /// Configuration label.
+    pub label: String,
+    /// Post-warm-up miss rate.
+    pub miss_rate: f64,
+    /// PD hit rate during misses (B-Cache only).
+    pub pd_hit_rate_on_miss: Option<f64>,
+}
+
+/// Miss rates of one benchmark across configurations, baseline first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkMissRates {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline (direct-mapped) miss rate.
+    pub baseline_miss_rate: f64,
+    /// One outcome per non-baseline configuration, in input order.
+    pub outcomes: Vec<ConfigOutcome>,
+}
+
+impl BenchmarkMissRates {
+    /// Relative miss-rate reduction of configuration `i` versus the
+    /// baseline, in `[−∞, 1]`.
+    pub fn reduction(&self, i: usize) -> f64 {
+        if self.baseline_miss_rate == 0.0 {
+            0.0
+        } else {
+            1.0 - self.outcomes[i].miss_rate / self.baseline_miss_rate
+        }
+    }
+}
+
+/// Replays one benchmark against the baseline plus `configs` in a single
+/// pass and reports miss rates.
+///
+/// # Panics
+///
+/// Panics if a configuration cannot be built at `size_bytes`.
+pub fn run_miss_rates(
+    profile: &BenchmarkProfile,
+    configs: &[CacheConfig],
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> BenchmarkMissRates {
+    let mut baseline = CacheConfig::DirectMapped
+        .build(size_bytes, len.seed)
+        .expect("baseline geometry is valid");
+    let mut models: Vec<Box<dyn CacheModel>> = configs
+        .iter()
+        .map(|c| c.build(size_bytes, len.seed).expect("config must build"))
+        .collect();
+
+    let mut fed = 0u64;
+    let mut warmed = false;
+    let mut last_line = u64::MAX;
+    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
+        if !warmed && (i as u64) >= len.warmup {
+            warmed = true;
+            baseline.reset_stats();
+            for m in models.iter_mut() {
+                m.reset_stats();
+            }
+        }
+        let access = match side {
+            Side::Instruction => {
+                let line = rec.pc / 32;
+                if line == last_line {
+                    None
+                } else {
+                    last_line = line;
+                    Some((rec.pc, AccessKind::InstrFetch))
+                }
+            }
+            Side::Data => rec.op.data_addr().map(|a| {
+                (a, if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read })
+            }),
+        };
+        if let Some((addr, kind)) = access {
+            fed += 1;
+            baseline.access(Addr::new(addr), kind);
+            for m in models.iter_mut() {
+                m.access(Addr::new(addr), kind);
+            }
+        }
+    }
+    debug_assert!(fed > 0, "trace produced no accesses for {side:?}");
+
+    let outcomes = models
+        .iter()
+        .zip(configs)
+        .map(|(m, c)| ConfigOutcome {
+            label: c.label(),
+            miss_rate: m.stats().miss_rate(),
+            // PD statistics need the concrete BalancedCache type; the
+            // experiments that want them (Fig. 3, Table 6) use
+            // `run_bcache_pd_stats` instead.
+            pd_hit_rate_on_miss: None,
+        })
+        .collect();
+    BenchmarkMissRates {
+        benchmark: profile.name.to_string(),
+        baseline_miss_rate: baseline.stats().miss_rate(),
+        outcomes,
+    }
+}
+
+/// PD statistics of one B-Cache point on one benchmark (used by Fig. 3
+/// and Table 6, where the PD hit rate during misses is the headline).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct BCachePdOutcome {
+    /// Post-warm-up miss rate.
+    pub miss_rate: f64,
+    /// PD hit rate during cache misses.
+    pub pd_hit_rate_on_miss: f64,
+}
+
+/// Replays one benchmark against a single B-Cache and reports both the
+/// miss rate and the PD hit rate during misses.
+pub fn run_bcache_pd_stats(
+    profile: &BenchmarkProfile,
+    mf: usize,
+    bas: usize,
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> BCachePdOutcome {
+    use bcache_core::BCacheParams;
+    use cache_sim::{CacheGeometry, PolicyKind};
+
+    let geom = CacheGeometry::new(size_bytes, 32, 1).expect("valid geometry");
+    let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru).expect("valid B-Cache point");
+    let mut bc = BalancedCache::new(params);
+
+    let mut warmed = false;
+    let mut last_line = u64::MAX;
+    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
+        if !warmed && (i as u64) >= len.warmup {
+            warmed = true;
+            bc.reset_stats();
+        }
+        match side {
+            Side::Instruction => {
+                let line = rec.pc / 32;
+                if line != last_line {
+                    last_line = line;
+                    bc.access(Addr::new(rec.pc), AccessKind::InstrFetch);
+                }
+            }
+            Side::Data => {
+                if let Some(a) = rec.op.data_addr() {
+                    let kind = if matches!(rec.op, Op::Store(_)) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    bc.access(Addr::new(a), kind);
+                }
+            }
+        }
+    }
+    BCachePdOutcome {
+        miss_rate: bc.stats().miss_rate(),
+        pd_hit_rate_on_miss: bc.pd_stats().pd_hit_rate_on_miss(),
+    }
+}
+
+/// Arithmetic mean of `f` over a slice (used for the "Ave" bars).
+pub fn mean<T>(items: &[T], f: impl Fn(&T) -> f64) -> f64 {
+    if items.is_empty() {
+        0.0
+    } else {
+        items.iter().map(f).sum::<f64>() / items.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::profiles;
+
+    fn quick() -> RunLength {
+        RunLength::with_records(120_000)
+    }
+
+    #[test]
+    fn equake_data_side_reproduces_the_headline_ordering() {
+        let p = profiles::by_name("equake").unwrap();
+        let configs = [
+            CacheConfig::SetAssoc(2),
+            CacheConfig::SetAssoc(8),
+            CacheConfig::BCache { mf: 8, bas: 8 },
+        ];
+        let r = run_miss_rates(&p, &configs, 16 * 1024, Side::Data, quick());
+        assert!(r.baseline_miss_rate > 0.2, "equake thrashes a DM cache");
+        let red2 = r.reduction(0);
+        let red8 = r.reduction(1);
+        let redb = r.reduction(2);
+        assert!(red8 > red2, "8-way {red8} must beat 2-way {red2}");
+        assert!(redb > 0.5, "B-Cache reduction {redb} should be large on equake");
+    }
+
+    #[test]
+    fn warmup_reset_reduces_cold_miss_noise() {
+        let p = profiles::by_name("gzip").unwrap();
+        let cold = run_miss_rates(
+            &p,
+            &[],
+            16 * 1024,
+            Side::Instruction,
+            RunLength { records: 50_000, warmup: 0, seed: 1 },
+        );
+        let warm = run_miss_rates(
+            &p,
+            &[],
+            16 * 1024,
+            Side::Instruction,
+            RunLength { records: 50_000, warmup: 25_000, seed: 1 },
+        );
+        assert!(warm.baseline_miss_rate <= cold.baseline_miss_rate);
+    }
+
+    #[test]
+    fn pd_stats_runner_matches_missrate_runner() {
+        let p = profiles::by_name("wupwise").unwrap();
+        let len = quick();
+        let via_grid = run_miss_rates(
+            &p,
+            &[CacheConfig::BCache { mf: 8, bas: 8 }],
+            16 * 1024,
+            Side::Data,
+            len,
+        );
+        let via_pd = run_bcache_pd_stats(&p, 8, 8, 16 * 1024, Side::Data, len);
+        assert!((via_grid.outcomes[0].miss_rate - via_pd.miss_rate).abs() < 1e-12);
+        // wupwise's far conflicts force PD hits on most conflict misses.
+        assert!(via_pd.pd_hit_rate_on_miss > 0.3, "{}", via_pd.pd_hit_rate_on_miss);
+    }
+
+    #[test]
+    fn mean_helper() {
+        let xs = [1.0f64, 2.0, 3.0];
+        assert!((mean(&xs, |x| *x) - 2.0).abs() < 1e-12);
+        assert_eq!(mean::<f64>(&[], |x| *x), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-access energy model (paper Table 3, Section 5.4) — the Cacti 3.2
+//! substitute.
+//!
+//! The model is calibrated at the paper's 0.18 µm node around two anchor
+//! sets of numbers:
+//!
+//! * the paper's HSPICE CAM measurements: a 6×8 PD costs 0.78 pJ and a
+//!   6×16 PD costs 1.62 pJ per search — a linear fit per CAM cell;
+//! * the paper's relative cache energies: a direct-mapped cache consumes
+//!   74.7% / 68.8% less than a same-sized 8-way at 8/16 kB, and the
+//!   B-Cache costs 10.5% more than the baseline yet 17.4% / 44.4% /
+//!   65.5% less than 2/4/8-way caches.
+//!
+//! Absolute pJ values are model outputs, not silicon measurements; the
+//! ratios are what the reproduction checks.
+
+use bcache_core::{BCacheOrganization, BCacheParams};
+use cache_sim::CacheGeometry;
+
+/// Linear CAM search-energy fit through the paper's two measurements
+/// (0.78 pJ @ 48 cells, 1.62 pJ @ 96 cells).
+pub fn cam_search_pj(width: u32, entries: usize) -> f64 {
+    let cells = (width as usize * entries) as f64;
+    (0.0175 * cells - 0.06).max(0.02)
+}
+
+/// Energy breakdown of one cache access, in picojoules (Table 3 columns).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Tag-side sense amplifiers and comparators.
+    pub t_sa: f64,
+    /// Tag-side decoders.
+    pub t_dec: f64,
+    /// Tag-side bitlines and wordlines.
+    pub t_bl_wl: f64,
+    /// Data-side sense amplifiers.
+    pub d_sa: f64,
+    /// Data-side decoders.
+    pub d_dec: f64,
+    /// Data-side bitlines and wordlines.
+    pub d_bl_wl: f64,
+    /// Data-side output drivers, muxes and everything else.
+    pub d_others: f64,
+    /// Programmable-decoder CAM searches (B-Cache / HAC only).
+    pub pd_cam: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per access in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.t_sa + self.t_dec + self.t_bl_wl + self.d_sa + self.d_dec + self.d_bl_wl
+            + self.d_others
+            + self.pd_cam
+    }
+}
+
+/// Baseline total per-access energy for a direct-mapped cache of this
+/// size (pJ), calibrated to ~940 pJ for the paper's 16 kB / 32 B L1 and
+/// scaled with capacity as `size^0.6` (Cacti-like sublinear growth).
+fn dm_total_pj(geom: &CacheGeometry) -> f64 {
+    let base = 940.0;
+    base * ((geom.size_bytes() as f64 / (16.0 * 1024.0)).powf(0.6))
+        * ((geom.line_bytes() as f64 / 32.0).powf(0.3))
+}
+
+/// Fraction of the access energy that is paid once per *way* read
+/// (bitlines, sense amps, comparators). The remainder is paid once per
+/// access (decoders, wordline drivers, output path). The 0.34/0.66 split
+/// reproduces the paper's DM-vs-set-associative ratios.
+const PER_WAY_FRACTION: f64 = 0.34;
+
+fn split(total: f64, ways: f64, pd_cam: f64) -> EnergyBreakdown {
+    let fixed = total * (1.0 - PER_WAY_FRACTION);
+    let per_way = total * PER_WAY_FRACTION * ways;
+    // Display split of fixed/per-way into the Table 3 columns, using the
+    // tag:data proportions of a 20-bit tag vs 256-bit line array.
+    EnergyBreakdown {
+        t_sa: per_way * 0.08,
+        t_dec: fixed * 0.05,
+        t_bl_wl: per_way * 0.14,
+        d_sa: per_way * 0.26,
+        d_dec: fixed * 0.07,
+        d_bl_wl: per_way * 0.52,
+        d_others: fixed * 0.88,
+        pd_cam,
+    }
+}
+
+/// Per-access energy of a conventional cache (direct-mapped when
+/// `geom.assoc() == 1`).
+pub fn conventional_access_pj(geom: &CacheGeometry) -> EnergyBreakdown {
+    split(dm_total_pj(geom), geom.assoc() as f64, 0.0)
+}
+
+/// Per-access energy of a B-Cache.
+///
+/// Starts from the baseline direct-mapped access, subtracts the 3-bit tag
+/// shortening and the removed NAND stage, and adds every PD's CAM search
+/// (all subarrays search in parallel; the paper counts 64 tag PDs and 32
+/// data PDs for the 16 kB design).
+pub fn bcache_access_pj(params: &BCacheParams) -> EnergyBreakdown {
+    let geom = params.geometry();
+    let org = BCacheOrganization::paper_default(params);
+    let mut b = conventional_access_pj(&geom);
+    // Tag shortened by log2(MF) bits out of ~20 read per access.
+    let mf_bits = (params.mapping_factor() as f64).log2();
+    let tag_saving = (b.t_sa + b.t_bl_wl) * (mf_bits / 20.0);
+    b.t_sa -= tag_saving * 0.4;
+    b.t_bl_wl -= tag_saving * 0.6;
+    // Removed NAND3 predecoder gates in both decoders.
+    b.t_dec *= 0.9;
+    b.d_dec *= 0.9;
+    b.pd_cam = org.tag.pd_count() as f64 * cam_search_pj(org.tag.pd_width, org.tag.pd_entries)
+        + org.data.pd_count() as f64 * cam_search_pj(org.data.pd_width, org.data.pd_entries);
+    b
+}
+
+/// Per-access energy of the victim-cache configuration: the main
+/// direct-mapped array, plus amortized buffer probes.
+///
+/// `probe_rate` is buffer probes per access (= the main-array miss rate)
+/// and `entries` the buffer size; each probe searches a fully-associative
+/// CAM of full-tag width.
+pub fn victim_access_pj(geom: &CacheGeometry, entries: usize, probe_rate: f64) -> EnergyBreakdown {
+    let mut b = conventional_access_pj(geom);
+    let tag_width = geom.tag_bits() + geom.index_bits();
+    b.pd_cam = probe_rate * cam_search_pj(tag_width, entries);
+    b
+}
+
+/// Energy to refill one cache line from the next level (write into the
+/// array), modelled as 60% of the fixed part of an access.
+pub fn block_refill_pj(geom: &CacheGeometry) -> f64 {
+    dm_total_pj(geom) * (1.0 - PER_WAY_FRACTION) * 0.6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::PolicyKind;
+
+    fn l1_geom(assoc: usize) -> CacheGeometry {
+        CacheGeometry::new(16 * 1024, 32, assoc).unwrap()
+    }
+
+    #[test]
+    fn cam_fit_reproduces_the_paper_measurements() {
+        // Section 5.4: "A 6x8 and 6x16 CAM decoder consumes 0.78 pJ and
+        // 1.62 pJ per search, respectively."
+        assert!((cam_search_pj(6, 8) - 0.78).abs() < 0.01);
+        assert!((cam_search_pj(6, 16) - 1.62).abs() < 0.01);
+    }
+
+    #[test]
+    fn bcache_overhead_is_about_ten_percent() {
+        // Section 5.4: "The power consumption of the B-Cache is 10.5%
+        // higher than the baseline."
+        let dm = conventional_access_pj(&l1_geom(1)).total_pj();
+        let params = BCacheParams::paper_default(l1_geom(1)).unwrap();
+        let bc = bcache_access_pj(&params).total_pj();
+        let overhead = bc / dm - 1.0;
+        assert!(
+            (0.08..=0.13).contains(&overhead),
+            "B-Cache overhead {:.1}% out of the paper's ballpark",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn bcache_remains_cheaper_than_set_associative() {
+        // Section 5.4: B-Cache is 17.4% / 44.4% / 65.5% cheaper than
+        // 2/4/8-way. Check the ordering and rough magnitudes.
+        let params = BCacheParams::paper_default(l1_geom(1)).unwrap();
+        let bc = bcache_access_pj(&params).total_pj();
+        for (ways, saving) in [(2usize, 0.174), (4, 0.444), (8, 0.655)] {
+            let sa = conventional_access_pj(&l1_geom(ways)).total_pj();
+            let actual = 1.0 - bc / sa;
+            assert!(
+                (actual - saving).abs() < 0.10,
+                "{ways}-way: expected ~{saving:.3} saving, got {actual:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn dm_vs_eight_way_matches_paper_ratio() {
+        // Introduction: a DM cache consumes 68.8% less than an 8-way at
+        // 16 kB (i.e. 8-way is ~3.2x).
+        let dm = conventional_access_pj(&l1_geom(1)).total_pj();
+        let w8 = conventional_access_pj(&l1_geom(8)).total_pj();
+        let saving = 1.0 - dm / w8;
+        assert!((saving - 0.688).abs() < 0.07, "DM saving vs 8-way: {saving:.3}");
+    }
+
+    #[test]
+    fn energy_scales_sublinearly_with_size() {
+        let e8 = conventional_access_pj(&CacheGeometry::new(8 * 1024, 32, 1).unwrap()).total_pj();
+        let e16 = conventional_access_pj(&l1_geom(1)).total_pj();
+        let e32 = conventional_access_pj(&CacheGeometry::new(32 * 1024, 32, 1).unwrap()).total_pj();
+        assert!(e8 < e16 && e16 < e32);
+        assert!(e32 / e8 < 4.0, "sublinear growth expected");
+    }
+
+    #[test]
+    fn victim_probe_energy_is_conditional() {
+        let idle = victim_access_pj(&l1_geom(1), 16, 0.0).total_pj();
+        let busy = victim_access_pj(&l1_geom(1), 16, 0.5).total_pj();
+        let dm = conventional_access_pj(&l1_geom(1)).total_pj();
+        assert!((idle - dm).abs() < 1e-9);
+        assert!(busy > idle);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let b = conventional_access_pj(&l1_geom(4));
+        let sum = b.t_sa + b.t_dec + b.t_bl_wl + b.d_sa + b.d_dec + b.d_bl_wl + b.d_others + b.pd_cam;
+        assert!((b.total_pj() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refill_is_cheaper_than_access() {
+        let g = l1_geom(1);
+        assert!(block_refill_pj(&g) < conventional_access_pj(&g).total_pj());
+        assert!(block_refill_pj(&g) > 0.0);
+    }
+
+    #[test]
+    fn bcache_pd_energy_matches_the_papers_pd_population() {
+        // 64 tag PDs at 0.78 pJ + 32 data PDs at 1.62 pJ ~ 101.8 pJ.
+        let params =
+            BCacheParams::new(l1_geom(1), 8, 8, PolicyKind::Lru).unwrap();
+        let b = bcache_access_pj(&params);
+        assert!((b.pd_cam - (64.0 * 0.78 + 32.0 * 1.62)).abs() < 2.0, "pd_cam = {}", b.pd_cam);
+    }
+}

@@ -1,0 +1,84 @@
+//! Logical-effort gate-delay primitives (the HSPICE substitute).
+//!
+//! Delays follow the method of logical effort: a gate's delay is
+//! `tau * (p + g * h)` where `g` is its logical effort, `p` its parasitic
+//! delay, `h` its electrical effort (fan-out), and `tau` the technology
+//! time constant (~20 ps at the paper's 0.18 µm node).
+
+/// Technology time constant at 0.18 µm, in nanoseconds.
+pub const TAU_NS: f64 = 0.020;
+
+/// A static CMOS gate type with its logical-effort parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Inverter.
+    Inv,
+    /// `n`-input NAND.
+    Nand(u32),
+    /// `n`-input NOR.
+    Nor(u32),
+}
+
+impl Gate {
+    /// Logical effort `g`.
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            Gate::Inv => 1.0,
+            Gate::Nand(n) => (n as f64 + 2.0) / 3.0,
+            Gate::Nor(n) => (2.0 * n as f64 + 1.0) / 3.0,
+        }
+    }
+
+    /// Parasitic delay `p` (in units of the inverter parasitic).
+    pub fn parasitic(self) -> f64 {
+        match self {
+            Gate::Inv => 1.0,
+            Gate::Nand(n) | Gate::Nor(n) => n as f64,
+        }
+    }
+
+    /// Stage delay in nanoseconds for electrical effort (fan-out) `h`.
+    pub fn delay_ns(self, h: f64) -> f64 {
+        TAU_NS * (self.parasitic() + self.logical_effort() * h)
+    }
+}
+
+/// Delay of a chain of `(gate, fanout)` stages in nanoseconds.
+pub fn chain_delay_ns(stages: &[(Gate, f64)]) -> f64 {
+    stages.iter().map(|&(g, h)| g.delay_ns(h)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_fo4_is_about_five_tau() {
+        // The classic result: an FO4 inverter delay is ~5 tau.
+        let d = Gate::Inv.delay_ns(4.0);
+        assert!((d - 5.0 * TAU_NS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_gates_are_slower() {
+        let h = 4.0;
+        assert!(Gate::Nand(3).delay_ns(h) > Gate::Nand(2).delay_ns(h));
+        assert!(Gate::Nor(3).delay_ns(h) > Gate::Nor(2).delay_ns(h));
+        // NOR is worse than NAND of the same width (series PMOS).
+        assert!(Gate::Nor(2).delay_ns(h) > Gate::Nand(2).delay_ns(h));
+    }
+
+    #[test]
+    fn chain_sums_stage_delays() {
+        let chain = [(Gate::Nand(2), 4.0), (Gate::Nor(2), 2.0), (Gate::Inv, 8.0)];
+        let sum: f64 = chain.iter().map(|&(g, h)| g.delay_ns(h)).sum();
+        assert!((chain_delay_ns(&chain) - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn logical_effort_values() {
+        assert!((Gate::Nand(2).logical_effort() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((Gate::Nor(2).logical_effort() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((Gate::Inv.logical_effort() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Section 6.7: improving the highly-associative cache (HAC) with the
+//! B-Cache's partial-programmability idea.
+//!
+//! The HAC is "an extreme case of the B-Cache, where the decoder … is
+//! fully programmable": a 16 kB, 32-way, 32 B-line HAC holds a
+//! `23 (tag) + 3 (status) = 26`-bit CAM word per line, while the B-Cache
+//! achieves similar miss-rate reductions with a 6-bit CAM. This module
+//! quantifies the paper's closing remark that the HAC "can be improved
+//! using the technique we proposed to reduce both the power consumption
+//! and area of the CAM".
+
+use cache_sim::CacheGeometry;
+
+use crate::area::CAM_AREA_RATIO;
+use crate::energy::cam_search_pj;
+
+/// Comparison of a fully-programmable HAC against a partially
+/// programmable ("B-Cache-ified") variant of the same geometry.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct HacComparison {
+    /// CAM width of the full HAC (tag + status bits).
+    pub full_cam_width: u32,
+    /// CAM width of the improved variant (the B-Cache PI width).
+    pub improved_cam_width: u32,
+    /// Total CAM bits of the full HAC.
+    pub full_cam_bits: usize,
+    /// Total CAM bits of the improved variant.
+    pub improved_cam_bits: usize,
+    /// CAM area saving, in SRAM-bit equivalents.
+    pub area_saving_sram_bits: f64,
+    /// CAM search-energy saving per access, in pJ (all subarrays
+    /// searched in parallel).
+    pub energy_saving_pj: f64,
+}
+
+/// Compares a HAC of `geom`-like capacity with 1 kB fully-associative
+/// subarrays against a variant whose CAM holds only `pi_bits` of
+/// programmable index (plus a small conventional NPD, as in the
+/// B-Cache).
+///
+/// # Panics
+///
+/// Panics if the geometry's line count is not divisible into 1 kB
+/// subarrays.
+pub fn compare_hac(geom: &CacheGeometry, pi_bits: u32) -> HacComparison {
+    let lines = geom.lines();
+    let lines_per_subarray = 1024 / geom.line_bytes();
+    assert!(lines_per_subarray > 0 && lines.is_multiple_of(lines_per_subarray), "bad HAC partitioning");
+    let subarrays = lines / lines_per_subarray;
+
+    // The full HAC: tag + 3 status bits per line, all in CAM (the paper's
+    // 26 bits for the 16 kB / 32-way instance).
+    let hac_geom = CacheGeometry::with_addr_bits(
+        geom.size_bytes(),
+        geom.line_bytes(),
+        lines_per_subarray,
+        geom.addr_bits(),
+    )
+    .expect("HAC geometry is valid");
+    let full_cam_width = hac_geom.tag_bits() + 3;
+    let full_cam_bits = full_cam_width as usize * lines;
+    let improved_cam_bits = pi_bits as usize * lines;
+
+    // Energy: one CAM block per subarray, searched in parallel.
+    let full_energy: f64 =
+        subarrays as f64 * cam_search_pj(full_cam_width, lines_per_subarray);
+    let improved_energy: f64 = subarrays as f64 * cam_search_pj(pi_bits, lines_per_subarray);
+
+    HacComparison {
+        full_cam_width,
+        improved_cam_width: pi_bits,
+        full_cam_bits,
+        improved_cam_bits,
+        area_saving_sram_bits: (full_cam_bits - improved_cam_bits) as f64 * CAM_AREA_RATIO,
+        energy_saving_pj: full_energy - improved_energy,
+    }
+}
+
+impl HacComparison {
+    /// Fractional CAM area reduction.
+    pub fn area_reduction(&self) -> f64 {
+        1.0 - self.improved_cam_bits as f64 / self.full_cam_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_geom() -> CacheGeometry {
+        CacheGeometry::new(16 * 1024, 32, 1).unwrap()
+    }
+
+    #[test]
+    fn paper_hac_has_26_bit_cam() {
+        let c = compare_hac(&paper_geom(), 6);
+        assert_eq!(c.full_cam_width, 26, "Section 6.7: 23 tag + 3 status");
+        assert_eq!(c.improved_cam_width, 6);
+    }
+
+    #[test]
+    fn improvement_saves_most_of_the_cam() {
+        let c = compare_hac(&paper_geom(), 6);
+        // 6 of 26 bits retained: ~77% CAM-area reduction.
+        assert!((c.area_reduction() - (1.0 - 6.0 / 26.0)).abs() < 1e-9);
+        assert!(c.energy_saving_pj > 0.0);
+        assert!(c.area_saving_sram_bits > 0.0);
+        assert_eq!(c.full_cam_bits, 26 * 512);
+        assert_eq!(c.improved_cam_bits, 6 * 512);
+    }
+
+    #[test]
+    fn wider_pi_saves_less() {
+        let narrow = compare_hac(&paper_geom(), 6);
+        let wide = compare_hac(&paper_geom(), 12);
+        assert!(narrow.energy_saving_pj > wide.energy_saving_pj);
+        assert!(narrow.area_reduction() > wide.area_reduction());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad HAC partitioning")]
+    fn rejects_unpartitionable_geometries() {
+        // 2 kB lines cannot form 1 kB subarrays.
+        let g = CacheGeometry::new(16 * 1024, 2048, 1).unwrap();
+        compare_hac(&g, 6);
+    }
+}

@@ -1,0 +1,38 @@
+//! # power-model — timing, energy and area models
+//!
+//! The analytical substitute for the paper's HSPICE simulations and
+//! Cacti 3.2 runs, providing everything behind Tables 1–3 and Figure 9:
+//!
+//! * [`gates`] / [`timing`] — logical-effort decoder delays; verifies the
+//!   paper's claim that the B-Cache decoder (CAM PD ∥ shrunken NPD) has
+//!   positive slack against the original local decoder at every subarray
+//!   size (Table 1);
+//! * [`energy`] — per-access energy calibrated to the paper's CAM
+//!   measurements (0.78 / 1.62 pJ per PD search) and its relative cache
+//!   energies (+10.5% for the B-Cache, 3.2× for an 8-way) (Table 3);
+//! * [`area`] — SRAM-bit-equivalent storage with CAM cells at 1.25×,
+//!   reproducing the +4.3% B-Cache area overhead (Table 2);
+//! * [`system`] — the Figure 10 energy equations with `k_static = 0.5`
+//!   and 100× off-chip accesses (Figure 9).
+//!
+//! Absolute values are model outputs; the paper's *ratios* are the
+//! calibration anchors and the quantities asserted in tests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod energy;
+pub mod gates;
+pub mod hac;
+pub mod system;
+pub mod timing;
+
+pub use area::{bcache_cost, conventional_cost, table2, StorageCost};
+pub use energy::{
+    bcache_access_pj, block_refill_pj, cam_search_pj, conventional_access_pj, victim_access_pj,
+    EnergyBreakdown,
+};
+pub use hac::{compare_hac, HacComparison};
+pub use system::{dynamic_energy_pj, evaluate, EnergyReport, EventEnergies, RunCounts, K_STATIC};
+pub use timing::{cam_decoder_ns, conventional_decoder_ns, decoder_timing, table1_rows, DecoderTimingRow};

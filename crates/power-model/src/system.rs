@@ -1,0 +1,171 @@
+//! System-level memory energy (paper Figure 10 equations, Figure 9
+//! results).
+//!
+//! ```text
+//! E_mem    = E_dyn + E_static
+//! E_dyn    = cache_access * E_cache_access + cache_miss * E_misses
+//! E_misses = E_next_level_mem + E_cache_block_refill
+//! E_static = cycles * E_static_per_cycle
+//! E_static_per_cycle = k_static * E_total_per_cycle
+//! ```
+//!
+//! Following the paper's methodology (Section 6.2): off-chip memory costs
+//! 100x an L1 access, and static energy is 50% of the baseline's total
+//! energy — i.e. the static power per cycle is calibrated on the baseline
+//! run and then charged to every configuration by its cycle count, which
+//! is how a faster configuration converts miss-rate reductions into
+//! static-energy savings.
+
+/// Event counts from one simulation run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunCounts {
+    /// L1 accesses (instruction + data).
+    pub l1_accesses: u64,
+    /// L1 misses (instruction + data).
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (off-chip accesses).
+    pub l2_misses: u64,
+    /// Execution cycles.
+    pub cycles: u64,
+}
+
+/// Per-event energies in picojoules.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EventEnergies {
+    /// One L1 access (configuration-dependent: DM, set-assoc, B-Cache…).
+    pub l1_access_pj: f64,
+    /// One L2 access.
+    pub l2_access_pj: f64,
+    /// Refilling one L1 block.
+    pub l1_refill_pj: f64,
+    /// One off-chip access (the paper: 100x the baseline L1 access).
+    pub offchip_pj: f64,
+}
+
+/// Fraction of total energy that is static (paper: `k_static = 0.5`).
+pub const K_STATIC: f64 = 0.5;
+
+/// Dynamic memory energy of a run, in picojoules.
+pub fn dynamic_energy_pj(counts: &RunCounts, e: &EventEnergies) -> f64 {
+    counts.l1_accesses as f64 * e.l1_access_pj
+        + counts.l1_misses as f64 * e.l1_refill_pj
+        + counts.l2_accesses as f64 * e.l2_access_pj
+        + counts.l2_misses as f64 * e.offchip_pj
+}
+
+/// Energy report of one configuration, relative to a baseline run.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Dynamic energy (pJ).
+    pub dynamic_pj: f64,
+    /// Static energy (pJ), charged per cycle at the baseline-calibrated
+    /// rate.
+    pub static_pj: f64,
+    /// Total normalized to the baseline total (baseline = 1.0).
+    pub normalized: f64,
+}
+
+impl EnergyReport {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.static_pj
+    }
+}
+
+/// Evaluates a set of configurations against a baseline (the first
+/// entry), reproducing Figure 9's normalization.
+///
+/// The static power per cycle is calibrated so the baseline's static
+/// share equals [`K_STATIC`] of its total.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or the baseline has zero cycles.
+pub fn evaluate(runs: &[(RunCounts, EventEnergies)]) -> Vec<EnergyReport> {
+    let (base_counts, base_e) = &runs[0];
+    assert!(base_counts.cycles > 0, "baseline must have executed");
+    let base_dyn = dynamic_energy_pj(base_counts, base_e);
+    // k = static / total => static = dyn * k / (1 - k).
+    let base_static = base_dyn * K_STATIC / (1.0 - K_STATIC);
+    let static_per_cycle = base_static / base_counts.cycles as f64;
+    let base_total = base_dyn + base_static;
+
+    runs.iter()
+        .map(|(counts, e)| {
+            let dynamic_pj = dynamic_energy_pj(counts, e);
+            let static_pj = counts.cycles as f64 * static_per_cycle;
+            EnergyReport { dynamic_pj, static_pj, normalized: (dynamic_pj + static_pj) / base_total }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn energies(l1: f64) -> EventEnergies {
+        EventEnergies { l1_access_pj: l1, l2_access_pj: 5000.0, l1_refill_pj: 400.0, offchip_pj: 94_000.0 }
+    }
+
+    fn counts(misses: u64, cycles: u64) -> RunCounts {
+        RunCounts {
+            l1_accesses: 1_000_000,
+            l1_misses: misses,
+            l2_accesses: misses,
+            l2_misses: misses / 10,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let runs = vec![(counts(50_000, 2_000_000), energies(940.0))];
+        let r = evaluate(&runs);
+        assert!((r[0].normalized - 1.0).abs() < 1e-12);
+        // Static share is exactly k_static of the baseline total.
+        assert!((r[0].static_pj / r[0].total_pj() - K_STATIC).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_misses_and_cycles_save_energy_despite_higher_access_cost() {
+        // The paper's Figure 9 story: the B-Cache pays ~10% more per
+        // access but wins on misses and execution time.
+        let runs = vec![
+            (counts(50_000, 2_000_000), energies(940.0)),   // baseline DM
+            (counts(20_000, 1_800_000), energies(1035.0)),  // B-Cache
+        ];
+        let r = evaluate(&runs);
+        assert!(r[1].normalized < 1.0, "B-Cache normalized {:.3}", r[1].normalized);
+    }
+
+    #[test]
+    fn expensive_set_associative_costs_more_despite_fewer_misses() {
+        let runs = vec![
+            (counts(50_000, 2_000_000), energies(940.0)),  // baseline
+            (counts(18_000, 1_790_000), energies(3008.0)), // 8-way
+        ];
+        let r = evaluate(&runs);
+        assert!(r[1].normalized > 1.0, "8-way should cost more: {:.3}", r[1].normalized);
+    }
+
+    #[test]
+    fn dynamic_energy_sums_event_classes() {
+        let c = RunCounts { l1_accesses: 10, l1_misses: 2, l2_accesses: 2, l2_misses: 1, cycles: 100 };
+        let e = energies(100.0);
+        let expect = 10.0 * 100.0 + 2.0 * 400.0 + 2.0 * 5000.0 + 1.0 * 94_000.0;
+        assert!((dynamic_energy_pj(&c, &e) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_runs_pay_more_static_energy() {
+        let runs = vec![
+            (counts(50_000, 2_000_000), energies(940.0)),
+            (counts(50_000, 3_000_000), energies(940.0)),
+        ];
+        let r = evaluate(&runs);
+        assert!(r[1].static_pj > r[0].static_pj);
+        assert!(r[1].normalized > 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Decoder timing analysis (paper Table 1, Section 5.1).
+//!
+//! The claim to verify: for every realistic subarray size (512 B … 8 kB),
+//! the B-Cache's replacement local decoder — a `PI`-bit CAM programmable
+//! decoder in parallel with a shrunken non-programmable decoder, ANDed in
+//! the word-line driver — is no slower than the original local decoder,
+//! so the B-Cache adds **no access-time overhead**. The word-line driver
+//! stage is identical on both sides (the paper converts the driver
+//! inverter into an equally fast 2-input NAND), so the comparison is
+//! decode-path versus decode-path.
+
+use std::fmt;
+
+use crate::gates::{chain_delay_ns, Gate, TAU_NS};
+
+/// Composition of a conventional decoder: NAND predecoders feeding NOR
+/// combiners (e.g. `3D-3R` = 3-input NANDs + 3-input NORs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DecoderComposition {
+    /// NAND predecoder width (0 = degenerate, inverter only).
+    pub nand_in: u32,
+    /// NOR combiner width (0 or 1 = no combiner stage).
+    pub nor_in: u32,
+}
+
+impl DecoderComposition {
+    /// The paper's Table 1 compositions for `bits`-input decoders.
+    pub fn for_bits(bits: u32) -> Self {
+        match bits {
+            0 | 1 => DecoderComposition { nand_in: 0, nor_in: 0 }, // inverter
+            2 => DecoderComposition { nand_in: 2, nor_in: 0 },     // NAND2
+            3 => DecoderComposition { nand_in: 3, nor_in: 0 },     // NAND3
+            4 => DecoderComposition { nand_in: 2, nor_in: 2 },     // 2D-2R
+            5 => DecoderComposition { nand_in: 3, nor_in: 2 },     // 3D-2R
+            6 => DecoderComposition { nand_in: 2, nor_in: 3 },     // 2D-3R
+            7 | 8 => DecoderComposition { nand_in: 3, nor_in: 3 }, // 3D-3R
+            n => DecoderComposition { nand_in: 3, nor_in: n.div_ceil(3) },
+        }
+    }
+}
+
+impl fmt::Display for DecoderComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.nand_in, self.nor_in) {
+            (0, _) => write!(f, "INV"),
+            (n, 0) | (n, 1) => write!(f, "NAND{n}"),
+            (n, r) => write!(f, "{n}D-{r}R"),
+        }
+    }
+}
+
+/// Delay of a conventional `bits -> outputs` decoder in nanoseconds.
+///
+/// Stage 1: NAND predecoder driving `outputs / 2^nand_in` NOR gates;
+/// stage 2: NOR combiner driving the word-line driver (fixed effort).
+pub fn conventional_decoder_ns(bits: u32, outputs: usize) -> f64 {
+    let comp = DecoderComposition::for_bits(bits);
+    if comp.nand_in == 0 {
+        return Gate::Inv.delay_ns(4.0);
+    }
+    let predecode_lines = 1usize << comp.nand_in;
+    let h1 = (outputs as f64 / predecode_lines as f64).max(1.0);
+    if comp.nor_in <= 1 {
+        return Gate::Nand(comp.nand_in).delay_ns(h1.max(4.0));
+    }
+    chain_delay_ns(&[(Gate::Nand(comp.nand_in), h1), (Gate::Nor(comp.nor_in), 4.0)])
+}
+
+/// Delay of a `width x entries` CAM programmable decoder in nanoseconds.
+///
+/// Search-line driver (segmented per the paper's Figure 6(c)), matchline
+/// discharge (parallel pulldowns, parasitic grows with the word width),
+/// and the match buffer.
+pub fn cam_decoder_ns(width: u32, entries: usize) -> f64 {
+    let driver_h = (entries as f64 / 4.0).max(2.0);
+    let driver = Gate::Inv.delay_ns(driver_h);
+    let matchline = TAU_NS * (1.5 + 0.4 * width as f64);
+    let buffer = Gate::Inv.delay_ns(4.0);
+    driver + matchline + buffer
+}
+
+/// One row of the Table 1 analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecoderTimingRow {
+    /// Subarray size in bytes (32-byte lines assumed).
+    pub subarray_bytes: usize,
+    /// Original decoder: input bits.
+    pub original_bits: u32,
+    /// Original decoder composition (for display).
+    pub original_composition: String,
+    /// Original decoder delay (ns).
+    pub original_ns: f64,
+    /// B-Cache PD (CAM) delay (ns).
+    pub pd_ns: f64,
+    /// B-Cache NPD delay (ns).
+    pub npd_ns: f64,
+    /// B-Cache NPD composition (for display).
+    pub npd_composition: String,
+    /// Slack: original minus the slower of PD/NPD (ns); positive means
+    /// the B-Cache does not lengthen the critical path.
+    pub slack_ns: f64,
+}
+
+/// Computes the Table 1 rows: subarray sizes 8 kB down to 512 B with
+/// 32-byte lines, PI = 6 bits, BAS = 8 (the paper's design point).
+///
+/// The B-Cache decoder for an `a x 2^a` original is a 6-bit CAM of
+/// `2^(a-3)` entries in parallel with an `(a-3) x 2^(a-3)` NPD, each NPD
+/// output fanning out to the `BAS = 8` word-line NANDs of its clusters.
+pub fn table1_rows() -> Vec<DecoderTimingRow> {
+    [8192usize, 4096, 2048, 1024, 512]
+        .into_iter()
+        .map(|subarray_bytes| decoder_timing(subarray_bytes, 6, 8))
+        .collect()
+}
+
+/// Timing comparison for one subarray size with a given PD width and BAS.
+pub fn decoder_timing(subarray_bytes: usize, pd_width: u32, bas: usize) -> DecoderTimingRow {
+    let lines = subarray_bytes / 32;
+    let bits = lines.trailing_zeros();
+    let original_ns = conventional_decoder_ns(bits, lines);
+
+    let npd_bits = bits.saturating_sub((bas as u64).trailing_zeros());
+    let npd_outputs = 1usize << npd_bits;
+    // NPD outputs drive one word-line NAND per cluster.
+    let npd_ns = if npd_bits == 0 {
+        Gate::Inv.delay_ns(bas as f64)
+    } else {
+        let comp = DecoderComposition::for_bits(npd_bits);
+        if comp.nand_in == 0 {
+            Gate::Inv.delay_ns(bas as f64)
+        } else if comp.nor_in <= 1 {
+            Gate::Nand(comp.nand_in).delay_ns(bas as f64)
+        } else {
+            let h1 = (npd_outputs as f64 / (1u64 << comp.nand_in) as f64).max(1.0);
+            chain_delay_ns(&[(Gate::Nand(comp.nand_in), h1), (Gate::Nor(comp.nor_in), bas as f64)])
+        }
+    };
+    let pd_ns = cam_decoder_ns(pd_width, npd_outputs);
+    let slack_ns = original_ns - pd_ns.max(npd_ns);
+    DecoderTimingRow {
+        subarray_bytes,
+        original_bits: bits,
+        original_composition: DecoderComposition::for_bits(bits).to_string(),
+        original_ns,
+        pd_ns,
+        npd_ns,
+        npd_composition: DecoderComposition::for_bits(npd_bits).to_string(),
+        slack_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositions_match_the_paper() {
+        // Table 1: 8x256 and 7x128 are 3D-3R, 6x64 is 2D-3R, 5x32 is
+        // 3D-2R, 4x16 is 2D-2R.
+        assert_eq!(DecoderComposition::for_bits(8).to_string(), "3D-3R");
+        assert_eq!(DecoderComposition::for_bits(7).to_string(), "3D-3R");
+        assert_eq!(DecoderComposition::for_bits(6).to_string(), "2D-3R");
+        assert_eq!(DecoderComposition::for_bits(5).to_string(), "3D-2R");
+        assert_eq!(DecoderComposition::for_bits(4).to_string(), "2D-2R");
+        // And the B-Cache NPD ladder: 5->3D-2R, 4->2D-2R, 3->NAND3,
+        // 2->NAND2, 1->INV.
+        assert_eq!(DecoderComposition::for_bits(3).to_string(), "NAND3");
+        assert_eq!(DecoderComposition::for_bits(2).to_string(), "NAND2");
+        assert_eq!(DecoderComposition::for_bits(1).to_string(), "INV");
+    }
+
+    #[test]
+    fn every_table1_row_has_positive_slack() {
+        // The paper's headline timing claim (Section 5.1): "all of the
+        // decoders have time slack left", so the B-Cache does not touch
+        // the access time.
+        for row in table1_rows() {
+            assert!(
+                row.slack_ns > 0.0,
+                "subarray {} B: original {:.3} ns vs PD {:.3} / NPD {:.3} ns",
+                row.subarray_bytes,
+                row.original_ns,
+                row.pd_ns,
+                row.npd_ns
+            );
+        }
+    }
+
+    #[test]
+    fn slack_grows_with_subarray_size() {
+        // Bigger subarrays have heavier conventional decode paths while
+        // the CAM stays 6 bits wide: the slack trend must be increasing.
+        let rows = table1_rows();
+        assert!(rows.first().unwrap().slack_ns > rows.last().unwrap().slack_ns);
+    }
+
+    #[test]
+    fn bigger_decoders_are_slower() {
+        assert!(conventional_decoder_ns(8, 256) > conventional_decoder_ns(4, 16));
+        assert!(cam_decoder_ns(6, 32) > cam_decoder_ns(6, 8));
+        assert!(cam_decoder_ns(26, 32) > cam_decoder_ns(6, 32), "HAC-width CAM is slower");
+    }
+
+    #[test]
+    fn delays_are_sub_nanosecond_at_016um_scale() {
+        // Sanity: local decoders at 0.18 um sit in the 0.1-1.5 ns range.
+        for row in table1_rows() {
+            assert!(row.original_ns > 0.05 && row.original_ns < 2.0, "{row:?}");
+            assert!(row.pd_ns > 0.05 && row.pd_ns < 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn row_metadata_is_consistent() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].subarray_bytes, 8192);
+        assert_eq!(rows[0].original_bits, 8);
+        assert_eq!(rows[4].npd_composition, "INV");
+    }
+}

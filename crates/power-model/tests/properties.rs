@@ -1,0 +1,119 @@
+//! Property-based tests for the timing/energy/area models.
+
+use bcache_core::BCacheParams;
+use cache_sim::{CacheGeometry, PolicyKind};
+use power_model::{
+    bcache_access_pj, bcache_cost, cam_decoder_ns, cam_search_pj, conventional_access_pj,
+    conventional_cost, conventional_decoder_ns, decoder_timing, dynamic_energy_pj, evaluate,
+    EventEnergies, RunCounts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Per-access energy grows monotonically with associativity for any
+    /// size, and with size for any associativity.
+    #[test]
+    fn energy_monotone(size_log in 13u32..16, assoc_log in 0u32..4) {
+        let size = 1usize << size_log;
+        let assoc = 1usize << assoc_log;
+        let e = conventional_access_pj(&CacheGeometry::new(size, 32, assoc).unwrap()).total_pj();
+        let e_more_ways =
+            conventional_access_pj(&CacheGeometry::new(size, 32, assoc * 2).unwrap()).total_pj();
+        let e_bigger =
+            conventional_access_pj(&CacheGeometry::new(size * 2, 32, assoc).unwrap()).total_pj();
+        prop_assert!(e_more_ways > e);
+        prop_assert!(e_bigger > e);
+        prop_assert!(e > 0.0);
+    }
+
+    /// CAM search energy is monotone in both dimensions.
+    #[test]
+    fn cam_energy_monotone(width in 2u32..27, entries_log in 1u32..7) {
+        let entries = 1usize << entries_log;
+        prop_assert!(cam_search_pj(width + 1, entries) >= cam_search_pj(width, entries));
+        prop_assert!(cam_search_pj(width, entries * 2) >= cam_search_pj(width, entries));
+        prop_assert!(cam_search_pj(width, entries) > 0.0);
+    }
+
+    /// Decoder delays are positive and monotone in decoder size; the
+    /// B-Cache decoder keeps positive slack at every realistic subarray
+    /// size and PD width up to the HAC's 26 bits... slack may go negative
+    /// for very wide CAMs on tiny subarrays, which is exactly the paper's
+    /// argument for a *partial* programmable decoder — so only widths
+    /// <= 8 (B-Cache-realistic) must always have slack.
+    #[test]
+    fn decoder_timing_properties(sub_log in 9u32..14, pd_width in 4u32..9) {
+        let subarray = 1usize << sub_log;
+        let row = decoder_timing(subarray, pd_width, 8);
+        prop_assert!(row.original_ns > 0.0 && row.pd_ns > 0.0 && row.npd_ns > 0.0);
+        if pd_width <= 8 {
+            prop_assert!(row.slack_ns > 0.0, "subarray {subarray}, PD {pd_width}: {row:?}");
+        }
+        // Monotonicity of the primitives.
+        prop_assert!(conventional_decoder_ns(8, 256) >= conventional_decoder_ns(4, 16));
+        prop_assert!(cam_decoder_ns(pd_width + 1, 16) >= cam_decoder_ns(pd_width, 16));
+    }
+
+    /// Area: the B-Cache overhead shrinks as MF grows (more tag bits move
+    /// into the same-size CAM), and every cost is positive.
+    #[test]
+    fn area_properties(mf_log in 1u32..6) {
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let params = BCacheParams::new(geom, 1 << mf_log, 8, PolicyKind::Lru).unwrap();
+        let base = conventional_cost(&geom);
+        let bc = bcache_cost(&params);
+        prop_assert!(bc.total() > base.total(), "CAM must cost something");
+        prop_assert!(bc.total() < base.total() * 1.08, "but stay under 8%");
+        prop_assert!(bc.tag_bits < base.tag_bits, "tag array shrinks");
+    }
+
+    /// System energy: normalization is scale-invariant (doubling every
+    /// count including the baseline's leaves normalized values fixed) and
+    /// the baseline is always exactly 1.
+    #[test]
+    fn system_energy_scale_invariance(
+        misses in 1u64..100_000,
+        cycles in 100_000u64..10_000_000,
+        l1_pj in 500.0f64..2000.0,
+    ) {
+        let counts = RunCounts {
+            l1_accesses: 1_000_000,
+            l1_misses: misses,
+            l2_accesses: misses,
+            l2_misses: misses / 7,
+            cycles,
+        };
+        let e = EventEnergies {
+            l1_access_pj: l1_pj,
+            l2_access_pj: 5.0 * l1_pj,
+            l1_refill_pj: 0.4 * l1_pj,
+            offchip_pj: 100.0 * l1_pj,
+        };
+        let scaled = RunCounts {
+            l1_accesses: counts.l1_accesses * 2,
+            l1_misses: counts.l1_misses * 2,
+            l2_accesses: counts.l2_accesses * 2,
+            l2_misses: counts.l2_misses * 2,
+            cycles: counts.cycles * 2,
+        };
+        let a = evaluate(&[(counts, e), (counts, e)]);
+        prop_assert!((a[0].normalized - 1.0).abs() < 1e-12);
+        prop_assert!((a[1].normalized - 1.0).abs() < 1e-12);
+        let b = evaluate(&[(counts, e), (scaled, e)]);
+        prop_assert!((b[1].normalized - 2.0).abs() < 1e-9, "double work = double energy");
+        prop_assert!(dynamic_energy_pj(&scaled, &e) > dynamic_energy_pj(&counts, &e));
+    }
+
+    /// The B-Cache's per-access energy overhead stays in a narrow band
+    /// around the paper's +10.5% across MF values (the CAM population is
+    /// fixed; only tag savings change).
+    #[test]
+    fn bcache_energy_overhead_band(mf_log in 1u32..5) {
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let params = BCacheParams::new(geom, 1 << mf_log, 8, PolicyKind::Lru).unwrap();
+        let dm = conventional_access_pj(&geom).total_pj();
+        let bc = bcache_access_pj(&params).total_pj();
+        let overhead = bc / dm - 1.0;
+        prop_assert!((0.05..0.15).contains(&overhead), "MF=2^{mf_log}: {overhead}");
+    }
+}

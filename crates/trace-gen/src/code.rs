@@ -1,0 +1,287 @@
+//! Instruction-stream modelling: loops over code regions with calls into
+//! helper segments, the generator of the L1 instruction-cache behaviour.
+//!
+//! A [`CodeLayout`] is a set of weighted [`CodeLoop`]s. The walker picks a
+//! loop (weighted), executes its segment list sequentially for a
+//! geometrically distributed number of iterations, then picks again.
+//! Conflict misses arise when hot loops' segments are congruent modulo
+//! the cache size — exactly how hot functions collide in real programs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A straight-line stretch of code.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CodeSegment {
+    /// Base byte address (4-byte aligned).
+    pub base: u64,
+    /// Length in bytes (4 bytes per instruction).
+    pub bytes: u64,
+}
+
+/// A loop: a list of segments executed per iteration (its own body plus
+/// any helper functions it calls).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodeLoop {
+    /// Segments executed each iteration, in order.
+    pub segments: Vec<CodeSegment>,
+    /// Mean iterations per visit (geometric distribution, ≥ 1).
+    pub mean_iterations: f64,
+    /// Relative probability of entering this loop.
+    pub weight: f64,
+}
+
+impl CodeLoop {
+    /// Instructions per iteration.
+    pub fn body_instructions(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes / 4).sum()
+    }
+}
+
+/// The static code structure of a benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodeLayout {
+    /// The loops of the program; must be non-empty.
+    pub loops: Vec<CodeLoop>,
+}
+
+impl CodeLayout {
+    /// A trivially cache-resident layout: one sequential loop of `bytes`
+    /// at `base` — the model of the eleven benchmarks whose instruction
+    /// miss rate rounds to zero.
+    pub fn tiny(base: u64, bytes: u64) -> Self {
+        CodeLayout {
+            loops: vec![CodeLoop {
+                segments: vec![CodeSegment { base, bytes }],
+                mean_iterations: 50.0,
+                weight: 1.0,
+            }],
+        }
+    }
+
+    /// A layout of `count` hot loops whose bodies collide modulo
+    /// `spacing`: loop `i` sits at `base + i * spacing`, so with `spacing`
+    /// equal to the L1 size every pair of loops conflicts in a
+    /// direct-mapped cache.
+    ///
+    /// `mean_iterations` controls the switch rate and hence the conflict
+    /// miss rate.
+    pub fn conflicting(
+        base: u64,
+        count: usize,
+        body_bytes: u64,
+        spacing: u64,
+        mean_iterations: f64,
+    ) -> Self {
+        let loops = (0..count)
+            .map(|i| CodeLoop {
+                segments: vec![CodeSegment { base: base + i as u64 * spacing, bytes: body_bytes }],
+                mean_iterations,
+                weight: 1.0,
+            })
+            .collect();
+        CodeLayout { loops }
+    }
+
+    /// Total static code footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.loops
+            .iter()
+            .flat_map(|l| l.segments.iter())
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Builds a walker over this layout.
+    pub fn walker(&self) -> CodeWalker {
+        assert!(!self.loops.is_empty(), "code layout must have at least one loop");
+        CodeWalker {
+            layout: self.clone(),
+            current: 0,
+            segment: 0,
+            offset: 0,
+            iterations_left: 1,
+            at_loop_end: false,
+        }
+    }
+}
+
+/// Iterates program counters over a [`CodeLayout`].
+#[derive(Clone, Debug)]
+pub struct CodeWalker {
+    layout: CodeLayout,
+    current: usize,
+    segment: usize,
+    offset: u64,
+    iterations_left: u64,
+    at_loop_end: bool,
+}
+
+impl CodeWalker {
+    /// Produces the next program counter.
+    ///
+    /// Also records whether the previous instruction ended an iteration
+    /// (see [`CodeWalker::took_back_edge`]), which the trace generator
+    /// turns into a branch record.
+    pub fn next_pc(&mut self, rng: &mut StdRng) -> u64 {
+        let lp = &self.layout.loops[self.current];
+        let seg = lp.segments[self.segment];
+        let pc = seg.base + self.offset;
+        self.offset += 4;
+        self.at_loop_end = false;
+        if self.offset >= seg.bytes {
+            self.offset = 0;
+            self.segment += 1;
+            if self.segment >= lp.segments.len() {
+                self.segment = 0;
+                self.at_loop_end = true;
+                self.iterations_left = self.iterations_left.saturating_sub(1);
+                if self.iterations_left == 0 {
+                    self.pick_loop(rng);
+                }
+            }
+        }
+        pc
+    }
+
+    /// Whether the instruction just emitted was a loop back-edge (or loop
+    /// exit): the natural place for a branch in the trace.
+    pub fn took_back_edge(&self) -> bool {
+        self.at_loop_end
+    }
+
+    fn pick_loop(&mut self, rng: &mut StdRng) {
+        let total: f64 = self.layout.loops.iter().map(|l| l.weight).sum();
+        let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = self.layout.loops.len() - 1;
+        for (i, l) in self.layout.loops.iter().enumerate() {
+            if draw < l.weight {
+                chosen = i;
+                break;
+            }
+            draw -= l.weight;
+        }
+        self.current = chosen;
+        self.segment = 0;
+        self.offset = 0;
+        let mean = self.layout.loops[chosen].mean_iterations.max(1.0);
+        // Geometric distribution with the requested mean: p = 1/mean.
+        let p = 1.0 / mean;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.iterations_left = (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).ceil() as u64;
+        self.iterations_left = self.iterations_left.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn tiny_layout_walks_sequentially_and_wraps() {
+        let layout = CodeLayout::tiny(0x1000, 16);
+        let mut w = layout.walker();
+        let mut r = rng();
+        let pcs: Vec<u64> = (0..6).map(|_| w.next_pc(&mut r)).collect();
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x1008, 0x100C, 0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn back_edge_flag_fires_at_body_end() {
+        let layout = CodeLayout::tiny(0, 8);
+        let mut w = layout.walker();
+        let mut r = rng();
+        w.next_pc(&mut r);
+        assert!(!w.took_back_edge());
+        w.next_pc(&mut r);
+        assert!(w.took_back_edge());
+    }
+
+    #[test]
+    fn conflicting_layout_bases_are_congruent() {
+        let layout = CodeLayout::conflicting(0x40_0000, 4, 1024, 16 * 1024, 5.0);
+        let bases: Vec<u64> = layout.loops.iter().map(|l| l.segments[0].base).collect();
+        for b in &bases {
+            assert_eq!(b % (16 * 1024), bases[0] % (16 * 1024));
+        }
+        assert_eq!(layout.footprint(), 4096);
+    }
+
+    #[test]
+    fn walker_visits_every_loop() {
+        let layout = CodeLayout::conflicting(0, 4, 64, 1 << 14, 2.0);
+        let mut w = layout.walker();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            seen.insert(w.next_pc(&mut r) >> 14);
+        }
+        assert_eq!(seen.len(), 4, "all loops must eventually run");
+    }
+
+    #[test]
+    fn multi_segment_loops_interleave_segments() {
+        let layout = CodeLayout {
+            loops: vec![CodeLoop {
+                segments: vec![
+                    CodeSegment { base: 0x0, bytes: 8 },
+                    CodeSegment { base: 0x100, bytes: 4 },
+                ],
+                mean_iterations: 100.0,
+                weight: 1.0,
+            }],
+        };
+        let mut w = layout.walker();
+        let mut r = rng();
+        let pcs: Vec<u64> = (0..6).map(|_| w.next_pc(&mut r)).collect();
+        assert_eq!(pcs, vec![0x0, 0x4, 0x100, 0x0, 0x4, 0x100]);
+    }
+
+    #[test]
+    fn body_instructions_counts_all_segments() {
+        let lp = CodeLoop {
+            segments: vec![CodeSegment { base: 0, bytes: 40 }, CodeSegment { base: 64, bytes: 8 }],
+            mean_iterations: 1.0,
+            weight: 1.0,
+        };
+        assert_eq!(lp.body_instructions(), 12);
+    }
+
+    #[test]
+    fn mean_iterations_is_respected_roughly() {
+        let layout = CodeLayout::conflicting(0, 2, 16, 1 << 14, 10.0);
+        let mut w = layout.walker();
+        let mut r = rng();
+        // Count back edges and loop switches over a long walk.
+        let mut back_edges = 0u64;
+        let mut switches = 0u64;
+        let mut last_loop = u64::MAX;
+        for _ in 0..100_000 {
+            let pc = w.next_pc(&mut r);
+            if w.took_back_edge() {
+                back_edges += 1;
+            }
+            let this_loop = pc >> 14;
+            if this_loop != last_loop {
+                switches += 1;
+                last_loop = this_loop;
+            }
+        }
+        let iters_per_visit = back_edges as f64 / switches.max(1) as f64;
+        assert!(
+            (3.0..30.0).contains(&iters_per_visit),
+            "expected ~10 iterations per visit, got {iters_per_visit}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loop")]
+    fn empty_layout_rejected() {
+        CodeLayout { loops: vec![] }.walker();
+    }
+}

@@ -1,0 +1,360 @@
+//! Program kernels for the [`crate::vm`] machine: real algorithms whose
+//! address streams exercise the cache behaviours the paper cares about.
+//!
+//! | kernel | behaviour exercised |
+//! |---|---|
+//! | [`matmul`] | blocked reuse + streaming; row-vs-column stride conflicts |
+//! | [`list_walk`] | pointer chasing (no spatial locality, data-dependent addresses) |
+//! | [`stride_sum`] | pure streaming with a configurable stride |
+//! | [`histogram`] | read-modify-write scatter over a table |
+//! | [`conflict_copy`] | copies between arrays placed one cache-size apart — a program-level version of the thrash example of Figure 1 |
+//!
+//! Kernels return an assembled [`Program`] plus a closure that seeds the
+//! machine's data memory; [`run_kernel`] wires the two together.
+
+use crate::vm::{Insn, Machine, Program};
+
+/// Base of the data segment used by every kernel.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Code region base (16 kB-aligned like the profile code).
+pub const KERNEL_CODE_BASE: u64 = 0x0080_0000;
+
+/// A kernel: its program and a memory initializer.
+pub struct Kernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The assembled program.
+    pub program: Program,
+    /// Seeds data memory before execution.
+    pub init: Box<dyn Fn(&mut Machine)>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("instructions", &self.program.len())
+            .finish()
+    }
+}
+
+/// Instantiates and runs a kernel to completion (bounded by `fuel`),
+/// returning the machine for inspection and the trace.
+pub fn run_kernel(kernel: &Kernel, fuel: u64) -> (Machine, Vec<crate::TraceRecord>) {
+    let mut m = Machine::new(kernel.program.clone()).with_fuel(fuel);
+    (kernel.init)(&mut m);
+    let mut trace = Vec::new();
+    for r in m.by_ref() {
+        trace.push(r);
+    }
+    (m, trace)
+}
+
+/// `n x n` matrix multiply, row-major, naive triple loop:
+/// `C[i][j] += A[i][k] * B[k][j]`. The column walk over `B` strides by
+/// `8 * n` bytes — with `n` a power of two this lands on a power-of-two
+/// stride, the classic conflict generator.
+pub fn matmul(n: i64) -> Kernel {
+    assert!(n > 0);
+    let a = DATA_BASE as i64;
+    let b = a + 8 * n * n;
+    let c = b + 8 * n * n;
+    // r1=i r2=j r3=k r4..r9 scratch r10=n
+    let insns = vec![
+        Insn::Li(10, n),
+        Insn::Li(1, 0),
+        Insn::Mark(0), // i loop
+        Insn::Li(2, 0),
+        Insn::Mark(1), // j loop
+        Insn::Li(3, 0),
+        Insn::Li(9, 0), // acc = 0
+        Insn::Mark(2), // k loop
+        // r4 = &A[i][k] = a + 8*(i*n + k)
+        Insn::Mul(4, 1, 10),
+        Insn::Add(4, 4, 3),
+        Insn::Slli(4, 4, 3),
+        Insn::Addi(4, 4, a),
+        Insn::Ld(5, 4, 0),
+        // r6 = &B[k][j]
+        Insn::Mul(6, 3, 10),
+        Insn::Add(6, 6, 2),
+        Insn::Slli(6, 6, 3),
+        Insn::Addi(6, 6, b),
+        Insn::Ld(7, 6, 0),
+        Insn::Mul(8, 5, 7),
+        Insn::Add(9, 9, 8),
+        Insn::Addi(3, 3, 1),
+        Insn::Blt(3, 10, 2),
+        // C[i][j] = acc
+        Insn::Mul(4, 1, 10),
+        Insn::Add(4, 4, 2),
+        Insn::Slli(4, 4, 3),
+        Insn::Addi(4, 4, c),
+        Insn::Sd(4, 9, 0),
+        Insn::Addi(2, 2, 1),
+        Insn::Blt(2, 10, 1),
+        Insn::Addi(1, 1, 1),
+        Insn::Blt(1, 10, 0),
+        Insn::Halt,
+    ];
+    let n_usize = n as u64;
+    Kernel {
+        name: "matmul",
+        program: Program::assemble(insns, KERNEL_CODE_BASE),
+        init: Box::new(move |m| {
+            for i in 0..n_usize * n_usize {
+                m.poke(DATA_BASE + 8 * i, (i % 17) as i64 + 1); // A
+                m.poke(b as u64 + 8 * i, (i % 13) as i64 + 1); // B
+            }
+        }),
+    }
+}
+
+/// Walks a linked list of `nodes` 16-byte nodes laid out by a
+/// multiplicative shuffle, `rounds` times: pure pointer chasing.
+pub fn list_walk(nodes: i64, rounds: i64) -> Kernel {
+    assert!(nodes > 1 && rounds > 0);
+    // r1 = cursor, r2 = rounds left, r3 = node counter, r4 = nodes
+    let insns = vec![
+        Insn::Li(2, rounds),
+        Insn::Li(4, nodes),
+        Insn::Mark(0), // per-round
+        Insn::Li(1, DATA_BASE as i64),
+        Insn::Li(3, 0),
+        Insn::Mark(1), // per-node
+        Insn::Ld(1, 1, 0), // cursor = cursor->next
+        Insn::Addi(3, 3, 1),
+        Insn::Blt(3, 4, 1),
+        Insn::Addi(2, 2, -1),
+        Insn::Li(5, 0),
+        Insn::Blt(5, 2, 0),
+        Insn::Halt,
+    ];
+    Kernel {
+        name: "list_walk",
+        program: Program::assemble(insns, KERNEL_CODE_BASE),
+        init: Box::new(move |m| {
+            // node i at DATA_BASE + 16 * shuffle(i); next pointers follow
+            // the shuffled order so consecutive hops are non-contiguous.
+            let n = nodes as u64;
+            let shuffle = |i: u64| (i.wrapping_mul(2654435761)) % n;
+            for i in 0..n {
+                let this = DATA_BASE + 16 * shuffle(i);
+                let next = DATA_BASE + 16 * shuffle((i + 1) % n);
+                m.poke(this, next as i64);
+            }
+        }),
+    }
+}
+
+/// Sums every `stride`-th 64-bit word of an `elems`-element array,
+/// `rounds` times: configurable-stride streaming.
+pub fn stride_sum(elems: i64, stride: i64, rounds: i64) -> Kernel {
+    assert!(elems > 0 && stride > 0 && rounds > 0);
+    let end = DATA_BASE as i64 + 8 * elems;
+    let insns = vec![
+        Insn::Li(2, rounds),
+        Insn::Mark(0),
+        Insn::Li(1, DATA_BASE as i64),
+        Insn::Li(3, end),
+        Insn::Li(9, 0),
+        Insn::Mark(1),
+        Insn::Ld(4, 1, 0),
+        Insn::Add(9, 9, 4),
+        Insn::Addi(1, 1, 8 * stride),
+        Insn::Blt(1, 3, 1),
+        Insn::Addi(2, 2, -1),
+        Insn::Li(5, 0),
+        Insn::Blt(5, 2, 0),
+        Insn::Halt,
+    ];
+    let elems_u = elems as u64;
+    Kernel {
+        name: "stride_sum",
+        program: Program::assemble(insns, KERNEL_CODE_BASE),
+        init: Box::new(move |m| {
+            for i in 0..elems_u {
+                m.poke(DATA_BASE + 8 * i, 1);
+            }
+        }),
+    }
+}
+
+/// Builds a histogram of `samples` pseudo-random values into a
+/// `buckets`-entry table: read-modify-write scatter.
+pub fn histogram(buckets: i64, samples: i64) -> Kernel {
+    assert!(buckets > 0 && (buckets as u64).is_power_of_two() && samples > 0);
+    let table = DATA_BASE as i64;
+    // r1 = lcg state, r2 = samples left, r3..r6 scratch
+    let insns = vec![
+        Insn::Li(1, 0x1234_5678),
+        Insn::Li(2, samples),
+        Insn::Mark(0),
+        // state = state * 25214903917 + 11 (mod 2^64)
+        Insn::Li(3, 25214903917),
+        Insn::Mul(1, 1, 3),
+        Insn::Addi(1, 1, 11),
+        // bucket = (state >> 16) & (buckets - 1)
+        Insn::Srli(4, 1, 16),
+        Insn::Andi(4, 4, buckets - 1),
+        Insn::Slli(4, 4, 3),
+        Insn::Addi(4, 4, table),
+        Insn::Ld(5, 4, 0),
+        Insn::Addi(5, 5, 1),
+        Insn::Sd(4, 5, 0),
+        Insn::Addi(2, 2, -1),
+        Insn::Li(6, 0),
+        Insn::Blt(6, 2, 0),
+        Insn::Halt,
+    ];
+    Kernel {
+        name: "histogram",
+        program: Program::assemble(insns, KERNEL_CODE_BASE),
+        init: Box::new(|_| {}),
+    }
+}
+
+/// Copies `lines` 32-byte cache lines between `arrays` buffers whose
+/// bases are spaced exactly `spacing` bytes apart — the programmatic
+/// version of the paper's Figure 1 thrash example. With `spacing` equal
+/// to the L1 size, a direct-mapped cache misses on every access while
+/// any cache with `arrays`-fold flexibility (or a B-Cache with
+/// `MF >= arrays`) absorbs it.
+pub fn conflict_copy(arrays: i64, lines: i64, spacing: i64, rounds: i64) -> Kernel {
+    assert!(arrays >= 2 && lines > 0 && rounds > 0);
+    // Round-robin: for pos in 0..lines { for k in 0..arrays { touch
+    // array k at pos } }, repeated.
+    // r1 = round, r2 = pos, r3 = k, r4 = addr, r9 = sum
+    let insns = vec![
+        Insn::Li(1, rounds),
+        Insn::Mark(0),
+        Insn::Li(2, 0),
+        Insn::Mark(1),
+        Insn::Li(3, 0),
+        Insn::Mark(2),
+        // addr = DATA_BASE + k * spacing + pos * 32
+        Insn::Li(4, spacing),
+        Insn::Mul(4, 3, 4),
+        Insn::Slli(5, 2, 5),
+        Insn::Add(4, 4, 5),
+        Insn::Addi(4, 4, DATA_BASE as i64),
+        Insn::Ld(6, 4, 0),
+        Insn::Add(9, 9, 6),
+        Insn::Sd(4, 9, 8),
+        Insn::Addi(3, 3, 1),
+        Insn::Li(7, arrays),
+        Insn::Blt(3, 7, 2),
+        Insn::Addi(2, 2, 1),
+        Insn::Li(7, lines),
+        Insn::Blt(2, 7, 1),
+        Insn::Addi(1, 1, -1),
+        Insn::Li(7, 0),
+        Insn::Blt(7, 1, 0),
+        Insn::Halt,
+    ];
+    Kernel {
+        name: "conflict_copy",
+        program: Program::assemble(insns, KERNEL_CODE_BASE),
+        init: Box::new(|_| {}),
+    }
+}
+
+/// The default kernel suite used by the harness's `kernels` experiment.
+pub fn suite() -> Vec<Kernel> {
+    vec![
+        matmul(24),
+        list_walk(4096, 8),
+        stride_sum(16384, 1, 6),
+        histogram(512, 30_000),
+        conflict_copy(6, 64, 16 * 1024, 120),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    #[test]
+    fn matmul_is_correct() {
+        // 2x2: A = [[1,2],[3,4]]-ish from the (i % 17) + 1 pattern:
+        // A = [[1,2],[3,4]], B = [[1,2],[3,4]] from (i % 13) + 1.
+        let k = matmul(2);
+        let (m, trace) = run_kernel(&k, 10_000_000);
+        assert!(m.halted(), "matmul must finish");
+        let c = DATA_BASE + 2 * 2 * 8 * 2;
+        // C[0][0] = 1*1 + 2*3 = 7, C[1][1] = 3*2 + 4*4 = 22.
+        assert_eq!(m.peek(c), 7);
+        assert_eq!(m.peek(c + 24), 22);
+        assert!(trace.iter().any(|r| matches!(r.op, Op::Store(_))));
+    }
+
+    #[test]
+    fn matmul_memory_op_count_scales_as_n_cubed() {
+        let (_, t1) = run_kernel(&matmul(4), 10_000_000);
+        let (_, t2) = run_kernel(&matmul(8), 10_000_000);
+        let loads = |t: &[crate::TraceRecord]| {
+            t.iter().filter(|r| matches!(r.op, Op::Load(_))).count()
+        };
+        // 2 loads per inner iteration: n^3 * 2.
+        assert_eq!(loads(&t1), 4 * 4 * 4 * 2);
+        assert_eq!(loads(&t2), 8 * 8 * 8 * 2);
+    }
+
+    #[test]
+    fn list_walk_visits_every_node_each_round() {
+        let k = list_walk(64, 3);
+        let (m, trace) = run_kernel(&k, 1_000_000);
+        assert!(m.halted());
+        let loads = trace.iter().filter(|r| matches!(r.op, Op::Load(_))).count();
+        assert_eq!(loads, 64 * 3);
+        // The walk is a permutation: consecutive loads are far apart for
+        // at least some hops.
+        let addrs: Vec<u64> =
+            trace.iter().filter_map(|r| r.op.data_addr()).take(10).collect();
+        assert!(addrs.windows(2).any(|w| w[0].abs_diff(w[1]) > 64));
+    }
+
+    #[test]
+    fn stride_sum_computes_the_sum() {
+        let k = stride_sum(100, 1, 1);
+        let (m, _) = run_kernel(&k, 100_000);
+        assert!(m.halted());
+        assert_eq!(m.reg(9), 100);
+    }
+
+    #[test]
+    fn histogram_counts_all_samples() {
+        let k = histogram(64, 500);
+        let (m, _) = run_kernel(&k, 1_000_000);
+        assert!(m.halted());
+        let total: i64 = (0..64).map(|i| m.peek(DATA_BASE + 8 * i)).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn conflict_copy_addresses_share_the_dm_index() {
+        let k = conflict_copy(4, 8, 16 * 1024, 2);
+        let (m, trace) = run_kernel(&k, 1_000_000);
+        assert!(m.halted());
+        // Within one position round, the four loads map to one 16 kB-DM set.
+        let loads: Vec<u64> = trace
+            .iter()
+            .filter_map(|r| match r.op {
+                Op::Load(a) => Some((a >> 5) & 0x1FF),
+                _ => None,
+            })
+            .take(4)
+            .collect();
+        assert!(loads.windows(2).all(|w| w[0] == w[1]), "{loads:?}");
+    }
+
+    #[test]
+    fn suite_kernels_all_halt() {
+        for k in suite() {
+            let (m, trace) = run_kernel(&k, 5_000_000);
+            assert!(m.halted(), "{} did not halt within fuel", k.name);
+            assert!(!trace.is_empty());
+        }
+    }
+}

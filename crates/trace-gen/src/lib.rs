@@ -1,0 +1,48 @@
+//! # trace-gen — synthetic SPEC2K-like workloads
+//!
+//! The B-Cache paper evaluates 26 SPEC2K benchmarks on SimpleScalar.
+//! Those binaries are not redistributable, so this crate synthesizes
+//! deterministic instruction/data traces whose *cache behaviour* matches
+//! each benchmark's published signature (see [`profiles`] for the
+//! modelling rationale and DESIGN.md for the substitution argument).
+//!
+//! * [`record::TraceRecord`] / [`record::Op`] — the trace format;
+//! * [`streams`] — data-access primitives (hot sets, streaming sweeps,
+//!   pointer chases, aligned conflict groups);
+//! * [`code`] — instruction-stream modelling (loops, helper calls,
+//!   conflicting hot functions);
+//! * [`profile`] / [`profiles`] — the 26 benchmark descriptions;
+//! * [`generator::Trace`] — the deterministic generator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use trace_gen::{profiles, Op, Trace};
+//!
+//! let equake = profiles::by_name("equake").unwrap();
+//! let loads = Trace::new(&equake, 7)
+//!     .take(10_000)
+//!     .filter(|r| matches!(r.op, Op::Load(_)))
+//!     .count();
+//! assert!(loads > 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod code;
+pub mod generator;
+pub mod kernels;
+pub mod profile;
+pub mod profiles;
+pub mod record;
+pub mod streams;
+pub mod vm;
+
+pub use code::{CodeLayout, CodeLoop, CodeSegment, CodeWalker};
+pub use generator::Trace;
+pub use profile::{BenchmarkProfile, InstrMix, Suite};
+pub use kernels::{run_kernel, Kernel};
+pub use record::{Op, TraceRecord};
+pub use vm::{Insn, Machine, Program};
+pub use streams::{StreamSpec, StreamState};

@@ -1,0 +1,133 @@
+//! Benchmark profiles: the declarative description from which a trace is
+//! generated.
+
+use std::fmt;
+
+use crate::code::CodeLayout;
+use crate::streams::StreamSpec;
+
+/// Which SPEC2K suite a benchmark belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// CINT2K — integer benchmarks.
+    Int,
+    /// CFP2K — floating-point benchmarks.
+    Fp,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Suite::Int => "CINT2K",
+            Suite::Fp => "CFP2K",
+        })
+    }
+}
+
+/// Fractions of instruction classes in the dynamic stream.
+///
+/// The remainder (`1 - load - store - branch - long`) is single-cycle ALU
+/// work.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct InstrMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+    /// Fraction of long-latency (multiply/FP) operations.
+    pub long: f64,
+}
+
+impl InstrMix {
+    /// A typical integer mix.
+    pub const fn int() -> Self {
+        InstrMix { load: 0.24, store: 0.10, branch: 0.16, long: 0.04 }
+    }
+
+    /// A typical floating-point mix.
+    pub const fn fp() -> Self {
+        InstrMix { load: 0.28, store: 0.09, branch: 0.05, long: 0.14 }
+    }
+
+    /// Validates that the fractions are sane.
+    pub fn is_valid(&self) -> bool {
+        let parts = [self.load, self.store, self.branch, self.long];
+        parts.iter().all(|p| (0.0..=1.0).contains(p)) && parts.iter().sum::<f64>() <= 1.0
+    }
+}
+
+/// Everything needed to synthesize one benchmark's trace.
+#[derive(Clone, Debug)]
+pub struct BenchmarkProfile {
+    /// SPEC2K benchmark name (e.g. `"equake"`).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// Static code structure (instruction stream).
+    pub code: CodeLayout,
+    /// Weighted data streams.
+    pub data: Vec<(f64, StreamSpec)>,
+    /// Instruction-class mix.
+    pub mix: InstrMix,
+    /// Fraction of branches the front end mispredicts.
+    pub mispredict_rate: f64,
+}
+
+impl BenchmarkProfile {
+    /// Total data footprint in bytes (diagnostics).
+    pub fn data_footprint(&self) -> u64 {
+        self.data.iter().map(|(_, s)| s.footprint()).sum()
+    }
+}
+
+impl fmt::Display for BenchmarkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} data streams, {:.0} kB data footprint, {:.1} kB code",
+            self.name,
+            self.suite,
+            self.data.len(),
+            self.data_footprint() as f64 / 1024.0,
+            self.code.footprint() as f64 / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_valid() {
+        assert!(InstrMix::int().is_valid());
+        assert!(InstrMix::fp().is_valid());
+        assert!(!InstrMix { load: 0.9, store: 0.9, branch: 0.0, long: 0.0 }.is_valid());
+        assert!(!InstrMix { load: -0.1, store: 0.0, branch: 0.0, long: 0.0 }.is_valid());
+    }
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Int.to_string(), "CINT2K");
+        assert_eq!(Suite::Fp.to_string(), "CFP2K");
+    }
+
+    #[test]
+    fn footprint_sums_streams() {
+        let p = BenchmarkProfile {
+            name: "toy",
+            suite: Suite::Int,
+            code: CodeLayout::tiny(0, 1024),
+            data: vec![
+                (1.0, StreamSpec::Hot { base: 0x1000, bytes: 4096 }),
+                (1.0, StreamSpec::Strided { base: 0x8000, bytes: 8192, stride: 8 }),
+            ],
+            mix: InstrMix::int(),
+            mispredict_rate: 0.05,
+        };
+        assert_eq!(p.data_footprint(), 12288);
+        assert!(p.to_string().contains("toy"));
+    }
+}

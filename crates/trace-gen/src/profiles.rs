@@ -1,0 +1,518 @@
+//! The 26 SPEC2K benchmark models.
+//!
+//! The paper evaluates all 26 SPEC2K benchmarks on SimpleScalar with
+//! pre-compiled Alpha binaries. Those binaries and reference inputs are
+//! not redistributable, so each benchmark is modelled as a parameterised
+//! synthetic profile tuned to reproduce its *cache-relevant signature*
+//! from the paper:
+//!
+//! * **capacity-bound** benchmarks (`art`, `lucas`, `swim`, `mcf`):
+//!   streaming/pointer-chasing working sets far larger than L1; misses are
+//!   uniform across sets and no associativity helps much (paper Table 7:
+//!   "no frequent miss sets for these benchmarks");
+//! * **conflict-bound** benchmarks (`equake`, `crafty`, `fma3d`, …):
+//!   `K` arrays congruent modulo the cache size; a `K`-way cache absorbs
+//!   them, and so does a B-Cache whose PI distinguishes the arrays —
+//!   `MF ≥ K` — which is what makes the paper's MF sweep (Fig. 4/5) climb;
+//! * **far-spaced conflicts** (`wupwise`, `facerec`, `galgel`,
+//!   `sixtrack`): arrays spaced `2^19` bytes apart share all PI bits until
+//!   `MF = 64`, so the PD hits during misses and forces the victim — the
+//!   mechanism behind Fig. 3 and the benchmarks where the B-Cache trails a
+//!   4-way cache;
+//! * `wupwise`'s conflicting arrays are tiny (4 lines), so a 16-entry
+//!   victim buffer holds every victim — the one benchmark where the paper
+//!   reports the victim buffer beating the B-Cache on the data side;
+//! * `perlbmk` has more conflicting arrays (12) than `BAS = 8`, which is
+//!   why only the 32-way cache fully absorbs it in the paper.
+//!
+//! Instruction-side behaviour is modelled the same way with hot loops
+//! spaced one cache-size apart; the eleven benchmarks the paper excludes
+//! from Figure 5 (I$ miss rate < 0.01%) get a cache-resident code layout.
+
+use crate::code::CodeLayout;
+use crate::profile::{BenchmarkProfile, InstrMix, Suite};
+use crate::streams::StreamSpec;
+
+/// Base address of benchmark code (16 kB-aligned).
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base address of hot data regions.
+const HOT_BASE: u64 = 0x1000_0000;
+/// Base address of conflicting arrays; per-group offsets are added so
+/// groups land in the upper half of the 16 kB index space, away from the
+/// hot regions' sets in the baseline cache.
+const CONFLICT_BASE: u64 = 0x2000_0000;
+/// Base address of streaming regions.
+const STREAM_BASE: u64 = 0x3000_0000;
+/// Base address of pointer-chase regions.
+const CHASE_BASE: u64 = 0x5000_0000;
+
+/// The L1 size the conflict spacings are tuned for.
+const L1_BYTES: u64 = 16 * 1024;
+/// Far spacing for PD-hit-limited conflicts (Section 4.3.2, Fig. 3).
+const FAR_SPACING: u64 = 1 << 19;
+
+const KB: u64 = 1024;
+
+fn hot(bytes: u64) -> StreamSpec {
+    StreamSpec::Hot { base: HOT_BASE, bytes }
+}
+
+fn stream(bytes: u64) -> StreamSpec {
+    StreamSpec::Strided { base: STREAM_BASE, bytes, stride: 8 }
+}
+
+fn chase(bytes: u64) -> StreamSpec {
+    StreamSpec::Chase { base: CHASE_BASE, bytes }
+}
+
+/// A conflict group: `arrays` regions congruent modulo the L1 size,
+/// `offset` bytes into the cache's index space.
+///
+/// Offsets are chosen per profile so different groups stay disjoint even
+/// in the 8-way cache's reduced set space (distinct modulo 2 kB); `K`
+/// varies per group so each step of associativity (and of the B-Cache's
+/// MF) absorbs one more group — the mechanism behind the monotone climb
+/// in Figures 4, 5 and 12.
+fn conflict(offset: u64, arrays: usize, bytes: u64) -> StreamSpec {
+    StreamSpec::Conflict {
+        base: CONFLICT_BASE + offset,
+        arrays,
+        spacing: L1_BYTES,
+        bytes,
+        stride: 32,
+    }
+}
+
+/// Conflicting arrays spaced so far apart that their PIs coincide for
+/// every `MF < 64`: the PD hits during the miss and the victim is forced.
+fn far_conflict(offset: u64, arrays: usize, bytes: u64) -> StreamSpec {
+    StreamSpec::Conflict {
+        base: CONFLICT_BASE + offset,
+        arrays,
+        spacing: FAR_SPACING,
+        bytes,
+        stride: 32,
+    }
+}
+
+/// Cache-resident code: the paper's eleven sub-0.01%-miss benchmarks.
+fn icode_tiny() -> CodeLayout {
+    CodeLayout::tiny(CODE_BASE, 2048)
+}
+
+/// `loops` hot loops of `body` bytes each, spaced one L1 apart, switching
+/// after a mean of `iters` iterations.
+fn icode_conflict(loops: usize, body: u64, iters: f64) -> CodeLayout {
+    CodeLayout::conflicting(CODE_BASE, loops, body, L1_BYTES, iters)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make(
+    name: &'static str,
+    suite: Suite,
+    code: CodeLayout,
+    data: Vec<(f64, StreamSpec)>,
+    mix: InstrMix,
+    mispredict_rate: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile { name, suite, code, data, mix, mispredict_rate }
+}
+
+fn int(name: &'static str, code: CodeLayout, data: Vec<(f64, StreamSpec)>) -> BenchmarkProfile {
+    make(name, Suite::Int, code, data, InstrMix::int(), 0.06)
+}
+
+fn fp(name: &'static str, code: CodeLayout, data: Vec<(f64, StreamSpec)>) -> BenchmarkProfile {
+    make(name, Suite::Fp, code, data, InstrMix::fp(), 0.02)
+}
+
+/// All 26 SPEC2K benchmark profiles, CINT2K first, each suite in the
+/// paper's plotting order.
+pub fn all() -> Vec<BenchmarkProfile> {
+    // Footprint discipline: a set-associative cache of the same size has
+    // fewer sets, so regions that are disjoint in the 512-set baseline can
+    // overlap there. Three rules keep the conflicts genuine (absorbable by
+    // associativity or the B-Cache, not capacity misses in disguise):
+    //
+    // * conflict groups sit at offsets in [14 kB, 16 kB), which stays
+    //   disjoint from a <= 4 kB hot region in the 2-way cache's 8 kB set
+    //   space (14 kB mod 8 kB = 6 kB) and in every larger-assoc space;
+    // * groups of one profile use offsets distinct modulo 2 kB so they do
+    //   not stack in the 8-way / B-Cache group space;
+    // * the K-ladder K2 / K3 / K5-7 / K12 makes each associativity step
+    //   (and each B-Cache MF step, since MF = m separates m arrays spaced
+    //   one cache apart) absorb one more group -- the staircase of
+    //   Figures 4, 5 and 12.
+    vec![
+        // ---------------- CINT2K ----------------
+        int(
+            "bzip2",
+            icode_tiny(),
+            vec![(3.0, hot(8 * KB)), (0.3, conflict(14 * KB, 2, 256)), (1.2, stream(400 * KB))],
+        ),
+        int(
+            "crafty",
+            icode_conflict(6, 2048, 15.0),
+            vec![
+                (3.0, hot(3 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.5, conflict(14 * KB + 512, 5, 256)),
+                (0.35, chase(64 * KB)),
+            ],
+        ),
+        int(
+            "eon",
+            icode_conflict(8, 1536, 12.0),
+            vec![
+                (3.0, hot(3 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.5, conflict(14 * KB + 256, 5, 256)),
+                (0.25, stream(32 * KB)),
+            ],
+        ),
+        int(
+            "gap",
+            icode_conflict(5, 2048, 15.0),
+            vec![
+                (2.5, hot(3 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.4, conflict(14 * KB + 512, 5, 256)),
+                (0.5, stream(200 * KB)),
+            ],
+        ),
+        int(
+            "gcc",
+            icode_conflict(6, 2048, 10.0),
+            vec![
+                (2.2, hot(4 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.5, conflict(14 * KB + 256, 4, 256)),
+                (0.45, chase(128 * KB)),
+                (0.35, stream(300 * KB)),
+            ],
+        ),
+        int(
+            "gzip",
+            icode_tiny(),
+            vec![(2.5, hot(6 * KB)), (0.25, conflict(14 * KB, 2, 256)), (1.5, stream(256 * KB))],
+        ),
+        make(
+            "mcf",
+            Suite::Int,
+            icode_tiny(),
+            vec![(2.5, chase(2048 * KB)), (0.8, stream(1024 * KB)), (0.7, hot(4 * KB))],
+            InstrMix { load: 0.32, store: 0.08, branch: 0.16, long: 0.04 },
+            0.07,
+        ),
+        int(
+            "parser",
+            icode_conflict(4, 512, 25.0),
+            vec![
+                (2.5, hot(4 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.3, conflict(14 * KB + 256, 3, 256)),
+                (0.6, chase(96 * KB)),
+            ],
+        ),
+        int(
+            "perlbmk",
+            icode_conflict(6, 2048, 12.0),
+            vec![
+                (3.0, hot(4 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.35, conflict(14 * KB + 512, 12, 256)),
+                (0.3, stream(50 * KB)),
+            ],
+        ),
+        int(
+            "twolf",
+            icode_conflict(5, 2048, 15.0),
+            vec![
+                (2.5, hot(3 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.45, conflict(14 * KB + 256, 5, 256)),
+                (0.35, chase(48 * KB)),
+            ],
+        ),
+        // The paper's figures label this benchmark "votex" (vortex).
+        int(
+            "vortex",
+            icode_conflict(5, 2560, 12.0),
+            vec![
+                (2.5, hot(4 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.45, conflict(14 * KB + 256, 4, 256)),
+                (0.4, stream(150 * KB)),
+            ],
+        ),
+        int(
+            "vpr",
+            icode_tiny(),
+            vec![(2.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (0.3, chase(32 * KB))],
+        ),
+        // ---------------- CFP2K ----------------
+        fp(
+            "ammp",
+            icode_conflict(4, 512, 30.0),
+            vec![(2.0, hot(4 * KB)), (0.45, conflict(14 * KB, 4, 256)), (0.7, chase(150 * KB))],
+        ),
+        fp(
+            "applu",
+            icode_tiny(),
+            vec![(1.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (2.0, stream(500 * KB))],
+        ),
+        fp(
+            "apsi",
+            icode_conflict(5, 2048, 15.0),
+            vec![
+                (2.0, hot(4 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (0.4, conflict(14 * KB + 256, 4, 256)),
+                (0.8, stream(200 * KB)),
+            ],
+        ),
+        fp("art", icode_tiny(), vec![(1.0, hot(2 * KB)), (2.5, stream(800 * KB))]),
+        fp(
+            "equake",
+            icode_conflict(5, 2048, 12.0),
+            vec![
+                (1.8, hot(3 * KB)),
+                (0.4, conflict(14 * KB, 2, 256)),
+                (0.5, conflict(14 * KB + 256, 3, 256)),
+                (0.6, conflict(14 * KB + 512, 5, 256)),
+                (0.2, stream(100 * KB)),
+            ],
+        ),
+        fp(
+            "facerec",
+            icode_tiny(),
+            vec![
+                (1.6, hot(4 * KB)),
+                (0.35, conflict(14 * KB, 3, 256)),
+                (0.35, far_conflict(14 * KB + 768, 3, 256)),
+                (1.4, stream(300 * KB)),
+            ],
+        ),
+        fp(
+            "fma3d",
+            icode_conflict(6, 2048, 12.0),
+            vec![
+                (2.0, hot(2 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.5, conflict(14 * KB + 512, 6, 256)),
+            ],
+        ),
+        fp(
+            "galgel",
+            icode_tiny(),
+            vec![
+                (1.6, hot(6 * KB)),
+                (0.3, conflict(14 * KB, 3, 256)),
+                (0.25, far_conflict(14 * KB + 768, 2, 256)),
+                (1.4, stream(250 * KB)),
+            ],
+        ),
+        fp(
+            "lucas",
+            icode_tiny(),
+            vec![(0.4, hot(2 * KB)), (2.5, stream(1024 * KB)), (0.6, chase(256 * KB))],
+        ),
+        fp(
+            "mesa",
+            icode_conflict(4, 512, 25.0),
+            vec![(2.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (0.6, stream(150 * KB))],
+        ),
+        fp("mgrid", icode_tiny(), vec![(1.0, hot(6 * KB)), (2.2, stream(600 * KB))]),
+        fp(
+            "sixtrack",
+            icode_conflict(5, 2048, 15.0),
+            vec![
+                (2.5, hot(6 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.3, far_conflict(14 * KB + 768, 2, 256)),
+                (0.4, stream(100 * KB)),
+            ],
+        ),
+        fp("swim", icode_tiny(), vec![(0.4, hot(2 * KB)), (2.6, stream(900 * KB))]),
+        fp(
+            "wupwise",
+            icode_conflict(4, 2048, 12.0),
+            vec![
+                (2.5, hot(6 * KB)),
+                (0.6, far_conflict(14 * KB + 768, 2, 128)),
+                (0.6, stream(200 * KB)),
+            ],
+        ),
+    ]
+}
+
+
+/// Looks a profile up by its SPEC2K name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The CINT2K subset, in plotting order.
+pub fn cint() -> Vec<BenchmarkProfile> {
+    all().into_iter().filter(|p| p.suite == Suite::Int).collect()
+}
+
+/// The CFP2K subset, in plotting order.
+pub fn cfp() -> Vec<BenchmarkProfile> {
+    all().into_iter().filter(|p| p.suite == Suite::Fp).collect()
+}
+
+/// The fifteen benchmarks whose instruction-cache results the paper
+/// reports in Figure 5 (the rest have I$ miss rates below 0.01%).
+pub const ICACHE_REPORTED: [&str; 15] = [
+    "ammp", "apsi", "crafty", "eon", "equake", "fma3d", "gap", "gcc", "mesa", "parser",
+    "perlbmk", "sixtrack", "twolf", "vortex", "wupwise",
+];
+
+/// Profiles for the Figure 5 benchmarks, in the paper's order.
+pub fn icache_reported() -> Vec<BenchmarkProfile> {
+    ICACHE_REPORTED.iter().map(|n| by_name(n).expect("known benchmark")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_six_benchmarks() {
+        let profiles = all();
+        assert_eq!(profiles.len(), 26);
+        assert_eq!(cint().len(), 12);
+        assert_eq!(cfp().len(), 14);
+        let names: HashSet<&str> = profiles.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 26, "names must be unique");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("equake").is_some());
+        assert!(by_name("wupwise").is_some());
+        assert!(by_name("doom3").is_none());
+    }
+
+    #[test]
+    fn icache_reported_list_is_consistent() {
+        let reported = icache_reported();
+        assert_eq!(reported.len(), 15);
+        // Every reported benchmark has a non-trivial code layout.
+        for p in &reported {
+            assert!(p.code.loops.len() > 1, "{} should have conflicting loops", p.name);
+        }
+        // Every excluded benchmark has resident code.
+        for p in all() {
+            if !ICACHE_REPORTED.contains(&p.name) {
+                assert_eq!(p.code.loops.len(), 1, "{} should be cache-resident", p.name);
+                assert!(p.code.footprint() <= 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn every_profile_is_generatable() {
+        for p in all() {
+            assert!(p.mix.is_valid(), "{}", p.name);
+            assert!(!p.data.is_empty(), "{}", p.name);
+            let records: Vec<_> = crate::Trace::new(&p, 42).take(100).collect();
+            assert_eq!(records.len(), 100);
+        }
+    }
+
+    #[test]
+    fn capacity_benchmarks_have_large_footprints() {
+        for name in ["art", "lucas", "swim", "mcf"] {
+            let p = by_name(name).unwrap();
+            assert!(
+                p.data_footprint() > 512 * KB,
+                "{name} footprint {} too small",
+                p.data_footprint()
+            );
+        }
+    }
+
+    #[test]
+    fn far_conflict_benchmarks_share_pi_at_mf8() {
+        // For the 16 kB geometry the MF=8 PI is bits [11, 17): a 2^19
+        // spacing leaves them identical.
+        for name in ["wupwise", "facerec", "galgel", "sixtrack"] {
+            let p = by_name(name).unwrap();
+            let far = p.data.iter().any(|(_, s)| {
+                matches!(s, StreamSpec::Conflict { spacing, .. } if *spacing == FAR_SPACING)
+            });
+            assert!(far, "{name} must carry a far-spaced conflict stream");
+        }
+        let pi = |a: u64| (a >> 11) & 0x3F;
+        assert_eq!(pi(CONFLICT_BASE), pi(CONFLICT_BASE + FAR_SPACING));
+        assert_ne!(pi(CONFLICT_BASE), pi(CONFLICT_BASE + L1_BYTES));
+    }
+
+    #[test]
+    fn perlbmk_exceeds_bas8() {
+        let p = by_name("perlbmk").unwrap();
+        let max_arrays = p
+            .data
+            .iter()
+            .filter_map(|(_, s)| match s {
+                StreamSpec::Conflict { arrays, .. } => Some(*arrays),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_arrays > 8, "perlbmk needs >8-way conflicts for the 32-way gap");
+    }
+
+    #[test]
+    fn conflict_groups_avoid_hot_sets_in_the_baseline() {
+        // Hot regions start at set 0 and stay at or below 8 kB; conflict
+        // groups sit in the upper half of the 16 kB index space.
+        assert_eq!(HOT_BASE % L1_BYTES, 0);
+        for p in all() {
+            for (_, s) in &p.data {
+                match s {
+                    StreamSpec::Hot { bytes, .. } => assert!(*bytes <= 8 * KB, "{}", p.name),
+                    StreamSpec::Conflict { base, bytes, .. } => {
+                        let offset = base % L1_BYTES;
+                        assert!(offset >= 8 * KB, "{}: conflict group at {offset}", p.name);
+                        assert!(offset + bytes <= L1_BYTES, "{}", p.name);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_groups_disjoint_down_to_eight_ways() {
+        // Within one profile, near-spaced conflict groups must not overlap
+        // in the 64-set space of the 8-way cache (offsets distinct mod
+        // 2 kB), or their per-set load would add up and defeat it.
+        for p in all() {
+            let ranges: Vec<(u64, u64)> = p
+                .data
+                .iter()
+                .filter_map(|(_, s)| match s {
+                    StreamSpec::Conflict { base, bytes, spacing, .. }
+                        if *spacing == L1_BYTES =>
+                    {
+                        Some((base % 2048, base % 2048 + bytes))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (i, a) in ranges.iter().enumerate() {
+                for b in ranges.iter().skip(i + 1) {
+                    assert!(
+                        a.1 <= b.0 || b.1 <= a.0,
+                        "{}: groups {a:?} and {b:?} overlap mod 2 kB",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}

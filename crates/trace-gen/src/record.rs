@@ -1,0 +1,88 @@
+//! Trace records: the dynamic instruction stream consumed by the cache
+//! models and the CPU timing model.
+
+use std::fmt;
+
+/// One dynamic instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Byte address of the instruction.
+    pub pc: u64,
+    /// What the instruction does.
+    pub op: Op,
+}
+
+/// Instruction classes distinguished by the timing model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Multi-cycle operation (multiply, FP arithmetic).
+    Long,
+    /// Data load from the given byte address.
+    Load(u64),
+    /// Data store to the given byte address.
+    Store(u64),
+    /// Control transfer; `mispredict` marks a branch the front end will
+    /// mispredict (the trace generator samples these from the profile's
+    /// misprediction rate).
+    Branch {
+        /// Whether the branch redirects fetch with a penalty.
+        mispredict: bool,
+    },
+}
+
+impl Op {
+    /// The data address touched, if this is a memory operation.
+    pub const fn data_addr(self) -> Option<u64> {
+        match self {
+            Op::Load(a) | Op::Store(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a load or store.
+    pub const fn is_mem(self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Alu => write!(f, "alu"),
+            Op::Long => write!(f, "long"),
+            Op::Load(a) => write!(f, "load {a:#x}"),
+            Op::Store(a) => write!(f, "store {a:#x}"),
+            Op::Branch { mispredict: true } => write!(f, "branch (mispredicted)"),
+            Op::Branch { mispredict: false } => write!(f, "branch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_addr_only_for_memory_ops() {
+        assert_eq!(Op::Load(0x100).data_addr(), Some(0x100));
+        assert_eq!(Op::Store(0x200).data_addr(), Some(0x200));
+        assert_eq!(Op::Alu.data_addr(), None);
+        assert_eq!(Op::Branch { mispredict: false }.data_addr(), None);
+    }
+
+    #[test]
+    fn is_mem_classification() {
+        assert!(Op::Load(0).is_mem());
+        assert!(Op::Store(0).is_mem());
+        assert!(!Op::Long.is_mem());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for op in [Op::Alu, Op::Long, Op::Load(1), Op::Store(2), Op::Branch { mispredict: true }] {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

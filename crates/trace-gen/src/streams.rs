@@ -1,0 +1,240 @@
+//! Data reference streams: the primitives composed into benchmark
+//! profiles.
+//!
+//! Each primitive captures one access idiom whose cache behaviour is well
+//! understood, so a profile built from weighted primitives has a
+//! predictable set-usage signature:
+//!
+//! * [`StreamSpec::Hot`] — a resident working set, mostly hits;
+//! * [`StreamSpec::Strided`] — a streaming sweep much larger than the
+//!   cache, pure capacity misses with spatial locality;
+//! * [`StreamSpec::Chase`] — pointer chasing, capacity misses without
+//!   spatial locality;
+//! * [`StreamSpec::Conflict`] — `arrays` regions whose bases are congruent
+//!   modulo `spacing`, interleaved round-robin: the canonical conflict-miss
+//!   generator. With `spacing` = the cache size they thrash a
+//!   direct-mapped cache, are absorbed by an `arrays`-way cache, and are
+//!   absorbed by a B-Cache whose PI distinguishes the bases.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Declarative description of one data stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamSpec {
+    /// Uniform random word accesses within a hot region of `bytes`.
+    Hot {
+        /// Base byte address.
+        base: u64,
+        /// Region size in bytes.
+        bytes: u64,
+    },
+    /// Sequential sweep with the given word stride, wrapping around.
+    Strided {
+        /// Base byte address.
+        base: u64,
+        /// Region size in bytes.
+        bytes: u64,
+        /// Stride between consecutive accesses in bytes.
+        stride: u64,
+    },
+    /// Pseudo-random block walk (no spatial locality) within a region.
+    Chase {
+        /// Base byte address.
+        base: u64,
+        /// Region size in bytes.
+        bytes: u64,
+    },
+    /// Round-robin interleaving over `arrays` regions spaced `spacing`
+    /// bytes apart (bases congruent mod `spacing`), each `bytes` long,
+    /// advancing by `stride` after each full round.
+    Conflict {
+        /// Base byte address of array 0.
+        base: u64,
+        /// Number of conflicting arrays.
+        arrays: usize,
+        /// Byte distance between consecutive array bases.
+        spacing: u64,
+        /// Length of each array in bytes.
+        bytes: u64,
+        /// Bytes advanced per round.
+        stride: u64,
+    },
+}
+
+impl StreamSpec {
+    /// Instantiates the runtime state for this stream.
+    pub fn instantiate(&self) -> StreamState {
+        StreamState { spec: self.clone(), pos: 0, arr: 0, lcg: 0x9E3779B97F4A7C15 }
+    }
+
+    /// The total footprint in bytes (for diagnostics).
+    pub fn footprint(&self) -> u64 {
+        match *self {
+            StreamSpec::Hot { bytes, .. }
+            | StreamSpec::Strided { bytes, .. }
+            | StreamSpec::Chase { bytes, .. } => bytes,
+            StreamSpec::Conflict { arrays, bytes, .. } => arrays as u64 * bytes,
+        }
+    }
+}
+
+/// Mutable cursor over one [`StreamSpec`].
+#[derive(Clone, Debug)]
+pub struct StreamState {
+    spec: StreamSpec,
+    pos: u64,
+    arr: usize,
+    lcg: u64,
+}
+
+impl StreamState {
+    /// Produces the next byte address of the stream.
+    ///
+    /// Addresses are word-aligned (4 bytes). `rng` supplies the random
+    /// choices of the `Hot` primitive and intra-line jitter.
+    pub fn next(&mut self, rng: &mut StdRng) -> u64 {
+        match self.spec {
+            StreamSpec::Hot { base, bytes } => {
+                let words = (bytes / 4).max(1);
+                base + rng.gen_range(0..words) * 4
+            }
+            StreamSpec::Strided { base, bytes, stride } => {
+                let addr = base + self.pos;
+                self.pos = (self.pos + stride) % bytes.max(1);
+                addr
+            }
+            StreamSpec::Chase { base, bytes } => {
+                let blocks = (bytes / 32).max(1);
+                self.lcg = self
+                    .lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let block = (self.lcg >> 33) % blocks;
+                base + block * 32 + rng.gen_range(0..8) * 4
+            }
+            StreamSpec::Conflict { base, arrays, spacing, bytes, stride } => {
+                let addr = base + self.arr as u64 * spacing + self.pos;
+                self.arr += 1;
+                if self.arr == arrays {
+                    self.arr = 0;
+                    self.pos = (self.pos + stride) % bytes.max(1);
+                }
+                addr
+            }
+        }
+    }
+
+    /// The spec this state was built from.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn hot_stays_in_region() {
+        let mut s = StreamSpec::Hot { base: 0x1000, bytes: 4096 }.instantiate();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let a = s.next(&mut r);
+            assert!((0x1000..0x2000).contains(&a));
+            assert_eq!(a % 4, 0);
+        }
+    }
+
+    #[test]
+    fn strided_sweeps_and_wraps() {
+        let mut s = StreamSpec::Strided { base: 0x100, bytes: 64, stride: 16 }.instantiate();
+        let mut r = rng();
+        let addrs: Vec<u64> = (0..6).map(|_| s.next(&mut r)).collect();
+        assert_eq!(addrs, vec![0x100, 0x110, 0x120, 0x130, 0x100, 0x110]);
+    }
+
+    #[test]
+    fn chase_is_deterministic_and_bounded() {
+        let mut a = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
+        let mut b = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..500 {
+            let x = a.next(&mut ra);
+            assert_eq!(x, b.next(&mut rb));
+            assert!(x < 1 << 16);
+        }
+    }
+
+    #[test]
+    fn chase_visits_many_blocks() {
+        let mut s = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
+        let mut r = rng();
+        let mut blocks = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            blocks.insert(s.next(&mut r) / 32);
+        }
+        assert!(blocks.len() > 1000, "only {} distinct blocks", blocks.len());
+    }
+
+    #[test]
+    fn conflict_round_robins_across_arrays() {
+        let spec = StreamSpec::Conflict {
+            base: 0x4000,
+            arrays: 3,
+            spacing: 16 * 1024,
+            bytes: 128,
+            stride: 32,
+        };
+        let mut s = spec.instantiate();
+        let mut r = rng();
+        let a: Vec<u64> = (0..7).map(|_| s.next(&mut r)).collect();
+        assert_eq!(a[0], 0x4000);
+        assert_eq!(a[1], 0x4000 + 16 * 1024);
+        assert_eq!(a[2], 0x4000 + 32 * 1024);
+        assert_eq!(a[3], 0x4020, "position advances after a full round");
+        assert_eq!(a[6], 0x4040);
+        // All congruent modulo the spacing: guaranteed DM conflicts.
+        for w in a.windows(1) {
+            assert_eq!(w[0] % 32, 0);
+        }
+    }
+
+    #[test]
+    fn conflict_addresses_share_cache_index() {
+        let spec = StreamSpec::Conflict {
+            base: 0x8000,
+            arrays: 4,
+            spacing: 16 * 1024,
+            bytes: 64,
+            stride: 32,
+        };
+        let mut s = spec.instantiate();
+        let mut r = rng();
+        // For a 16 kB / 32 B DM cache, index = bits [5, 14).
+        let index = |a: u64| (a >> 5) & 0x1FF;
+        let first = s.next(&mut r);
+        for _ in 0..3 {
+            assert_eq!(index(s.next(&mut r)), index(first));
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_for_all_arrays() {
+        let spec = StreamSpec::Conflict {
+            base: 0,
+            arrays: 4,
+            spacing: 1 << 14,
+            bytes: 256,
+            stride: 32,
+        };
+        assert_eq!(spec.footprint(), 1024);
+        assert_eq!(StreamSpec::Hot { base: 0, bytes: 4096 }.footprint(), 4096);
+    }
+}

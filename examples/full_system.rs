@@ -1,0 +1,55 @@
+//! Full-system comparison on one benchmark: baseline, 8-way, victim
+//! buffer and B-Cache L1s driving the Table 4 out-of-order processor,
+//! reporting miss rates, IPC and normalized memory energy (the Figure
+//! 8/9 pipeline on a single benchmark).
+//!
+//! Run with: `cargo run --release --example full_system [benchmark]`
+
+use std::env;
+
+use harness::config::CacheConfig;
+use harness::perf::{run_config, PerfRow};
+use harness::run::RunLength;
+use trace_gen::profiles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = env::args().nth(1).unwrap_or_else(|| "equake".to_string());
+    let profile = profiles::by_name(&benchmark)
+        .ok_or_else(|| format!("unknown benchmark {benchmark:?}"))?;
+    let len = RunLength::with_records(1_000_000);
+
+    let configs = [
+        CacheConfig::DirectMapped,
+        CacheConfig::SetAssoc(8),
+        CacheConfig::Victim(16),
+        CacheConfig::BCache { mf: 8, bas: 8 },
+    ];
+    println!("simulating {benchmark} for {} instructions per configuration…\n", len.records);
+    let row = PerfRow {
+        benchmark: benchmark.clone(),
+        outcomes: configs.iter().map(|c| run_config(&profile, c, len)).collect(),
+    };
+    let energy = row.normalized_energy();
+
+    println!(
+        "{:>12} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "config", "IPC", "IPC gain", "L1 misses", "mem accesses", "energy"
+    );
+    for (i, o) in row.outcomes.iter().enumerate() {
+        println!(
+            "{:>12} {:>8.3} {:>9.1}% {:>12} {:>12} {:>10.3}",
+            o.label,
+            o.ipc,
+            row.ipc_improvement(i) * 100.0,
+            o.counts.l1_misses,
+            o.counts.l2_misses,
+            energy[i]
+        );
+    }
+    println!(
+        "\nThe B-Cache keeps the baseline's one-cycle hits (unlike the victim buffer's\n\
+         swap hits) while approaching the 8-way cache's miss rate at a fraction of its\n\
+         per-access energy."
+    );
+    Ok(())
+}

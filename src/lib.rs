@@ -1,0 +1,19 @@
+//! Umbrella crate for the B-Cache reproduction workspace.
+//!
+//! Re-exports the member crates so the `examples/` and `tests/`
+//! directories can use a single dependency. See the individual crates for
+//! documentation:
+//!
+//! * [`bcache_core`] — the Balanced Cache itself (the paper's contribution);
+//! * [`cache_sim`] — baseline caches and the memory hierarchy;
+//! * [`trace_gen`] — synthetic SPEC2K-like workloads;
+//! * [`cpu_model`] — the 4-issue out-of-order timing model;
+//! * [`power_model`] — timing/energy/area models;
+//! * [`harness`] — experiment drivers for every table and figure.
+
+pub use bcache_core;
+pub use cache_sim;
+pub use cpu_model;
+pub use harness;
+pub use power_model;
+pub use trace_gen;
