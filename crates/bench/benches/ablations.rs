@@ -22,7 +22,11 @@ fn miss_rate(benchmark: &str, params: BCacheParams) -> f64 {
     let mut bc = BalancedCache::new(params);
     for r in Trace::new(&profile, 1).take(RECORDS) {
         if let Some(a) = r.op.data_addr() {
-            let kind = if matches!(r.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if matches!(r.op, Op::Store(_)) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             bc.access(Addr::new(a), kind);
         }
     }
@@ -32,7 +36,9 @@ fn miss_rate(benchmark: &str, params: BCacheParams) -> f64 {
 fn bench_replacement_policy(c: &mut Criterion) {
     // Section 3.3: LRU vs random replacement in the B-Cache.
     let lru = BCacheParams::new(geom(), 8, 8, PolicyKind::Lru).unwrap();
-    let rnd = BCacheParams::new(geom(), 8, 8, PolicyKind::Random).unwrap().with_seed(7);
+    let rnd = BCacheParams::new(geom(), 8, 8, PolicyKind::Random)
+        .unwrap()
+        .with_seed(7);
     eprintln!(
         "[ablation] equake D$ miss rate: LRU {:.3}% vs random {:.3}%",
         miss_rate("equake", lru) * 100.0,

@@ -21,7 +21,14 @@ fn bench_fig3(c: &mut Criterion) {
     for mf in [8usize, 64] {
         g.bench_function(format!("wupwise-MF{mf}"), |b| {
             b.iter(|| {
-                black_box(run_bcache_pd_stats(&profile, mf, 8, 16 * 1024, Side::Data, len()))
+                black_box(run_bcache_pd_stats(
+                    &profile,
+                    mf,
+                    8,
+                    16 * 1024,
+                    Side::Data,
+                    len(),
+                ))
             })
         });
     }
@@ -39,7 +46,15 @@ fn bench_fig4(c: &mut Criterion) {
     for name in ["equake", "mcf"] {
         let profile = profiles::by_name(name).unwrap();
         g.bench_function(name, |b| {
-            b.iter(|| black_box(run_miss_rates(&profile, &configs, 16 * 1024, Side::Data, len())))
+            b.iter(|| {
+                black_box(run_miss_rates(
+                    &profile,
+                    &configs,
+                    16 * 1024,
+                    Side::Data,
+                    len(),
+                ))
+            })
         });
     }
     g.finish();
@@ -54,7 +69,13 @@ fn bench_fig5(c: &mut Criterion) {
         let profile = profiles::by_name(name).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| {
-                black_box(run_miss_rates(&profile, &configs, 16 * 1024, Side::Instruction, len()))
+                black_box(run_miss_rates(
+                    &profile,
+                    &configs,
+                    16 * 1024,
+                    Side::Instruction,
+                    len(),
+                ))
             })
         });
     }
@@ -92,7 +113,10 @@ fn bench_fig9(c: &mut Criterion) {
         b.iter(|| {
             let row = perf::PerfRow {
                 benchmark: "gzip".into(),
-                outcomes: configs.iter().map(|c| perf::run_config(&profile, c, len())).collect(),
+                outcomes: configs
+                    .iter()
+                    .map(|c| perf::run_config(&profile, c, len()))
+                    .collect(),
             };
             black_box(row.normalized_energy())
         })
@@ -114,5 +138,13 @@ fn bench_fig12(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(figures, bench_fig3, bench_fig4, bench_fig5, bench_fig8, bench_fig9, bench_fig12);
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig8,
+    bench_fig9,
+    bench_fig12
+);
 criterion_main!(figures);

@@ -18,7 +18,9 @@ fn addresses() -> Vec<Addr> {
     let mut x = 0x1234_5678u64;
     (0..N)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Addr::new((x >> 16) % (1 << 20))
         })
         .collect()
@@ -39,18 +41,32 @@ fn bench_cache_models(c: &mut Criterion) {
             })
         });
     };
-    run("direct-mapped", Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()));
+    run(
+        "direct-mapped",
+        Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+    );
     run(
         "8-way-lru",
         Box::new(SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap()),
     );
-    run("victim16", Box::new(VictimCache::new(16 * 1024, 32, 16).unwrap()));
+    run(
+        "victim16",
+        Box::new(VictimCache::new(16 * 1024, 32, 16).unwrap()),
+    );
     run(
         "bcache-mf8-bas8",
-        Box::new(BalancedCache::new(BCacheParams::paper_default(geom).unwrap())),
+        Box::new(BalancedCache::new(
+            BCacheParams::paper_default(geom).unwrap(),
+        )),
     );
-    run("column-assoc", Box::new(ColumnAssociativeCache::new(16 * 1024, 32).unwrap()));
-    run("skewed-2way", Box::new(SkewedAssociativeCache::new(16 * 1024, 32).unwrap()));
+    run(
+        "column-assoc",
+        Box::new(ColumnAssociativeCache::new(16 * 1024, 32).unwrap()),
+    );
+    run(
+        "skewed-2way",
+        Box::new(SkewedAssociativeCache::new(16 * 1024, 32).unwrap()),
+    );
     g.finish();
 }
 

@@ -14,7 +14,9 @@ fn len() -> RunLength {
 
 fn bench_tab1(c: &mut Criterion) {
     c.benchmark_group("tab1")
-        .bench_function("decoder-timing-rows", |b| b.iter(|| black_box(table1_rows())))
+        .bench_function("decoder-timing-rows", |b| {
+            b.iter(|| black_box(table1_rows()))
+        })
         .bench_function("render", |b| b.iter(|| black_box(tables::render_table1())));
 }
 
@@ -30,7 +32,9 @@ fn bench_tab2(c: &mut Criterion) {
 
 fn bench_tab3(c: &mut Criterion) {
     c.benchmark_group("tab3")
-        .bench_function("energy-breakdowns", |b| b.iter(|| black_box(tables::table3_breakdowns())))
+        .bench_function("energy-breakdowns", |b| {
+            b.iter(|| black_box(tables::table3_breakdowns()))
+        })
         .bench_function("render", |b| b.iter(|| black_box(tables::render_table3())));
 }
 
@@ -47,7 +51,16 @@ fn bench_tab5_tab6(c: &mut Criterion) {
     for (mf, bas) in [(8usize, 8usize), (16, 4)] {
         let profile = profiles::by_name("twolf").unwrap();
         g.bench_function(format!("cell-MF{mf}-BAS{bas}"), |b| {
-            b.iter(|| black_box(run_bcache_pd_stats(&profile, mf, bas, 16 * 1024, Side::Data, len())))
+            b.iter(|| {
+                black_box(run_bcache_pd_stats(
+                    &profile,
+                    mf,
+                    bas,
+                    16 * 1024,
+                    Side::Data,
+                    len(),
+                ))
+            })
         });
     }
     g.finish();
@@ -66,5 +79,13 @@ fn bench_tab7(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(tables_group, bench_tab1, bench_tab2, bench_tab3, bench_tab4, bench_tab5_tab6, bench_tab7);
+criterion_group!(
+    tables_group,
+    bench_tab1,
+    bench_tab2,
+    bench_tab3,
+    bench_tab4,
+    bench_tab5_tab6,
+    bench_tab7
+);
 criterion_main!(tables_group);

@@ -51,7 +51,11 @@ impl Addr {
         if count == 0 {
             return 0;
         }
-        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        let mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
         (self.0 >> lo) & mask
     }
 

@@ -126,7 +126,10 @@ impl AgacCache {
         let id = self.blocks[frame];
         // Drop any out-of-position mapping for the evicted line.
         self.out_dir.retain(|&(b, f)| !(b == id && f == frame));
-        let ev = Eviction { block: self.block_addr(id), dirty: self.dirty[frame] };
+        let ev = Eviction {
+            block: self.block_addr(id),
+            dirty: self.dirty[frame],
+        };
         if ev.dirty {
             self.stats.record_writeback();
         }
@@ -268,7 +271,10 @@ mod tests {
         c.access(Addr::new(256), AccessKind::Read);
         let r = c.access(Addr::new(0), AccessKind::Read);
         assert!(r.hit, "recently used line must survive in a hole");
-        assert_eq!(r.extra_latency, 2, "out-of-position hits take 3 cycles total");
+        assert_eq!(
+            r.extra_latency, 2,
+            "out-of-position hits take 3 cycles total"
+        );
         assert_eq!(c.relocated_hits(), 1);
     }
 
@@ -310,7 +316,7 @@ mod tests {
         c.access(Addr::new(0), AccessKind::Write);
         c.access(Addr::new(0), AccessKind::Read);
         c.access(Addr::new(256), AccessKind::Read); // 0 relocates, dirty
-        // Flood every frame so the dirty relocated line eventually dies.
+                                                    // Flood every frame so the dirty relocated line eventually dies.
         for k in 0..64u64 {
             c.access(Addr::new(0x2000 + k * 32), AccessKind::Read);
         }
@@ -329,6 +335,9 @@ mod tests {
 
     #[test]
     fn label_is_descriptive() {
-        assert_eq!(AgacCache::new(16 * 1024, 32, 64).unwrap().label(), "16k-agac");
+        assert_eq!(
+            AgacCache::new(16 * 1024, 32, 64).unwrap().label(),
+            "16k-agac"
+        );
     }
 }

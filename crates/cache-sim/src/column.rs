@@ -95,7 +95,10 @@ impl ColumnAssociativeCache {
         if !self.valid[slot] {
             return None;
         }
-        let ev = Eviction { block: self.block_addr(self.blocks[slot]), dirty: self.dirty[slot] };
+        let ev = Eviction {
+            block: self.block_addr(self.blocks[slot]),
+            dirty: self.dirty[slot],
+        };
         if ev.dirty {
             self.stats.record_writeback();
         }
@@ -273,6 +276,9 @@ mod tests {
 
     #[test]
     fn label_is_descriptive() {
-        assert_eq!(ColumnAssociativeCache::new(16 * 1024, 32).unwrap().label(), "16k-column");
+        assert_eq!(
+            ColumnAssociativeCache::new(16 * 1024, 32).unwrap().label(),
+            "16k-column"
+        );
     }
 }

@@ -186,7 +186,10 @@ mod tests {
         c.access(b, AccessKind::Read);
         let wa = c.selected_way(a).unwrap();
         let wb = c.selected_way(b).unwrap();
-        assert_ne!(wa, wb, "the two resident blocks must route to different ways");
+        assert_ne!(
+            wa, wb,
+            "the two resident blocks must route to different ways"
+        );
         // The routed accesses hit.
         assert!(c.access(a, AccessKind::Read).hit);
         assert!(c.access(b, AccessKind::Read).hit);
@@ -226,6 +229,9 @@ mod tests {
 
     #[test]
     fn label_is_descriptive() {
-        assert_eq!(DifferenceBitCache::new(16 * 1024, 32).unwrap().label(), "16k-diffbit");
+        assert_eq!(
+            DifferenceBitCache::new(16 * 1024, 32).unwrap().label(),
+            "16k-diffbit"
+        );
     }
 }

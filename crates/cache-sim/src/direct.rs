@@ -51,7 +51,10 @@ impl DirectMappedCache {
     /// not direct-mapped.
     pub fn from_geometry(geom: CacheGeometry) -> Result<Self, GeometryError> {
         if geom.assoc() != 1 {
-            return Err(GeometryError::AssocLargerThanLines { assoc: geom.assoc(), lines: 1 });
+            return Err(GeometryError::AssocLargerThanLines {
+                assoc: geom.assoc(),
+                lines: 1,
+            });
         }
         let sets = geom.sets();
         Ok(DirectMappedCache {
@@ -137,7 +140,10 @@ mod tests {
     fn cold_miss_then_hit() {
         let mut c = tiny();
         assert!(!c.access(Addr::new(0x40), AccessKind::Read).hit);
-        assert!(c.access(Addr::new(0x5f), AccessKind::Read).hit, "same line must hit");
+        assert!(
+            c.access(Addr::new(0x5f), AccessKind::Read).hit,
+            "same line must hit"
+        );
         assert_eq!(c.stats().total().misses(), 1);
         assert_eq!(c.stats().total().hits(), 1);
     }
@@ -214,7 +220,10 @@ mod tests {
         c.access(Addr::new(0x40), AccessKind::Read);
         c.reset_stats();
         assert_eq!(c.stats().total().accesses(), 0);
-        assert!(c.access(Addr::new(0x40), AccessKind::Read).hit, "contents must survive reset");
+        assert!(
+            c.access(Addr::new(0x40), AccessKind::Read).hit,
+            "contents must survive reset"
+        );
     }
 
     #[test]
@@ -225,6 +234,9 @@ mod tests {
 
     #[test]
     fn label_mentions_size() {
-        assert_eq!(DirectMappedCache::new(16 * 1024, 32).unwrap().label(), "16k-dm");
+        assert_eq!(
+            DirectMappedCache::new(16 * 1024, 32).unwrap().label(),
+            "16k-dm"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl fmt::Display for GeometryError {
                 write!(f, "associativity {assoc} exceeds line count {lines}")
             }
             GeometryError::AddrTooNarrow { addr_bits, needed } => {
-                write!(f, "address width {addr_bits} cannot hold {needed} offset+index bits")
+                write!(
+                    f,
+                    "address width {addr_bits} cannot hold {needed} offset+index bits"
+                )
             }
         }
     }
@@ -130,13 +133,21 @@ impl CacheGeometry {
             }
         }
         if line_bytes > size_bytes {
-            return Err(GeometryError::LineLargerThanCache { line: line_bytes, size: size_bytes });
+            return Err(GeometryError::LineLargerThanCache {
+                line: line_bytes,
+                size: size_bytes,
+            });
         }
         let lines = size_bytes / line_bytes;
         if assoc > lines {
             return Err(GeometryError::AssocLargerThanLines { assoc, lines });
         }
-        let geom = CacheGeometry { size_bytes, line_bytes, assoc, addr_bits };
+        let geom = CacheGeometry {
+            size_bytes,
+            line_bytes,
+            assoc,
+            addr_bits,
+        };
         let needed = geom.offset_bits() + geom.index_bits();
         if addr_bits > 64 || addr_bits < needed {
             return Err(GeometryError::AddrTooNarrow { addr_bits, needed });
@@ -229,7 +240,13 @@ impl fmt::Display for CacheGeometry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let size = self.size_bytes;
         if size.is_multiple_of(1024) {
-            write!(f, "{}kB/{}B/{}-way", size / 1024, self.line_bytes, self.assoc)
+            write!(
+                f,
+                "{}kB/{}B/{}-way",
+                size / 1024,
+                self.line_bytes,
+                self.assoc
+            )
         } else {
             write!(f, "{}B/{}B/{}-way", size, self.line_bytes, self.assoc)
         }
@@ -283,19 +300,31 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheGeometry::new(3000, 32, 1),
-            Err(GeometryError::NotPowerOfTwo { what: "cache size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 33, 1),
-            Err(GeometryError::NotPowerOfTwo { what: "line size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 32, 3),
-            Err(GeometryError::NotPowerOfTwo { what: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 32, 0),
-            Err(GeometryError::NotPowerOfTwo { what: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
     }
 

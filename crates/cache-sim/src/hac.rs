@@ -58,7 +58,10 @@ impl HighlyAssociativeCache {
         }
         let assoc = subarray_bytes / line_bytes;
         let inner = SetAssociativeCache::new(size_bytes, line_bytes, assoc, PolicyKind::Lru, 0)?;
-        Ok(HighlyAssociativeCache { inner, subarray_bytes })
+        Ok(HighlyAssociativeCache {
+            inner,
+            subarray_bytes,
+        })
     }
 
     /// Size of each fully-associative subarray in bytes.

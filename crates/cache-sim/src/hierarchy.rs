@@ -21,7 +21,11 @@ pub struct LatencyConfig {
 impl Default for LatencyConfig {
     fn default() -> Self {
         // Table 4: L1 one-cycle, L2 6-cycle hit, 100-cycle main memory.
-        LatencyConfig { l1_hit: 1, l2_hit: 6, memory: 100 }
+        LatencyConfig {
+            l1_hit: 1,
+            l2_hit: 6,
+            memory: 100,
+        }
     }
 }
 
@@ -70,7 +74,14 @@ impl MemoryHierarchy {
         l2: SetAssociativeCache,
         latency: LatencyConfig,
     ) -> Self {
-        MemoryHierarchy { l1i, l1d, l2, latency, l2_accesses: 0, memory_accesses: 0 }
+        MemoryHierarchy {
+            l1i,
+            l1d,
+            l2,
+            latency,
+            l2_accesses: 0,
+            memory_accesses: 0,
+        }
     }
 
     /// Services an instruction fetch; returns its latency in cycles.
@@ -88,7 +99,10 @@ impl MemoryHierarchy {
 
     /// Services a data access; returns its latency in cycles.
     pub fn data_access(&mut self, addr: Addr, kind: AccessKind) -> u64 {
-        debug_assert!(!matches!(kind, AccessKind::InstrFetch), "use fetch() for instructions");
+        debug_assert!(
+            !matches!(kind, AccessKind::InstrFetch),
+            "use fetch() for instructions"
+        );
         let r = self.l1d.access(addr, kind);
         let mut cycles = self.latency.l1_hit + u64::from(r.extra_latency);
         if !r.hit {
@@ -205,7 +219,10 @@ mod tests {
     fn latency_tiers() {
         let mut h = hierarchy();
         // Cold: L1 miss + L2 miss.
-        assert_eq!(h.data_access(Addr::new(0x100), AccessKind::Read), 1 + 6 + 100);
+        assert_eq!(
+            h.data_access(Addr::new(0x100), AccessKind::Read),
+            1 + 6 + 100
+        );
         // L1 hit.
         assert_eq!(h.data_access(Addr::new(0x100), AccessKind::Read), 1);
         // Conflict out of L1 (1 kB apart), but L2 holds the 128 B block.
@@ -231,7 +248,10 @@ mod tests {
         let l2_before = h.l2_accesses();
         // Evict the dirty block from L1 (1 kB conflict).
         h.data_access(Addr::new(1024), AccessKind::Read);
-        assert!(h.l2_accesses() > l2_before, "refill plus write-back must touch L2");
+        assert!(
+            h.l2_accesses() > l2_before,
+            "refill plus write-back must touch L2"
+        );
         assert_eq!(h.l1d().stats().writebacks(), 1);
         // The written-back block now hits in L2.
         assert_eq!(h.data_access(Addr::new(0x0), AccessKind::Read), 1 + 6);

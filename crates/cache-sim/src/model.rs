@@ -50,17 +50,29 @@ pub struct AccessResult {
 impl AccessResult {
     /// A plain single-cycle hit.
     pub const fn hit() -> Self {
-        AccessResult { hit: true, extra_latency: 0, evicted: None }
+        AccessResult {
+            hit: true,
+            extra_latency: 0,
+            evicted: None,
+        }
     }
 
     /// A hit that costs `extra` additional cycles.
     pub const fn slow_hit(extra: u32) -> Self {
-        AccessResult { hit: true, extra_latency: extra, evicted: None }
+        AccessResult {
+            hit: true,
+            extra_latency: extra,
+            evicted: None,
+        }
     }
 
     /// A miss, optionally evicting a block.
     pub const fn miss(evicted: Option<Eviction>) -> Self {
-        AccessResult { hit: false, extra_latency: 0, evicted }
+        AccessResult {
+            hit: false,
+            extra_latency: 0,
+            evicted,
+        }
     }
 }
 
@@ -138,7 +150,10 @@ mod tests {
         assert!(AccessResult::hit().hit);
         assert_eq!(AccessResult::hit().extra_latency, 0);
         assert_eq!(AccessResult::slow_hit(2).extra_latency, 2);
-        let ev = Eviction { block: Addr::new(0x40), dirty: true };
+        let ev = Eviction {
+            block: Addr::new(0x40),
+            dirty: true,
+        };
         let r = AccessResult::miss(Some(ev));
         assert!(!r.hit);
         assert_eq!(r.evicted, Some(ev));

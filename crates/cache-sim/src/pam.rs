@@ -141,7 +141,11 @@ impl CacheModel for PartialMatchCache {
     }
 
     fn label(&self) -> String {
-        format!("{}k-pam{}", self.geometry().size_bytes() / 1024, self.pad_bits)
+        format!(
+            "{}k-pam{}",
+            self.geometry().size_bytes() / 1024,
+            self.pad_bits
+        )
     }
 }
 
@@ -222,6 +226,9 @@ mod tests {
 
     #[test]
     fn label_mentions_pad_width() {
-        assert_eq!(PartialMatchCache::new(16 * 1024, 32, 5).unwrap().label(), "16k-pam5");
+        assert_eq!(
+            PartialMatchCache::new(16 * 1024, 32, 5).unwrap().label(),
+            "16k-pam5"
+        );
     }
 }

@@ -66,7 +66,12 @@ pub trait ReplacementPolicy: fmt::Debug {
 ///
 /// Panics if `sets` or `assoc` is zero, or if `TreePlru` is requested with
 /// a non-power-of-two associativity.
-pub fn make_policy(kind: PolicyKind, sets: usize, assoc: usize, seed: u64) -> Box<dyn ReplacementPolicy> {
+pub fn make_policy(
+    kind: PolicyKind,
+    sets: usize,
+    assoc: usize,
+    seed: u64,
+) -> Box<dyn ReplacementPolicy> {
     assert!(sets > 0 && assoc > 0, "policy grid must be non-empty");
     match kind {
         PolicyKind::Lru => Box::new(Lru::new(sets, assoc)),
@@ -87,7 +92,11 @@ pub struct Lru {
 impl Lru {
     /// Creates LRU state for a `(sets, assoc)` grid.
     pub fn new(sets: usize, assoc: usize) -> Self {
-        Lru { assoc, stamps: vec![0; sets * assoc], clock: 0 }
+        Lru {
+            assoc,
+            stamps: vec![0; sets * assoc],
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -132,7 +141,11 @@ pub struct Fifo {
 impl Fifo {
     /// Creates FIFO state for a `(sets, assoc)` grid.
     pub fn new(sets: usize, assoc: usize) -> Self {
-        Fifo { assoc, fill_stamps: vec![0; sets * assoc], clock: 0 }
+        Fifo {
+            assoc,
+            fill_stamps: vec![0; sets * assoc],
+            clock: 0,
+        }
     }
 }
 
@@ -170,13 +183,18 @@ impl RandomPolicy {
     /// Creates random-replacement state; `sets` is accepted for interface
     /// symmetry but unused.
     pub fn new(_sets: usize, assoc: usize, seed: u64) -> Self {
-        RandomPolicy { assoc, rng: StdRng::seed_from_u64(seed) }
+        RandomPolicy {
+            assoc,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl fmt::Debug for RandomPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RandomPolicy").field("assoc", &self.assoc).finish()
+        f.debug_struct("RandomPolicy")
+            .field("assoc", &self.assoc)
+            .finish()
     }
 }
 
@@ -213,8 +231,14 @@ impl TreePlru {
     ///
     /// Panics if `assoc` is not a power of two.
     pub fn new(sets: usize, assoc: usize) -> Self {
-        assert!(assoc.is_power_of_two(), "tree-PLRU requires power-of-two associativity");
-        TreePlru { assoc, bits: vec![false; sets * (assoc.max(2) - 1)] }
+        assert!(
+            assoc.is_power_of_two(),
+            "tree-PLRU requires power-of-two associativity"
+        );
+        TreePlru {
+            assoc,
+            bits: vec![false; sets * (assoc.max(2) - 1)],
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -332,7 +356,10 @@ mod tests {
         let mut a = RandomPolicy::new(1, 8, 1);
         let mut b = RandomPolicy::new(1, 8, 2);
         let same = (0..64).filter(|_| a.victim(0) == b.victim(0)).count();
-        assert!(same < 64, "different seeds should not produce identical streams");
+        assert!(
+            same < 64,
+            "different seeds should not produce identical streams"
+        );
     }
 
     #[test]
@@ -375,7 +402,12 @@ mod tests {
 
     #[test]
     fn make_policy_dispatches() {
-        for kind in [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Random, PolicyKind::TreePlru] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+        ] {
             let p = make_policy(kind, 4, 4, 7);
             assert_eq!(p.kind(), kind);
         }

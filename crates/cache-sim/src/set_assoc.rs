@@ -51,7 +51,11 @@ impl SetAssociativeCache {
         policy: PolicyKind,
         seed: u64,
     ) -> Result<Self, GeometryError> {
-        Self::from_geometry(CacheGeometry::new(size_bytes, line_bytes, assoc)?, policy, seed)
+        Self::from_geometry(
+            CacheGeometry::new(size_bytes, line_bytes, assoc)?,
+            policy,
+            seed,
+        )
     }
 
     /// Creates a cache from an explicit geometry.
@@ -107,7 +111,8 @@ impl SetAssociativeCache {
     /// Returns `true` if the block containing `addr` is resident, without
     /// touching statistics or replacement state.
     pub fn probe(&self, addr: Addr) -> bool {
-        self.find_way(self.geom.set_index(addr), self.geom.tag(addr)).is_some()
+        self.find_way(self.geom.set_index(addr), self.geom.tag(addr))
+            .is_some()
     }
 
     /// The replacement policy in use.
@@ -125,7 +130,10 @@ impl SetAssociativeCache {
         let way = self.find_way(set, tag)?;
         let s = self.slot(set, way);
         self.valid[s] = false;
-        Some(Eviction { block: self.geom.reconstruct(tag, set), dirty: self.dirty[s] })
+        Some(Eviction {
+            block: self.geom.reconstruct(tag, set),
+            dirty: self.dirty[s],
+        })
     }
 
     /// Inserts a block without counting an access, evicting if necessary.
@@ -261,9 +269,15 @@ mod tests {
         // Pseudo-random but deterministic probe sequence.
         let mut x = 0x12345678u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = Addr::new(x % 4096);
-            let kind = if x & 1 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let kind = if x & 1 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             let a = sa.access(addr, kind);
             let b = dm.access(addr, kind);
             assert_eq!(a.hit, b.hit, "divergence at {addr}");
@@ -333,7 +347,9 @@ mod tests {
     #[test]
     fn label_shows_ways() {
         assert_eq!(
-            SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap().label(),
+            SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0)
+                .unwrap()
+                .label(),
             "16k8way"
         );
     }

@@ -54,7 +54,10 @@ impl SkewedAssociativeCache {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 2)?;
         if geom.index_bits() == 0 {
             // The skewing functions need at least one index bit per way.
-            return Err(GeometryError::AssocLargerThanLines { assoc: 2, lines: geom.lines() });
+            return Err(GeometryError::AssocLargerThanLines {
+                assoc: 2,
+                lines: geom.lines(),
+            });
         }
         let sets_per_way = geom.sets();
         Ok(SkewedAssociativeCache {
@@ -262,6 +265,9 @@ mod tests {
 
     #[test]
     fn label_is_descriptive() {
-        assert_eq!(SkewedAssociativeCache::new(16 * 1024, 32).unwrap().label(), "16k-skew2");
+        assert_eq!(
+            SkewedAssociativeCache::new(16 * 1024, 32).unwrap().label(),
+            "16k-skew2"
+        );
     }
 }

@@ -148,7 +148,10 @@ pub struct SetUsage {
 impl SetUsage {
     /// Creates counters for `sets` cache sets.
     pub fn new(sets: usize) -> Self {
-        SetUsage { hits: vec![0; sets], misses: vec![0; sets] }
+        SetUsage {
+            hits: vec![0; sets],
+            misses: vec![0; sets],
+        }
     }
 
     /// Number of sets tracked.
@@ -259,7 +262,13 @@ impl BalanceReport {
             }
         }
 
-        let frac = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         BalanceReport {
             frequent_hit_sets: fhs as f64 / sets as f64,
             hits_in_frequent_hit_sets: frac(fhs_hits, total_hits),

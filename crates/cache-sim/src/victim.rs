@@ -49,9 +49,14 @@ impl VictimCache {
     /// # Errors
     ///
     /// Returns a [`GeometryError`] for invalid shapes.
-    pub fn new(size_bytes: usize, line_bytes: usize, entries: usize) -> Result<Self, GeometryError> {
+    pub fn new(
+        size_bytes: usize,
+        line_bytes: usize,
+        entries: usize,
+    ) -> Result<Self, GeometryError> {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 1)?;
-        let buffer = SetAssociativeCache::fully_associative(entries, line_bytes, PolicyKind::Lru, 0)?;
+        let buffer =
+            SetAssociativeCache::fully_associative(entries, line_bytes, PolicyKind::Lru, 0)?;
         let sets = geom.sets();
         Ok(VictimCache {
             geom,
@@ -209,7 +214,10 @@ mod tests {
             c.access(Addr::new(tag * 256), AccessKind::Read);
         }
         // Main: tag 3. Buffer: tags 1, 2 (tag 0 was pushed out).
-        assert!(!c.access(Addr::new(0), AccessKind::Read).hit, "oldest victim must be gone");
+        assert!(
+            !c.access(Addr::new(0), AccessKind::Read).hit,
+            "oldest victim must be gone"
+        );
         assert!(c.access(Addr::new(2 * 256), AccessKind::Read).hit);
     }
 
@@ -220,7 +228,7 @@ mod tests {
         c.access(Addr::new(256), AccessKind::Read); // dirty 0 demoted
         c.access(Addr::new(0), AccessKind::Read); // swap back (still dirty)
         c.access(Addr::new(512), AccessKind::Read); // 0 demoted again
-        // Push two more victims through so dirty block 0 leaves the buffer.
+                                                    // Push two more victims through so dirty block 0 leaves the buffer.
         c.access(Addr::new(768), AccessKind::Read);
         let r = c.access(Addr::new(1024), AccessKind::Read);
         let ev = r.evicted.expect("buffer overflow must surface an eviction");
@@ -266,6 +274,9 @@ mod tests {
 
     #[test]
     fn label_shows_entries() {
-        assert_eq!(VictimCache::new(16 * 1024, 32, 16).unwrap().label(), "victim16");
+        assert_eq!(
+            VictimCache::new(16 * 1024, 32, 16).unwrap().label(),
+            "victim16"
+        );
     }
 }

@@ -190,7 +190,11 @@ mod tests {
         for tag in 0..4u64 {
             assert!(c.access(Addr::new(tag << 7), AccessKind::Read).hit);
         }
-        assert!((c.halted_fraction() - 0.75).abs() < 1e-12, "{}", c.halted_fraction());
+        assert!(
+            (c.halted_fraction() - 0.75).abs() < 1e-12,
+            "{}",
+            c.halted_fraction()
+        );
     }
 
     #[test]
@@ -203,7 +207,11 @@ mod tests {
         c.access(Addr::new(0), AccessKind::Read);
         // Of the 4 ways examined: the alias way cannot halt, two empty
         // ways halt -> 2 of 4.
-        assert!((c.halted_fraction() - 0.5).abs() < 1e-12, "{}", c.halted_fraction());
+        assert!(
+            (c.halted_fraction() - 0.5).abs() < 1e-12,
+            "{}",
+            c.halted_fraction()
+        );
     }
 
     #[test]
@@ -217,6 +225,9 @@ mod tests {
 
     #[test]
     fn label_mentions_halting() {
-        assert_eq!(WayHaltingCache::new(16 * 1024, 32, 4, 4).unwrap().label(), "16k4way-halt4");
+        assert_eq!(
+            WayHaltingCache::new(16 * 1024, 32, 4, 4).unwrap().label(),
+            "16k4way-halt4"
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! The Balanced Cache functional model.
 
+use cache_sim::replacement::{make_policy, ReplacementPolicy};
 use cache_sim::{
     AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, Eviction, SetUsage,
 };
-use cache_sim::replacement::{make_policy, ReplacementPolicy};
 
 use crate::decoder::ProgrammableDecoder;
 use crate::params::{BCacheParams, IndexLayout};
@@ -186,7 +186,10 @@ impl BalancedCache {
         if !self.valid[s] {
             return None;
         }
-        let ev = Eviction { block: self.block_addr(self.blocks[s]), dirty: self.dirty[s] };
+        let ev = Eviction {
+            block: self.block_addr(self.blocks[s]),
+            dirty: self.dirty[s],
+        };
         if ev.dirty {
             self.stats.record_writeback();
         }
@@ -287,7 +290,11 @@ impl CacheModel for BalancedCache {
     }
 
     fn label(&self) -> String {
-        format!("MF{}-BAS{}", self.params.mapping_factor(), self.params.bas())
+        format!(
+            "MF{}-BAS{}",
+            self.params.mapping_factor(),
+            self.params.bas()
+        )
     }
 }
 
@@ -333,7 +340,11 @@ mod tests {
                 assert!(bc.access(Addr::new(block * line), AccessKind::Read).hit);
             }
         }
-        assert_eq!(bc.stats().total().misses(), 4, "only the warm-up misses remain");
+        assert_eq!(
+            bc.stats().total().misses(),
+            4,
+            "only the warm-up misses remain"
+        );
         assert!(bc.invariants_hold());
     }
 
@@ -364,9 +375,7 @@ mod tests {
             .map(|b| Addr::new(b * 32))
             .find(|&a| {
                 let v = Addr::new(victim_block * 32);
-                l.npi(a) == l.npi(v)
-                    && l.pi(a) == l.pi(v)
-                    && bc.block_id(a) != bc.block_id(v)
+                l.npi(a) == l.npi(v) && l.pi(a) == l.pi(v) && bc.block_id(a) != bc.block_id(v)
             })
             .expect("a conflicting address exists");
         let r = bc.access(candidate, AccessKind::Read);
@@ -393,7 +402,7 @@ mod tests {
         let r = bc.access(fresh, AccessKind::Read);
         assert!(!r.hit);
         assert_eq!(bc.pd_stats().misses_with_pd_miss, 5); // 4 cold + this
-        // LRU in group of NPI(1): block 1 was touched before block 9.
+                                                          // LRU in group of NPI(1): block 1 was touched before block 9.
         assert_eq!(r.evicted.unwrap().block, Addr::new(32));
         assert!(bc.invariants_hold());
     }
@@ -405,9 +414,15 @@ mod tests {
         let mut dm = DirectMappedCache::new(16 * 1024, 32).unwrap();
         let mut x = 0xABCD_1234u64;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = Addr::new((x >> 16) & 0xF_FFFF);
-            let kind = if x & 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if x & 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let a = bc.access(addr, kind);
             let b = dm.access(addr, kind);
             assert_eq!(a.hit, b.hit, "divergence at {addr}");
@@ -431,13 +446,21 @@ mod tests {
         for _ in 0..30_000 {
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             let addr = Addr::new((x >> 20) & 0xFFFF);
-            let kind = if x & 7 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if x & 7 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let a = bc.access(addr, kind);
             let b = sa.access(addr, kind);
             assert_eq!(a.hit, b.hit, "divergence at {addr}");
         }
         assert_eq!(bc.stats().total().misses(), sa.stats().total().misses());
-        assert_eq!(bc.pd_stats().misses_with_pd_hit, 0, "full-PI PD hits imply tag hits");
+        assert_eq!(
+            bc.pd_stats().misses_with_pd_hit,
+            0,
+            "full-PI PD hits imply tag hits"
+        );
         assert!(bc.invariants_hold());
     }
 
@@ -500,7 +523,10 @@ mod tests {
 
     #[test]
     fn pd_hit_rate_definition() {
-        let s = PdStats { misses_with_pd_hit: 3, misses_with_pd_miss: 1 };
+        let s = PdStats {
+            misses_with_pd_hit: 3,
+            misses_with_pd_miss: 1,
+        };
         assert!((s.pd_hit_rate_on_miss() - 0.75).abs() < 1e-12);
         assert_eq!(PdStats::default().pd_hit_rate_on_miss(), 0.0);
     }
@@ -515,7 +541,9 @@ mod tests {
         use crate::params::PdHitPolicy;
         // Far-spaced conflicts (same PI) stress the PD-hit path.
         let run = |policy: PdHitPolicy| {
-            let params = BCacheParams::paper_default(geom_16k()).unwrap().with_pd_hit_policy(policy);
+            let params = BCacheParams::paper_default(geom_16k())
+                .unwrap()
+                .with_pd_hit_policy(policy);
             let mut bc = BalancedCache::new(params);
             let mut misses = 0u64;
             for _round in 0..100u64 {
@@ -552,12 +580,17 @@ mod tests {
         // Two streams spaced 2^30 share the LOW tag bits (PD-hit thrash
         // under the paper's layout) but differ in the HIGH ones.
         let run = |bits: PiTagBits| {
-            let params = BCacheParams::paper_default(geom_16k()).unwrap().with_pi_tag_bits(bits);
+            let params = BCacheParams::paper_default(geom_16k())
+                .unwrap()
+                .with_pi_tag_bits(bits);
             let mut bc = BalancedCache::new(params);
             let mut misses = 0u64;
             for round in 0..200u64 {
                 for base in [0u64, 1 << 30] {
-                    if !bc.access(Addr::new(base + (round % 4) * 32), AccessKind::Read).hit {
+                    if !bc
+                        .access(Addr::new(base + (round % 4) * 32), AccessKind::Read)
+                        .hit
+                    {
                         misses += 1;
                     }
                 }
@@ -567,7 +600,10 @@ mod tests {
         };
         let low = run(PiTagBits::Low);
         let high = run(PiTagBits::High);
-        assert!(high < low / 4, "high tag bits should fix 2^28-spaced conflicts: {high} vs {low}");
+        assert!(
+            high < low / 4,
+            "high tag bits should fix 2^28-spaced conflicts: {high} vs {low}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct ProgrammableDecoder {
 impl ProgrammableDecoder {
     /// Creates cold decoders for `layout` with `bas` ways per group.
     pub fn new(layout: &IndexLayout, bas: usize) -> Self {
-        ProgrammableDecoder { bas, entries: vec![None; layout.groups() * bas] }
+        ProgrammableDecoder {
+            bas,
+            entries: vec![None; layout.groups() * bas],
+        }
     }
 
     /// Number of candidate ways per group.
@@ -69,7 +72,9 @@ impl ProgrammableDecoder {
     /// Finds a cold (invalid) way in `group`, if any.
     pub fn invalid_way(&self, group: usize) -> Option<usize> {
         let base = group * self.bas;
-        self.entries[base..base + self.bas].iter().position(Option::is_none)
+        self.entries[base..base + self.bas]
+            .iter()
+            .position(Option::is_none)
     }
 
     /// Programs `(group, way)` with `pi` during a refill.
@@ -105,8 +110,11 @@ impl ProgrammableDecoder {
     pub fn invariant_holds(&self) -> bool {
         (0..self.groups()).all(|g| {
             let base = g * self.bas;
-            let valid: Vec<u64> =
-                self.entries[base..base + self.bas].iter().flatten().copied().collect();
+            let valid: Vec<u64> = self.entries[base..base + self.bas]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
             let mut dedup = valid.clone();
             dedup.sort_unstable();
             dedup.dedup();
@@ -131,7 +139,9 @@ mod tests {
 
     fn layout() -> IndexLayout {
         let g = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
-        BCacheParams::new(g, 8, 8, PolicyKind::Lru).unwrap().layout()
+        BCacheParams::new(g, 8, 8, PolicyKind::Lru)
+            .unwrap()
+            .layout()
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParamError::NotDirectMapped { assoc } => {
-                write!(f, "B-Cache base geometry must be direct-mapped, got {assoc}-way")
+                write!(
+                    f,
+                    "B-Cache base geometry must be direct-mapped, got {assoc}-way"
+                )
             }
             ParamError::NotPowerOfTwo { what, value } => {
                 write!(f, "{what} must be a nonzero power of two, got {value}")
@@ -61,7 +64,10 @@ impl fmt::Display for ParamError {
                 write!(f, "BAS {bas} exceeds the set count {sets}")
             }
             ParamError::MfTooLarge { mf, tag_bits } => {
-                write!(f, "MF {mf} needs more programmable bits than the {tag_bits}-bit tag offers")
+                write!(
+                    f,
+                    "MF {mf} needs more programmable bits than the {tag_bits}-bit tag offers"
+                )
             }
         }
     }
@@ -127,7 +133,9 @@ impl BCacheParams {
         policy: PolicyKind,
     ) -> Result<Self, ParamError> {
         if geometry.assoc() != 1 {
-            return Err(ParamError::NotDirectMapped { assoc: geometry.assoc() });
+            return Err(ParamError::NotDirectMapped {
+                assoc: geometry.assoc(),
+            });
         }
         for (what, value) in [("MF", mapping_factor), ("BAS", bas)] {
             if value == 0 || !value.is_power_of_two() {
@@ -135,10 +143,16 @@ impl BCacheParams {
             }
         }
         if bas > geometry.sets() {
-            return Err(ParamError::BasTooLarge { bas, sets: geometry.sets() });
+            return Err(ParamError::BasTooLarge {
+                bas,
+                sets: geometry.sets(),
+            });
         }
         if log2_exact(mapping_factor as u64) > geometry.tag_bits() {
-            return Err(ParamError::MfTooLarge { mf: mapping_factor, tag_bits: geometry.tag_bits() });
+            return Err(ParamError::MfTooLarge {
+                mf: mapping_factor,
+                tag_bits: geometry.tag_bits(),
+            });
         }
         Ok(BCacheParams {
             geometry,
@@ -317,13 +331,14 @@ impl IndexLayout {
     /// Extracts the residual tag of `addr` (stored in the tag array).
     pub fn residual_tag(&self, addr: Addr) -> u64 {
         match self.pi_tag_bits {
-            PiTagBits::Low => {
-                addr.bits(self.offset_bits + self.npi_bits + self.pi_bits, self.residual_tag_bits)
-            }
-            PiTagBits::High => {
-                addr.bits(self.offset_bits + self.npi_bits + self.pi_bits - self.mf_bits,
-                    self.residual_tag_bits)
-            }
+            PiTagBits::Low => addr.bits(
+                self.offset_bits + self.npi_bits + self.pi_bits,
+                self.residual_tag_bits,
+            ),
+            PiTagBits::High => addr.bits(
+                self.offset_bits + self.npi_bits + self.pi_bits - self.mf_bits,
+                self.residual_tag_bits,
+            ),
         }
     }
 }
@@ -430,7 +445,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = ParamError::MfTooLarge { mf: 1 << 20, tag_bits: 18 };
+        let e = ParamError::MfTooLarge {
+            mf: 1 << 20,
+            tag_bits: 18,
+        };
         assert!(e.to_string().contains("MF"));
     }
 }

@@ -2,8 +2,7 @@
 
 use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::{
-    AccessKind, Addr, CacheGeometry, CacheModel, DirectMappedCache, PolicyKind,
-    SetAssociativeCache,
+    AccessKind, Addr, CacheGeometry, CacheModel, DirectMappedCache, PolicyKind, SetAssociativeCache,
 };
 use proptest::prelude::*;
 
@@ -25,7 +24,11 @@ fn trace_strategy(blocks: u64, max_len: usize) -> impl Strategy<Value = Vec<(u64
 fn params_strategy() -> impl Strategy<Value = BCacheParams> {
     (0u32..4, 0u32..4, prop::bool::ANY).prop_map(|(mf_log, bas_log, lru)| {
         let geom = CacheGeometry::with_addr_bits(1024, 32, 1, 20).unwrap();
-        let policy = if lru { PolicyKind::Lru } else { PolicyKind::Random };
+        let policy = if lru {
+            PolicyKind::Lru
+        } else {
+            PolicyKind::Random
+        };
         BCacheParams::new(geom, 1 << mf_log, 1 << bas_log, policy)
             .unwrap()
             .with_seed(7)

@@ -17,7 +17,11 @@ impl BandwidthLimiter {
     /// Panics if `width` is zero.
     pub fn new(width: u32) -> Self {
         assert!(width > 0, "bandwidth must be positive");
-        BandwidthLimiter { width, cycle: 0, used: 0 }
+        BandwidthLimiter {
+            width,
+            cycle: 0,
+            used: 0,
+        }
     }
 
     /// Reserves the next slot at or after `earliest`; returns its cycle.

@@ -67,9 +67,15 @@ pub fn table4_rows() -> Vec<(&'static str, String)> {
             "Fetch/Issue/Retire Width",
             format!("{} instructions/cycle, 4 functional units", c.fetch_width),
         ),
-        ("Instruction Window Size", format!("{} instructions", c.window)),
+        (
+            "Instruction Window Size",
+            format!("{} instructions", c.window),
+        ),
         ("L1 cache", "16kB, 32B linesize, direct mapped".to_string()),
-        ("L2 Unified Cache", "256kB, 128B linesize, 4-way, 6 cycle hit".to_string()),
+        (
+            "L2 Unified Cache",
+            "256kB, 128B linesize, 4-way, 6 cycle hit".to_string(),
+        ),
         ("Main Memory", "Infinite size, 100 cycle access".to_string()),
     ]
 }

@@ -127,7 +127,9 @@ impl Cpu {
             if line != fetch_line {
                 fetch_line = line;
                 // The I$ access starts once fetch reaches this block.
-                let start = fetch_block_ready.max(redirect_until).max(fetch_bw.current_cycle());
+                let start = fetch_block_ready
+                    .max(redirect_until)
+                    .max(fetch_bw.current_cycle());
                 let mut latency = self.hierarchy.fetch(Addr::new(rec.pc));
                 if let Some(t) = itlb.as_mut() {
                     latency += t.translate(Addr::new(rec.pc));
@@ -158,9 +160,11 @@ impl Cpu {
                 Op::Long => cfg.long_op_latency,
                 Op::Load(addr) => {
                     memory_ops += 1;
-                    let tlb_lat =
-                        dtlb.as_mut().map_or(0, |t| t.translate(Addr::new(addr)));
-                    tlb_lat + self.hierarchy.data_access(Addr::new(addr), AccessKind::Read)
+                    let tlb_lat = dtlb.as_mut().map_or(0, |t| t.translate(Addr::new(addr)));
+                    tlb_lat
+                        + self
+                            .hierarchy
+                            .data_access(Addr::new(addr), AccessKind::Read)
                 }
                 Op::Store(addr) => {
                     memory_ops += 1;
@@ -170,7 +174,8 @@ impl Cpu {
                     // The store buffer hides the store's miss latency, but
                     // the access still updates the cache state (write-
                     // allocate) and the L2/memory traffic counters.
-                    self.hierarchy.data_access(Addr::new(addr), AccessKind::Write);
+                    self.hierarchy
+                        .data_access(Addr::new(addr), AccessKind::Write);
                     1
                 }
             };
@@ -204,7 +209,10 @@ impl Cpu {
 
 impl std::fmt::Debug for Cpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cpu").field("config", &self.config).field("hierarchy", &self.hierarchy).finish()
+        f.debug_struct("Cpu")
+            .field("config", &self.config)
+            .field("hierarchy", &self.hierarchy)
+            .finish()
     }
 }
 
@@ -225,7 +233,12 @@ mod tests {
 
     /// A straight-line all-ALU trace with a warm I$.
     fn alu_trace(n: usize) -> Vec<TraceRecord> {
-        (0..n).map(|i| TraceRecord { pc: 0x1000 + (i as u64 % 8) * 4, op: Op::Alu }).collect()
+        (0..n)
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i as u64 % 8) * 4,
+                op: Op::Alu,
+            })
+            .collect()
     }
 
     #[test]
@@ -233,7 +246,11 @@ mod tests {
         let mut c = cpu();
         let r = c.run(alu_trace(10_000));
         assert!(r.ipc() <= 4.0, "IPC {} exceeds machine width", r.ipc());
-        assert!(r.ipc() > 0.5, "IPC {} unreasonably low for pure ALU work", r.ipc());
+        assert!(
+            r.ipc() > 0.5,
+            "IPC {} unreasonably low for pure ALU work",
+            r.ipc()
+        );
         assert_eq!(r.instructions, 10_000);
     }
 
@@ -241,10 +258,16 @@ mod tests {
     fn cache_misses_reduce_ipc() {
         // Loads striding far beyond L2 versus loads hitting one line.
         let hit_trace: Vec<TraceRecord> = (0..5_000)
-            .map(|i| TraceRecord { pc: 0x1000 + (i % 4) * 4, op: Op::Load(0x8000) })
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 4) * 4,
+                op: Op::Load(0x8000),
+            })
             .collect();
         let miss_trace: Vec<TraceRecord> = (0..5_000)
-            .map(|i| TraceRecord { pc: 0x1000 + (i % 4) * 4, op: Op::Load(0x10_0000 + i * 4096) })
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 4) * 4,
+                op: Op::Load(0x10_0000 + i * 4096),
+            })
             .collect();
         let ipc_hit = cpu().run(hit_trace).ipc();
         let ipc_miss = cpu().run(miss_trace).ipc();
@@ -257,12 +280,17 @@ mod tests {
     #[test]
     fn mispredicts_reduce_ipc() {
         let clean: Vec<TraceRecord> = (0..5_000)
-            .map(|i| TraceRecord { pc: 0x1000 + (i % 8) * 4, op: Op::Branch { mispredict: false } })
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 8) * 4,
+                op: Op::Branch { mispredict: false },
+            })
             .collect();
         let dirty: Vec<TraceRecord> = (0..5_000)
             .map(|i| TraceRecord {
                 pc: 0x1000 + (i % 8) * 4,
-                op: Op::Branch { mispredict: i % 4 == 0 },
+                op: Op::Branch {
+                    mispredict: i % 4 == 0,
+                },
             })
             .collect();
         let ipc_clean = cpu().run(clean).ipc();
@@ -273,8 +301,12 @@ mod tests {
     #[test]
     fn long_ops_are_slower_than_alu() {
         let alu = cpu().run(alu_trace(5_000)).ipc();
-        let long_trace: Vec<TraceRecord> =
-            (0..5_000).map(|i| TraceRecord { pc: 0x1000 + (i % 8) * 4, op: Op::Long }).collect();
+        let long_trace: Vec<TraceRecord> = (0..5_000)
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 8) * 4,
+                op: Op::Long,
+            })
+            .collect();
         let long = cpu().run(long_trace).ipc();
         assert!(alu > long);
     }
@@ -284,7 +316,10 @@ mod tests {
         // Jump across many lines (one instruction per line) far apart so
         // every fetch misses, versus a tight loop.
         let scattered: Vec<TraceRecord> = (0..2_000)
-            .map(|i| TraceRecord { pc: (i as u64) * 40_960, op: Op::Alu })
+            .map(|i| TraceRecord {
+                pc: (i as u64) * 40_960,
+                op: Op::Alu,
+            })
             .collect();
         let tight = cpu().run(alu_trace(2_000)).ipc();
         let scattered_ipc = cpu().run(scattered).ipc();
@@ -302,10 +337,22 @@ mod tests {
     #[test]
     fn counts_memory_ops_and_mispredicts() {
         let trace = vec![
-            TraceRecord { pc: 0, op: Op::Load(64) },
-            TraceRecord { pc: 4, op: Op::Store(128) },
-            TraceRecord { pc: 8, op: Op::Branch { mispredict: true } },
-            TraceRecord { pc: 12, op: Op::Alu },
+            TraceRecord {
+                pc: 0,
+                op: Op::Load(64),
+            },
+            TraceRecord {
+                pc: 4,
+                op: Op::Store(128),
+            },
+            TraceRecord {
+                pc: 8,
+                op: Op::Branch { mispredict: true },
+            },
+            TraceRecord {
+                pc: 12,
+                op: Op::Alu,
+            },
         ];
         let r = cpu().run(trace);
         assert_eq!(r.memory_ops, 2);
@@ -332,16 +379,29 @@ mod tests {
         use crate::tlb::TlbConfig;
         // Loads striding across many pages versus one page.
         let wide: Vec<TraceRecord> = (0..3_000)
-            .map(|i| TraceRecord { pc: 0x1000 + (i % 4) * 4, op: Op::Load((i % 512) * 8192) })
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 4) * 4,
+                op: Op::Load((i % 512) * 8192),
+            })
             .collect();
         let mut with_tlb = Cpu::new(
-            CpuConfig { dtlb: Some(TlbConfig { entries: 8, page_bytes: 8192, miss_penalty: 30 }), ..CpuConfig::default() },
+            CpuConfig {
+                dtlb: Some(TlbConfig {
+                    entries: 8,
+                    page_bytes: 8192,
+                    miss_penalty: 30,
+                }),
+                ..CpuConfig::default()
+            },
             dm_hierarchy(),
         );
         let mut without = cpu();
         let r_tlb = with_tlb.run(wide.clone());
         let r_no = without.run(wide);
-        assert!(r_tlb.dtlb_misses > 1_000, "512 pages overwhelm an 8-entry TLB");
+        assert!(
+            r_tlb.dtlb_misses > 1_000,
+            "512 pages overwhelm an 8-entry TLB"
+        );
         assert!(r_tlb.cycles > r_no.cycles, "page walks must cost cycles");
         assert_eq!(r_no.dtlb_misses, 0);
     }
@@ -352,10 +412,17 @@ mod tests {
         // flight: a stream of independent 100-cycle misses cannot sustain
         // more than window/latency IPC.
         let misses: Vec<TraceRecord> = (0..2_000)
-            .map(|i| TraceRecord { pc: 0x1000 + (i % 4) * 4, op: Op::Load(0x100_0000 + i * 8192) })
+            .map(|i| TraceRecord {
+                pc: 0x1000 + (i % 4) * 4,
+                op: Op::Load(0x100_0000 + i * 8192),
+            })
             .collect();
         let r = cpu().run(misses);
         let bound = 16.0 / 100.0;
-        assert!(r.ipc() < bound * 2.5, "IPC {} violates window bound {bound}", r.ipc());
+        assert!(
+            r.ipc() < bound * 2.5,
+            "IPC {} violates window bound {bound}",
+            r.ipc()
+        );
     }
 }

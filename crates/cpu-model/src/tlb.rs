@@ -26,7 +26,11 @@ impl Default for TlbConfig {
     fn default() -> Self {
         // A typical early-2000s core: 64-entry fully associative, 8 kB
         // pages (Alpha-like), ~30-cycle walk.
-        TlbConfig { entries: 64, page_bytes: 8192, miss_penalty: 30 }
+        TlbConfig {
+            entries: 64,
+            page_bytes: 8192,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -48,9 +52,18 @@ impl Tlb {
     ///
     /// Panics if the page size is not a power of two or `entries` is 0.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(config.entries > 0, "TLB must have at least one entry");
-        Tlb { config, entries: Vec::with_capacity(config.entries), clock: 0, hits: 0, misses: 0 }
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration.
@@ -122,7 +135,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 2, page_bytes: 4096, miss_penalty: 25 })
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_penalty: 25,
+        })
     }
 
     #[test]
@@ -155,7 +172,11 @@ mod tests {
         assert!((t.miss_rate() - 0.5).abs() < 1e-12);
         t.reset_stats();
         assert_eq!(t.miss_rate(), 0.0);
-        assert_eq!(t.translate(Addr::new(0)), 0, "entries survive a stats reset");
+        assert_eq!(
+            t.translate(Addr::new(0)),
+            0,
+            "entries survive a stats reset"
+        );
     }
 
     #[test]
@@ -168,6 +189,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_page_size() {
-        Tlb::new(TlbConfig { entries: 4, page_bytes: 3000, miss_penalty: 10 });
+        Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 3000,
+            miss_penalty: 10,
+        });
     }
 }

@@ -2,13 +2,12 @@
 //! frequent-miss sets and less-accessed sets, baseline versus B-Cache.
 
 use bcache_core::{BCacheParams, BalancedCache};
-use cache_sim::{
-    AccessKind, Addr, BalanceReport, CacheGeometry, CacheModel, DirectMappedCache,
-};
-use trace_gen::{profiles, Op, Trace};
+use cache_sim::{BalanceReport, CacheGeometry, CacheModel, DirectMappedCache};
+use trace_gen::profiles;
 
+use crate::parallel::Engine;
 use crate::report::{pct, TextTable};
-use crate::run::RunLength;
+use crate::run::{RunLength, Side, SideTrace};
 
 /// Balance statistics of one benchmark: baseline row and B-Cache row.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,31 +22,31 @@ pub struct BalanceRow {
 
 /// Runs the Table 7 analysis over the data caches of all 26 benchmarks.
 pub fn table7(len: RunLength) -> Vec<BalanceRow> {
-    profiles::all().iter().map(|p| balance_for(p, len)).collect()
+    table7_with(&Engine::with_default_parallelism(), len)
 }
 
-fn balance_for(profile: &trace_gen::BenchmarkProfile, len: RunLength) -> BalanceRow {
+/// [`table7`] on a caller-owned [`Engine`]: one job per benchmark over
+/// the shared cached traces.
+pub fn table7_with(engine: &Engine, len: RunLength) -> Vec<BalanceRow> {
+    let benchmarks = profiles::all();
+    let jobs: Vec<_> = benchmarks
+        .iter()
+        .map(|p| move || balance_on(p.name, &engine.side_trace(p, len, Side::Data)))
+        .collect();
+    engine.run(jobs)
+}
+
+fn balance_on(benchmark: &str, trace: &SideTrace) -> BalanceRow {
     let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid geometry");
     let mut dm = DirectMappedCache::from_geometry(geom).expect("valid geometry");
     let params = BCacheParams::paper_default(geom).expect("paper design point");
     let mut bc = BalancedCache::new(params);
-
-    let mut warmed = false;
-    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
-        if !warmed && (i as u64) >= len.warmup {
-            warmed = true;
-            dm.reset_stats();
-            bc.reset_stats();
-        }
-        if let Some(a) = rec.op.data_addr() {
-            let kind =
-                if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
-            dm.access(Addr::new(a), kind);
-            bc.access(Addr::new(a), kind);
-        }
+    {
+        let mut models: [&mut dyn CacheModel; 2] = [&mut dm, &mut bc];
+        trace.replay_into(&mut models);
     }
     BalanceRow {
-        benchmark: profile.name.to_string(),
+        benchmark: benchmark.to_string(),
         baseline: dm.set_usage().expect("dm tracks usage").balance(),
         bcache: bc.set_usage().expect("bcache tracks usage").balance(),
     }
@@ -79,7 +78,14 @@ pub fn average(rows: &[BalanceRow], pick: impl Fn(&BalanceRow) -> BalanceReport)
 /// Renders Table 7.
 pub fn render_table7(rows: &[BalanceRow]) -> String {
     let mut t = TextTable::new(vec![
-        "benchmark", "", "fhs", "ch", "fms", "cm", "las", "tca",
+        "benchmark",
+        "",
+        "fhs",
+        "ch",
+        "fms",
+        "cm",
+        "las",
+        "tca",
     ]);
     let mut add = |name: &str, which: &str, b: &BalanceReport| {
         t.row(vec![
@@ -109,6 +115,17 @@ pub fn render_table7(rows: &[BalanceRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trace_gen::{Trace, TraceRecord};
+
+    fn balance_for(profile: &trace_gen::BenchmarkProfile, len: RunLength) -> BalanceRow {
+        let records: Vec<TraceRecord> = Trace::new(profile, len.seed)
+            .take(len.records as usize)
+            .collect();
+        balance_on(
+            profile.name,
+            &SideTrace::extract(records, Side::Data, len.warmup),
+        )
+    }
 
     #[test]
     fn bcache_balances_the_conflict_heavy_benchmarks() {
@@ -123,9 +140,7 @@ mod tests {
             r.bcache.misses_in_frequent_miss_sets
         );
         // …and hits spread across more sets.
-        assert!(
-            r.bcache.hits_in_frequent_hit_sets <= r.baseline.hits_in_frequent_hit_sets + 0.05
-        );
+        assert!(r.bcache.hits_in_frequent_hit_sets <= r.baseline.hits_in_frequent_hit_sets + 0.05);
     }
 
     #[test]
@@ -164,8 +179,16 @@ mod tests {
         };
         let b = BalanceReport::default();
         let rows = vec![
-            BalanceRow { benchmark: "x".into(), baseline: a, bcache: b },
-            BalanceRow { benchmark: "y".into(), baseline: b, bcache: a },
+            BalanceRow {
+                benchmark: "x".into(),
+                baseline: a,
+                bcache: b,
+            },
+            BalanceRow {
+                benchmark: "y".into(),
+                baseline: b,
+                bcache: a,
+            },
         ];
         let avg = average(&rows, |r| r.baseline);
         assert!((avg.frequent_hit_sets - 0.1).abs() < 1e-12);

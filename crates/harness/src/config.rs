@@ -94,24 +94,38 @@ impl CacheConfig {
     ///
     /// Returns a [`GeometryError`] if the shape is invalid (e.g. a BAS
     /// larger than the set count).
-    pub fn build(&self, size_bytes: usize, seed: u64) -> Result<Box<dyn CacheModel>, GeometryError> {
+    pub fn build(
+        &self,
+        size_bytes: usize,
+        seed: u64,
+    ) -> Result<Box<dyn CacheModel>, GeometryError> {
         const LINE: usize = 32;
         let geom = CacheGeometry::new(size_bytes, LINE, 1)?;
         Ok(match *self {
             CacheConfig::DirectMapped => Box::new(DirectMappedCache::new(size_bytes, LINE)?),
-            CacheConfig::SetAssoc(n) => {
-                Box::new(SetAssociativeCache::new(size_bytes, LINE, n, PolicyKind::Lru, seed)?)
-            }
+            CacheConfig::SetAssoc(n) => Box::new(SetAssociativeCache::new(
+                size_bytes,
+                LINE,
+                n,
+                PolicyKind::Lru,
+                seed,
+            )?),
             CacheConfig::Victim(entries) => Box::new(VictimCache::new(size_bytes, LINE, entries)?),
             CacheConfig::BCache { mf, bas } => {
                 let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru)
-                    .map_err(|_| GeometryError::AssocLargerThanLines { assoc: bas, lines: geom.lines() })?
+                    .map_err(|_| GeometryError::AssocLargerThanLines {
+                        assoc: bas,
+                        lines: geom.lines(),
+                    })?
                     .with_seed(seed);
                 Box::new(BalancedCache::new(params))
             }
             CacheConfig::BCacheRandom { mf, bas } => {
                 let params = BCacheParams::new(geom, mf, bas, PolicyKind::Random)
-                    .map_err(|_| GeometryError::AssocLargerThanLines { assoc: bas, lines: geom.lines() })?
+                    .map_err(|_| GeometryError::AssocLargerThanLines {
+                        assoc: bas,
+                        lines: geom.lines(),
+                    })?
                     .with_seed(seed);
                 Box::new(BalancedCache::new(params))
             }
@@ -139,6 +153,78 @@ impl CacheConfig {
             CacheConfig::Pam => "pam5".into(),
             CacheConfig::DiffBit => "diffbit".into(),
         }
+    }
+}
+
+/// Options shared by every `bcache-repro` subcommand:
+/// `[--records N] [--seed S] [--jobs N] [--csv]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Trace length / warm-up / seed.
+    pub len: crate::run::RunLength,
+    /// Emit CSV instead of text tables where supported.
+    pub csv: bool,
+    /// Worker threads for the experiment engine (default: available
+    /// parallelism). Any value produces identical output.
+    pub jobs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            len: crate::run::RunLength::default(),
+            csv: false,
+            jobs: crate::parallel::default_parallelism(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses the option tail of a command line (everything after the
+    /// experiment name). Unknown or malformed options return an error
+    /// message naming the offender.
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<RunOptions, String> {
+        let mut opts = RunOptions::default();
+        let mut i = 0;
+        let value = |args: &[S], i: usize| -> Result<u64, String> {
+            args.get(i + 1)
+                .and_then(|s| s.as_ref().parse::<u64>().ok())
+                .ok_or_else(|| format!("{} needs an integer argument", args[i].as_ref()))
+        };
+        while i < args.len() {
+            match args[i].as_ref() {
+                "--records" => {
+                    let v = value(args, i)?;
+                    let seed = opts.len.seed;
+                    opts.len = crate::run::RunLength::with_records(v);
+                    opts.len.seed = seed;
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.len.seed = value(args, i)?;
+                    i += 2;
+                }
+                "--jobs" => {
+                    let v = value(args, i)?;
+                    if v == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    opts.jobs = v as usize;
+                    i += 2;
+                }
+                "--csv" => {
+                    opts.csv = true;
+                    i += 1;
+                }
+                other => return Err(format!("unknown option: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Builds the experiment engine these options describe.
+    pub fn engine(&self) -> crate::parallel::Engine {
+        crate::parallel::Engine::new(self.jobs)
     }
 }
 
@@ -170,7 +256,11 @@ mod tests {
         for c in configs {
             let mut m = c.build(16 * 1024, 0).unwrap();
             m.access(Addr::new(0x1234), AccessKind::Read);
-            assert!(m.access(Addr::new(0x1234), AccessKind::Read).hit, "{}", c.label());
+            assert!(
+                m.access(Addr::new(0x1234), AccessKind::Read).hit,
+                "{}",
+                c.label()
+            );
             assert!(!c.label().is_empty());
         }
     }
@@ -189,5 +279,31 @@ mod tests {
                 assert!(c.build(size, 0).is_ok(), "{} at {size}", c.label());
             }
         }
+    }
+
+    #[test]
+    fn run_options_parse_all_flags() {
+        let o = RunOptions::parse(&["--records", "5000", "--seed", "7", "--jobs", "3", "--csv"])
+            .unwrap();
+        assert_eq!(o.len.records, 5_000);
+        assert_eq!(o.len.warmup, 500);
+        assert_eq!(o.len.seed, 7);
+        assert_eq!(o.jobs, 3);
+        assert!(o.csv);
+        assert_eq!(o.engine().jobs(), 3);
+        // Seed given before --records survives the rescale.
+        let o = RunOptions::parse(&["--seed", "9", "--records", "100"]).unwrap();
+        assert_eq!(o.len.seed, 9);
+    }
+
+    #[test]
+    fn run_options_reject_bad_input() {
+        assert!(RunOptions::parse(&["--frobnicate"]).is_err());
+        assert!(RunOptions::parse(&["--records"]).is_err());
+        assert!(RunOptions::parse(&["--records", "many"]).is_err());
+        assert!(RunOptions::parse(&["--jobs", "0"]).is_err());
+        let d = RunOptions::parse::<&str>(&[]).unwrap();
+        assert_eq!(d.len, crate::run::RunLength::default());
+        assert!(d.jobs >= 1);
     }
 }

@@ -9,8 +9,10 @@
 
 use trace_gen::profiles;
 
+use crate::config::CacheConfig;
+use crate::parallel::Engine;
 use crate::report::{pct, TextTable};
-use crate::run::{mean, run_bcache_pd_stats, RunLength, Side};
+use crate::run::{mean, replay_bcache_pd_on, replay_config_on, RunLength, Side};
 
 /// One grid cell of Tables 5 and 6.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -30,36 +32,76 @@ pub struct DesignPoint {
 /// Runs the MF × BAS grid: MF in {2, 4, 8, 16}, BAS in {4, 8}, averaged
 /// over all 26 benchmarks' data caches.
 pub fn design_space_grid(len: RunLength) -> Vec<DesignPoint> {
+    design_space_grid_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`design_space_grid`] on a caller-owned [`Engine`].
+///
+/// The baseline is replayed once per benchmark and reused by every grid
+/// cell (the serial version recomputed it per cell — 8× the same
+/// direct-mapped run); both stages shard per benchmark.
+pub fn design_space_grid_with(engine: &Engine, len: RunLength) -> Vec<DesignPoint> {
     let benchmarks = profiles::all();
-    let mut points = Vec::new();
-    for bas in [4usize, 8] {
-        for mf in [2usize, 4, 8, 16] {
-            let outcomes: Vec<(f64, f64)> = benchmarks
+    let base_jobs: Vec<_> = benchmarks
+        .iter()
+        .map(|p| {
+            move || {
+                let trace = engine.side_trace(p, len, Side::Data);
+                replay_config_on(
+                    p.name,
+                    &trace,
+                    &CacheConfig::DirectMapped,
+                    16 * 1024,
+                    Side::Data,
+                    len,
+                )
+            }
+        })
+        .collect();
+    let baselines = engine.run(base_jobs);
+
+    let cells: Vec<(usize, usize)> = [4usize, 8]
+        .iter()
+        .flat_map(|&bas| [2usize, 4, 8, 16].map(|mf| (mf, bas)))
+        .collect();
+    let jobs: Vec<_> = cells
+        .iter()
+        .flat_map(|&(mf, bas)| {
+            benchmarks.iter().map(move |p| {
+                move || {
+                    let trace = engine.side_trace(p, len, Side::Data);
+                    replay_bcache_pd_on(&trace, mf, bas, 16 * 1024)
+                }
+            })
+        })
+        .collect();
+    let outcomes = engine.run(jobs);
+
+    cells
+        .iter()
+        .zip(outcomes.chunks(benchmarks.len()))
+        .map(|(&(mf, bas), chunk)| {
+            let per_bench: Vec<(f64, f64)> = chunk
                 .iter()
-                .map(|p| {
-                    let base = crate::run::run_miss_rates(
-                        p,
-                        &[],
-                        16 * 1024,
-                        Side::Data,
-                        len,
-                    )
-                    .baseline_miss_rate;
-                    let o = run_bcache_pd_stats(p, mf, bas, 16 * 1024, Side::Data, len);
-                    let reduction = if base == 0.0 { 0.0 } else { 1.0 - o.miss_rate / base };
+                .zip(&baselines)
+                .map(|(o, &base)| {
+                    let reduction = if base == 0.0 {
+                        0.0
+                    } else {
+                        1.0 - o.miss_rate / base
+                    };
                     (reduction, o.pd_hit_rate_on_miss)
                 })
                 .collect();
-            points.push(DesignPoint {
+            DesignPoint {
                 mf,
                 bas,
                 pd_bits: (mf as f64).log2() as u32 + (bas as f64).log2() as u32,
-                avg_reduction: mean(&outcomes, |o| o.0),
-                avg_pd_hit_rate: mean(&outcomes, |o| o.1),
-            });
-        }
-    }
-    points
+                avg_reduction: mean(&per_bench, |o| o.0),
+                avg_pd_hit_rate: mean(&per_bench, |o| o.1),
+            }
+        })
+        .collect()
 }
 
 /// Renders Table 5 (miss-rate reductions) and Table 6 (PD hit rates)
@@ -71,11 +113,21 @@ pub fn render_tables_5_and_6(points: &[DesignPoint]) -> String {
     for bas in [4usize, 8] {
         let row: Vec<&DesignPoint> = mfs
             .iter()
-            .map(|mf| points.iter().find(|p| p.mf == *mf && p.bas == bas).expect("grid point"))
+            .map(|mf| {
+                points
+                    .iter()
+                    .find(|p| p.mf == *mf && p.bas == bas)
+                    .expect("grid point")
+            })
             .collect();
         let mut cells5 = vec![format!("BAS = {bas}")];
         cells5.extend(row.iter().map(|p| pct(p.avg_reduction)));
-        cells5.push(row.iter().map(|p| p.pd_bits.to_string()).collect::<Vec<_>>().join("/"));
+        cells5.push(
+            row.iter()
+                .map(|p| p.pd_bits.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
         t5.row(cells5);
         let mut cells6 = vec![format!("BAS = {bas}")];
         cells6.extend(row.iter().map(|p| pct(p.avg_pd_hit_rate)));
@@ -107,11 +159,18 @@ mod tests {
             let series: Vec<f64> = [2usize, 4, 8, 16]
                 .iter()
                 .map(|mf| {
-                    points.iter().find(|p| p.mf == *mf && p.bas == bas).unwrap().avg_pd_hit_rate
+                    points
+                        .iter()
+                        .find(|p| p.mf == *mf && p.bas == bas)
+                        .unwrap()
+                        .avg_pd_hit_rate
                 })
                 .collect();
             for w in series.windows(2) {
-                assert!(w[1] <= w[0] + 0.03, "PD hit rate should fall with MF: {series:?}");
+                assert!(
+                    w[1] <= w[0] + 0.03,
+                    "PD hit rate should fall with MF: {series:?}"
+                );
             }
         }
     }
@@ -121,7 +180,11 @@ mod tests {
         let points = grid();
         for bas in [4usize, 8] {
             let r = |mf: usize| {
-                points.iter().find(|p| p.mf == mf && p.bas == bas).unwrap().avg_reduction
+                points
+                    .iter()
+                    .find(|p| p.mf == mf && p.bas == bas)
+                    .unwrap()
+                    .avg_reduction
             };
             assert!(r(8) > r(2), "BAS={bas}");
         }

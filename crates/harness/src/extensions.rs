@@ -75,7 +75,12 @@ pub fn drowsy_analysis(len: RunLength) -> Vec<DrowsyRow> {
 
 /// Renders the drowsy-compatibility table.
 pub fn render_drowsy(rows: &[DrowsyRow]) -> String {
-    let mut t = TextTable::new(vec!["benchmark", "dm sleepable", "bc sleepable", "bc leakage"]);
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "dm sleepable",
+        "bc sleepable",
+        "bc leakage",
+    ]);
     let mut sum = (0.0, 0.0);
     for r in rows {
         let leak = 1.0 - r.bcache_sleepable * (1.0 - DROWSY_LEAKAGE_FACTOR);
@@ -120,8 +125,8 @@ pub struct VpTagRow {
 /// that works only if those bits fall within the page offset; otherwise
 /// they must be treated as virtual-index bits (the paper's suggestion).
 pub fn vp_tag_analysis(geom: &CacheGeometry, mf: usize, bas: usize) -> Vec<VpTagRow> {
-    let params = BCacheParams::new(*geom, mf, bas, cache_sim::PolicyKind::Lru)
-        .expect("valid B-Cache point");
+    let params =
+        BCacheParams::new(*geom, mf, bas, cache_sim::PolicyKind::Lru).expect("valid B-Cache point");
     let layout = params.layout();
     let pi_top_bit = geom.offset_bits() + layout.npi_bits() + layout.pi_bits();
     [4096usize, 8192, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
@@ -143,8 +148,12 @@ pub fn render_vp_analysis() -> String {
         t.row(vec![
             format!("{} kB", r.page_bytes / 1024),
             format!("bit {}", r.pi_top_bit - 1),
-            if r.pi_untranslated { "yes (physically indexed ok)" } else { "no (treat as virtual index)" }
-                .to_string(),
+            if r.pi_untranslated {
+                "yes (physically indexed ok)"
+            } else {
+                "no (treat as virtual index)"
+            }
+            .to_string(),
         ]);
     }
     format!(
@@ -161,13 +170,18 @@ pub fn render_vp_analysis() -> String {
 pub fn replacement_policy_comparison(len: RunLength) -> (f64, f64) {
     use crate::config::CacheConfig;
     use crate::run::{mean, run_miss_rates, Side};
-    let configs =
-        [CacheConfig::BCache { mf: 8, bas: 8 }, CacheConfig::BCacheRandom { mf: 8, bas: 8 }];
+    let configs = [
+        CacheConfig::BCache { mf: 8, bas: 8 },
+        CacheConfig::BCacheRandom { mf: 8, bas: 8 },
+    ];
     let rows: Vec<_> = profiles::all()
         .iter()
         .map(|p| run_miss_rates(p, &configs, 16 * 1024, Side::Data, len))
         .collect();
-    (mean(&rows, |r| r.reduction(0)), mean(&rows, |r| r.reduction(1)))
+    (
+        mean(&rows, |r| r.reduction(0)),
+        mean(&rows, |r| r.reduction(1)),
+    )
 }
 
 #[cfg(test)]
@@ -191,7 +205,10 @@ mod tests {
         // Section 6.4: balancing reduces less-accessed sets (50.2% ->
         // 32.4% in the paper) but a useful pool remains.
         assert!(ave_bc < ave_dm, "balancing must shrink the idle pool");
-        assert!(ave_bc > 0.05, "a drowsy candidate pool must remain: {ave_bc}");
+        assert!(
+            ave_bc > 0.05,
+            "a drowsy candidate pool must remain: {ave_bc}"
+        );
         assert!(render_drowsy(&rows).contains("Ave"));
     }
 
@@ -202,9 +219,26 @@ mod tests {
         // PI spans bits [5+6, 5+6+6) = up to bit 16: pages >= 128 kB (17
         // offset bits) keep it untranslated; common 4-8 kB pages do not.
         assert_eq!(rows[0].pi_top_bit, 17);
-        assert!(!rows.iter().find(|r| r.page_bytes == 4096).unwrap().pi_untranslated);
-        assert!(!rows.iter().find(|r| r.page_bytes == 8192).unwrap().pi_untranslated);
-        assert!(rows.iter().find(|r| r.page_bytes == 128 * 1024).unwrap().pi_untranslated);
+        assert!(
+            !rows
+                .iter()
+                .find(|r| r.page_bytes == 4096)
+                .unwrap()
+                .pi_untranslated
+        );
+        assert!(
+            !rows
+                .iter()
+                .find(|r| r.page_bytes == 8192)
+                .unwrap()
+                .pi_untranslated
+        );
+        assert!(
+            rows.iter()
+                .find(|r| r.page_bytes == 128 * 1024)
+                .unwrap()
+                .pi_untranslated
+        );
         assert!(render_vp_analysis().contains("bit 16"));
     }
 
@@ -214,6 +248,9 @@ mod tests {
         // the gap is modest.
         let (lru, random) = replacement_policy_comparison(RunLength::with_records(60_000));
         assert!(lru >= random - 0.02, "LRU {lru} vs random {random}");
-        assert!(random > lru - 0.25, "random must stay competitive: {lru} vs {random}");
+        assert!(
+            random > lru - 0.25,
+            "random must stay competitive: {lru} vs {random}"
+        );
     }
 }

@@ -8,8 +8,9 @@
 //! reach bit 19 the PD hit rate collapses and the miss rate falls with
 //! it.
 
+use crate::parallel::Engine;
 use crate::report::{pct2, TextTable};
-use crate::run::{run_bcache_pd_stats, BCachePdOutcome, RunLength, Side};
+use crate::run::{replay_bcache_pd_on, BCachePdOutcome, RunLength, Side};
 use trace_gen::profiles;
 
 /// One point of the Figure 3 sweep.
@@ -25,23 +26,57 @@ pub struct Fig3Point {
 
 /// Runs the Figure 3 sweep for a benchmark (the paper uses `wupwise`).
 pub fn figure3_for(benchmark: &str, len: RunLength) -> Vec<Fig3Point> {
+    figure3_for_with(&Engine::with_default_parallelism(), benchmark, len)
+}
+
+/// [`figure3_for`] on a caller-owned [`Engine`]: one job per MF point,
+/// all replaying the benchmark's cached trace.
+pub fn figure3_for_with(engine: &Engine, benchmark: &str, len: RunLength) -> Vec<Fig3Point> {
     let profile = profiles::by_name(benchmark).expect("known benchmark");
-    [2usize, 4, 8, 16, 32, 64, 128, 256, 512]
-        .into_iter()
-        .map(|mf| {
-            let BCachePdOutcome { miss_rate, pd_hit_rate_on_miss } =
-                run_bcache_pd_stats(&profile, mf, 8, 16 * 1024, Side::Data, len);
-            Fig3Point { mf, miss_rate, pd_hit_rate: pd_hit_rate_on_miss }
+    let mfs = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+    let jobs: Vec<_> = mfs
+        .iter()
+        .map(|&mf| {
+            let profile = profile.clone();
+            move || {
+                let trace = engine.side_trace(&profile, len, Side::Data);
+                replay_bcache_pd_on(&trace, mf, 8, 16 * 1024)
+            }
         })
+        .collect();
+    mfs.iter()
+        .zip(engine.run(jobs))
+        .map(
+            |(
+                &mf,
+                BCachePdOutcome {
+                    miss_rate,
+                    pd_hit_rate_on_miss,
+                },
+            )| Fig3Point {
+                mf,
+                miss_rate,
+                pd_hit_rate: pd_hit_rate_on_miss,
+            },
+        )
         .collect()
 }
 
 /// Runs and renders Figure 3 (wupwise).
 pub fn figure3(len: RunLength) -> (Vec<Fig3Point>, String) {
-    let points = figure3_for("wupwise", len);
+    figure3_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`figure3`] on a caller-owned [`Engine`].
+pub fn figure3_with(engine: &Engine, len: RunLength) -> (Vec<Fig3Point>, String) {
+    let points = figure3_for_with(engine, "wupwise", len);
     let mut t = TextTable::new(vec!["MF", "miss_rate", "PD_hit_rate"]);
     for p in &points {
-        t.row(vec![format!("MF{}", p.mf), pct2(p.miss_rate), pct2(p.pd_hit_rate)]);
+        t.row(vec![
+            format!("MF{}", p.mf),
+            pct2(p.miss_rate),
+            pct2(p.pd_hit_rate),
+        ]);
     }
     let rendered = format!(
         "Figure 3: wupwise 16 kB D$ miss rate and PD hit rate during misses vs MF (BAS = 8)\n{}",
@@ -59,7 +94,11 @@ mod tests {
         let points = figure3_for("wupwise", RunLength::with_records(150_000));
         let at = |mf: usize| points.iter().find(|p| p.mf == mf).unwrap();
         // High PD hit rate while the far-spaced arrays share PIs…
-        assert!(at(8).pd_hit_rate > 0.4, "MF8 PD hit rate {}", at(8).pd_hit_rate);
+        assert!(
+            at(8).pd_hit_rate > 0.4,
+            "MF8 PD hit rate {}",
+            at(8).pd_hit_rate
+        );
         // …then a sharp drop between MF = 32 and MF = 64 (paper Fig. 3).
         assert!(
             at(64).pd_hit_rate < at(32).pd_hit_rate - 0.25,

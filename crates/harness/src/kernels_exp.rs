@@ -12,6 +12,7 @@ use trace_gen::kernels::{run_kernel, suite};
 use trace_gen::Op;
 
 use crate::config::CacheConfig;
+use crate::parallel::Engine;
 use crate::report::{pct, pct2, TextTable};
 
 /// One kernel's miss rates across configurations.
@@ -52,50 +53,70 @@ pub fn kernel_configs() -> Vec<CacheConfig> {
 /// Runs every kernel in the suite against the baseline plus
 /// [`kernel_configs`], feeding the data side of the trace.
 pub fn run_kernels(fuel: u64) -> Vec<KernelResult> {
-    let configs = kernel_configs();
-    suite()
+    run_kernels_with(&Engine::with_default_parallelism(), fuel)
+}
+
+/// [`run_kernels`] on a caller-owned [`Engine`]: one job per kernel
+/// (each job executes the kernel's VM program, then replays its trace
+/// into every configuration in one pass).
+pub fn run_kernels_with(engine: &Engine, fuel: u64) -> Vec<KernelResult> {
+    let kernels = suite();
+    let jobs: Vec<_> = kernels
         .iter()
-        .map(|k| {
-            let (m, trace) = run_kernel(k, fuel);
-            debug_assert!(m.halted() || m.executed() == fuel);
-            let mut baseline = CacheConfig::DirectMapped.build(16 * 1024, 1).unwrap();
-            let mut models: Vec<Box<dyn CacheModel>> =
-                configs.iter().map(|c| c.build(16 * 1024, 1).unwrap()).collect();
-            for r in &trace {
-                if let Some(a) = r.op.data_addr() {
-                    let kind = if matches!(r.op, Op::Store(_)) {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    baseline.access(Addr::new(a), kind);
-                    for model in models.iter_mut() {
-                        model.access(Addr::new(a), kind);
-                    }
-                }
+        .map(|k| move || run_one_kernel(k, fuel))
+        .collect();
+    engine.run(jobs)
+}
+
+fn run_one_kernel(k: &trace_gen::kernels::Kernel, fuel: u64) -> KernelResult {
+    let configs = kernel_configs();
+    let (m, trace) = run_kernel(k, fuel);
+    debug_assert!(m.halted() || m.executed() == fuel);
+    let mut baseline = CacheConfig::DirectMapped.build(16 * 1024, 1).unwrap();
+    let mut models: Vec<Box<dyn CacheModel>> = configs
+        .iter()
+        .map(|c| c.build(16 * 1024, 1).unwrap())
+        .collect();
+    for r in &trace {
+        if let Some(a) = r.op.data_addr() {
+            let kind = if matches!(r.op, Op::Store(_)) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            baseline.access(Addr::new(a), kind);
+            for model in models.iter_mut() {
+                model.access(Addr::new(a), kind);
             }
-            KernelResult {
-                kernel: k.name.to_string(),
-                instructions: m.executed(),
-                baseline_miss_rate: baseline.stats().miss_rate(),
-                outcomes: configs
-                    .iter()
-                    .zip(&models)
-                    .map(|(c, m)| (c.label(), m.stats().miss_rate()))
-                    .collect(),
-            }
-        })
-        .collect()
+        }
+    }
+    KernelResult {
+        kernel: k.name.to_string(),
+        instructions: m.executed(),
+        baseline_miss_rate: baseline.stats().miss_rate(),
+        outcomes: configs
+            .iter()
+            .zip(&models)
+            .map(|(c, m)| (c.label(), m.stats().miss_rate()))
+            .collect(),
+    }
 }
 
 /// Renders the kernel-suite table.
 pub fn render_kernels(results: &[KernelResult]) -> String {
-    let mut header = vec!["kernel".to_string(), "instrs".to_string(), "dm-miss".to_string()];
+    let mut header = vec![
+        "kernel".to_string(),
+        "instrs".to_string(),
+        "dm-miss".to_string(),
+    ];
     header.extend(results[0].outcomes.iter().map(|(l, _)| l.clone()));
     let mut t = TextTable::new(header);
     for r in results {
-        let mut cells =
-            vec![r.kernel.clone(), r.instructions.to_string(), pct2(r.baseline_miss_rate)];
+        let mut cells = vec![
+            r.kernel.clone(),
+            r.instructions.to_string(),
+            pct2(r.baseline_miss_rate),
+        ];
         cells.extend((0..r.outcomes.len()).map(|i| pct(r.reduction(i))));
         t.row(cells);
     }
@@ -112,10 +133,20 @@ mod tests {
     #[test]
     fn conflict_copy_reproduces_figure1_on_a_real_program() {
         let results = run_kernels(3_000_000);
-        let cc = results.iter().find(|r| r.kernel == "conflict_copy").expect("kernel exists");
-        assert!(cc.baseline_miss_rate > 0.15, "DM must thrash: {}", cc.baseline_miss_rate);
+        let cc = results
+            .iter()
+            .find(|r| r.kernel == "conflict_copy")
+            .expect("kernel exists");
+        assert!(
+            cc.baseline_miss_rate > 0.15,
+            "DM must thrash: {}",
+            cc.baseline_miss_rate
+        );
         let col = |label: &str| {
-            cc.outcomes.iter().position(|(l, _)| l == label).expect("config present")
+            cc.outcomes
+                .iter()
+                .position(|(l, _)| l == label)
+                .expect("config present")
         };
         // Six conflicting arrays: 8-way and the B-Cache absorb them;
         // 2-way and 4-way cannot.
@@ -139,7 +170,13 @@ mod tests {
     fn render_lists_every_kernel() {
         let results = run_kernels(500_000);
         let s = render_kernels(&results);
-        for name in ["matmul", "list_walk", "stride_sum", "histogram", "conflict_copy"] {
+        for name in [
+            "matmul",
+            "list_walk",
+            "stride_sum",
+            "histogram",
+            "conflict_copy",
+        ] {
             assert!(s.contains(name), "{s}");
         }
     }

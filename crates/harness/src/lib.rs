@@ -19,6 +19,22 @@
 //! Experiments default to 2 M trace records with a 10% warm-up prefix
 //! (statistics are reset after warm-up, standing in for the paper's
 //! 2 B-instruction fast-forward); `--records` rescales.
+//!
+//! ## Parallel execution
+//!
+//! Every driver shards its (benchmark × side × config) cross-product
+//! into jobs and runs them on the [`parallel::Engine`] — a std-only
+//! scoped-thread pool. `--jobs N` picks the worker count (default:
+//! available parallelism); the output is **bit-identical for every
+//! `N`** because job seeds are derived from the job identity
+//! ([`parallel::job_seed`]), jobs are pure, and aggregation is
+//! positional. The engine's [`parallel::TraceCache`] memoizes each
+//! benchmark's per-side access stream ([`run::SideTrace`]) so the side
+//! filtering runs once and every config job is pure model work; raw
+//! record buffers are memoized separately for the callers that need
+//! them (the CPU model, the golden-stats tests).
+//! `crates/harness/tests/determinism.rs` and `tests/golden_stats.rs`
+//! enforce both properties.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +46,7 @@ pub mod extensions;
 pub mod fig3;
 pub mod kernels_exp;
 pub mod missrate;
+pub mod parallel;
 pub mod perf;
 pub mod report;
 pub mod run;
@@ -37,4 +54,5 @@ pub mod sensitivity;
 pub mod tables;
 
 pub use config::CacheConfig;
+pub use parallel::{default_parallelism, job_seed, Engine, TraceCache};
 pub use run::{run_bcache_pd_stats, run_miss_rates, RunLength, Side};

@@ -1,7 +1,7 @@
 //! `bcache-repro`: regenerate any table or figure of the B-Cache paper.
 //!
 //! ```text
-//! bcache-repro <experiment> [--records N] [--seed S] [--csv]
+//! bcache-repro <experiment> [--records N] [--seed S] [--jobs N] [--csv]
 //!
 //! experiments:
 //!   fig3 fig4 fig5 fig8 fig9 fig12
@@ -12,16 +12,21 @@
 //!   sweep     (victim-size sweep, cold start, L2 B-Cache extension)
 //!   all       (everything, in paper order)
 //! ```
+//!
+//! `--jobs N` sets the experiment engine's worker-thread count (default:
+//! available parallelism). Output is bit-identical for every `N`.
 
 use std::env;
 use std::process::ExitCode;
 
-use harness::run::RunLength;
-use harness::{balance, design_space, extensions, fig3, kernels_exp, missrate, perf, sensitivity, tables};
+use harness::config::RunOptions;
+use harness::{
+    balance, design_space, extensions, fig3, kernels_exp, missrate, perf, sensitivity, tables,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bcache-repro <experiment> [--records N] [--seed S] [--csv]\n\
+        "usage: bcache-repro <experiment> [--records N] [--seed S] [--jobs N] [--csv]\n\
          experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all"
     );
     ExitCode::from(2)
@@ -32,43 +37,20 @@ fn main() -> ExitCode {
     let Some(experiment) = args.first().cloned() else {
         return usage();
     };
-
-    let mut len = RunLength::default();
-    let mut csv = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--records" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
-                    return usage();
-                };
-                let seed = len.seed;
-                len = RunLength::with_records(v);
-                len.seed = seed;
-                i += 2;
-            }
-            "--csv" => {
-                csv = true;
-                i += 1;
-            }
-            "--seed" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
-                    return usage();
-                };
-                len.seed = v;
-                i += 2;
-            }
-            other => {
-                eprintln!("unknown option: {other}");
-                return usage();
-            }
+    let opts = match RunOptions::parse(&args[1..]) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return usage();
         }
-    }
+    };
+    let (len, csv) = (opts.len, opts.csv);
+    let engine = opts.engine();
 
     match experiment.as_str() {
-        "fig3" => print!("{}", fig3::figure3(len).1),
+        "fig3" => print!("{}", fig3::figure3_with(&engine, len).1),
         "fig4" => {
-            let (fp, int) = missrate::figure4(len);
+            let (fp, int) = missrate::figure4_with(&engine, len);
             if csv {
                 print!("{}{}", fp.render_csv(), int.render_csv());
             } else {
@@ -76,13 +58,19 @@ fn main() -> ExitCode {
             }
         }
         "fig5" => {
-            let fig = missrate::figure5(len);
+            let fig = missrate::figure5_with(&engine, len);
             print!("{}", if csv { fig.render_csv() } else { fig.render() });
         }
-        "fig8" => print!("{}", perf::render_figure8(&perf::run_perf(len))),
-        "fig9" => print!("{}", perf::render_figure9(&perf::run_perf(len))),
+        "fig8" => print!(
+            "{}",
+            perf::render_figure8(&perf::run_perf_with(&engine, len))
+        ),
+        "fig9" => print!(
+            "{}",
+            perf::render_figure9(&perf::run_perf_with(&engine, len))
+        ),
         "fig12" => {
-            for fig in missrate::figure12(len) {
+            for fig in missrate::figure12_with(&engine, len) {
                 if csv {
                     print!("{}", fig.render_csv());
                 } else {
@@ -95,50 +83,74 @@ fn main() -> ExitCode {
         "tab3" => print!("{}", tables::render_table3()),
         "tab4" => print!("{}", tables::render_table4()),
         "tab5" | "tab6" => {
-            let grid = design_space::design_space_grid(len);
+            let grid = design_space::design_space_grid_with(&engine, len);
             print!("{}", design_space::render_tables_5_and_6(&grid));
         }
-        "tab7" => print!("{}", balance::render_table7(&balance::table7(len))),
+        "tab7" => print!(
+            "{}",
+            balance::render_table7(&balance::table7_with(&engine, len))
+        ),
         "related" => {
-            let fig = missrate::related_work(len);
+            let fig = missrate::related_work_with(&engine, len);
             print!("{}", if csv { fig.render_csv() } else { fig.render() });
         }
         "sweep" => {
-            let points = sensitivity::victim_sweep(len, &[2, 4, 8, 16, 32, 64]);
+            let points = sensitivity::victim_sweep_with(&engine, len, &[2, 4, 8, 16, 32, 64]);
             print!("{}", sensitivity::render_victim_sweep(&points));
             let windows = sensitivity::cold_start("equake", 20_000, 8, len);
-            print!("{}", sensitivity::render_cold_start("equake", &windows, 20_000));
-            print!("{}", sensitivity::render_l2_bcache(&sensitivity::l2_bcache(len)));
+            print!(
+                "{}",
+                sensitivity::render_cold_start("equake", &windows, 20_000)
+            );
+            print!(
+                "{}",
+                sensitivity::render_l2_bcache(&sensitivity::l2_bcache_with(&engine, len))
+            );
         }
         "kernels" => {
-            print!("{}", kernels_exp::render_kernels(&kernels_exp::run_kernels(len.records)))
+            print!(
+                "{}",
+                kernels_exp::render_kernels(&kernels_exp::run_kernels_with(&engine, len.records))
+            )
         }
         "hac" => print!("{}", extensions::render_hac_comparison()),
-        "drowsy" => print!("{}", extensions::render_drowsy(&extensions::drowsy_analysis(len))),
+        "drowsy" => print!(
+            "{}",
+            extensions::render_drowsy(&extensions::drowsy_analysis(len))
+        ),
         "vp" => print!("{}", extensions::render_vp_analysis()),
         "all" => {
             print!("{}", tables::render_table4());
-            let (fp, int) = missrate::figure4(len);
+            let (fp, int) = missrate::figure4_with(&engine, len);
             print!("{}\n{}", fp.render(), int.render());
-            print!("{}", missrate::figure5(len).render());
-            print!("{}", fig3::figure3(len).1);
+            print!("{}", missrate::figure5_with(&engine, len).render());
+            print!("{}", fig3::figure3_with(&engine, len).1);
             print!("{}", tables::render_table1());
             print!("{}", tables::render_table2());
             print!("{}", tables::render_table3());
-            let rows = perf::run_perf(len);
+            let rows = perf::run_perf_with(&engine, len);
             print!("{}", perf::render_figure8(&rows));
             print!("{}", perf::render_figure9(&rows));
-            let grid = design_space::design_space_grid(len);
+            let grid = design_space::design_space_grid_with(&engine, len);
             print!("{}", design_space::render_tables_5_and_6(&grid));
-            print!("{}", balance::render_table7(&balance::table7(len)));
-            for fig in missrate::figure12(len) {
+            print!(
+                "{}",
+                balance::render_table7(&balance::table7_with(&engine, len))
+            );
+            for fig in missrate::figure12_with(&engine, len) {
                 println!("{}", fig.render());
             }
-            print!("{}", missrate::related_work(len).render());
+            print!("{}", missrate::related_work_with(&engine, len).render());
             print!("{}", extensions::render_hac_comparison());
-            print!("{}", extensions::render_drowsy(&extensions::drowsy_analysis(len)));
+            print!(
+                "{}",
+                extensions::render_drowsy(&extensions::drowsy_analysis(len))
+            );
             print!("{}", extensions::render_vp_analysis());
-            print!("{}", kernels_exp::render_kernels(&kernels_exp::run_kernels(len.records)));
+            print!(
+                "{}",
+                kernels_exp::render_kernels(&kernels_exp::run_kernels_with(&engine, len.records))
+            );
         }
         _ => return usage(),
     }

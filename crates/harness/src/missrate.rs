@@ -1,10 +1,16 @@
 //! Miss-rate reduction experiments: Figures 4, 5 and 12.
+//!
+//! Each figure shards its (benchmark × config) cross-product into jobs
+//! on the [`Engine`]; the `*_with` variants accept a caller-owned engine
+//! (so several figures share one trace cache), the plain variants build
+//! a default one. Output is identical for any worker count.
 
 use trace_gen::{profiles, BenchmarkProfile, Suite};
 
 use crate::config::CacheConfig;
+use crate::parallel::Engine;
 use crate::report::{pct, pct2, TextTable};
-use crate::run::{mean, run_miss_rates, BenchmarkMissRates, RunLength, Side};
+use crate::run::{mean, replay_config_on, BenchmarkMissRates, ConfigOutcome, RunLength, Side};
 
 /// Results of one miss-rate-reduction figure: one row per benchmark plus
 /// configuration labels.
@@ -57,6 +63,7 @@ impl MissRateFigure {
 }
 
 fn run_figure(
+    engine: &Engine,
     title: String,
     benchmarks: &[BenchmarkProfile],
     configs: &[CacheConfig],
@@ -64,18 +71,60 @@ fn run_figure(
     side: Side,
     len: RunLength,
 ) -> MissRateFigure {
+    // One job per (benchmark, column); column 0 is the baseline. The
+    // engine returns miss rates in submission order, so rows rebuild
+    // canonically however the jobs interleaved.
+    let mut cols = Vec::with_capacity(configs.len() + 1);
+    cols.push(CacheConfig::DirectMapped);
+    cols.extend_from_slice(configs);
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = benchmarks
+        .iter()
+        .flat_map(|p| {
+            cols.iter()
+                .map(move |&c| -> Box<dyn FnOnce() -> f64 + Send + '_> {
+                    Box::new(move || {
+                        let trace = engine.side_trace(p, len, side);
+                        replay_config_on(p.name, &trace, &c, size_bytes, side, len)
+                    })
+                })
+        })
+        .collect();
+    let rates = engine.run(jobs);
     let rows = benchmarks
         .iter()
-        .map(|p| run_miss_rates(p, configs, size_bytes, side, len))
+        .zip(rates.chunks(cols.len()))
+        .map(|(p, chunk)| BenchmarkMissRates {
+            benchmark: p.name.to_string(),
+            baseline_miss_rate: chunk[0],
+            outcomes: configs
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(c, &miss_rate)| ConfigOutcome {
+                    label: c.label(),
+                    miss_rate,
+                    pd_hit_rate_on_miss: None,
+                })
+                .collect(),
+        })
         .collect();
-    MissRateFigure { title, labels: configs.iter().map(CacheConfig::label).collect(), rows }
+    MissRateFigure {
+        title,
+        labels: configs.iter().map(CacheConfig::label).collect(),
+        rows,
+    }
 }
 
 /// Figure 4: data-cache miss-rate reductions at 16 kB over the nine
 /// comparison configurations, grouped CFP2K then CINT2K like the paper.
 pub fn figure4(len: RunLength) -> (MissRateFigure, MissRateFigure) {
+    figure4_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`figure4`] on a caller-owned [`Engine`].
+pub fn figure4_with(engine: &Engine, len: RunLength) -> (MissRateFigure, MissRateFigure) {
     let configs = CacheConfig::figure4_set();
     let fp = run_figure(
+        engine,
         "Figure 4 (top): D$ miss-rate reductions, SPEC CFP2K, 16 kB".into(),
         &profiles::cfp(),
         &configs,
@@ -84,6 +133,7 @@ pub fn figure4(len: RunLength) -> (MissRateFigure, MissRateFigure) {
         len,
     );
     let int = run_figure(
+        engine,
         "Figure 4 (bottom): D$ miss-rate reductions, SPEC CINT2K, 16 kB".into(),
         &profiles::cint(),
         &configs,
@@ -97,7 +147,13 @@ pub fn figure4(len: RunLength) -> (MissRateFigure, MissRateFigure) {
 /// Figure 5: instruction-cache miss-rate reductions at 16 kB on the
 /// fifteen reported benchmarks.
 pub fn figure5(len: RunLength) -> MissRateFigure {
+    figure5_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`figure5`] on a caller-owned [`Engine`].
+pub fn figure5_with(engine: &Engine, len: RunLength) -> MissRateFigure {
     run_figure(
+        engine,
         "Figure 5: I$ miss-rate reductions, reported benchmarks, 16 kB".into(),
         &profiles::icache_reported(),
         &CacheConfig::figure4_set(),
@@ -110,11 +166,17 @@ pub fn figure5(len: RunLength) -> MissRateFigure {
 /// Figure 12: miss-rate reductions at 8 kB and 32 kB over the twelve
 /// configurations (suite averages, as the paper plots aggregate bars).
 pub fn figure12(len: RunLength) -> Vec<MissRateFigure> {
+    figure12_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`figure12`] on a caller-owned [`Engine`].
+pub fn figure12_with(engine: &Engine, len: RunLength) -> Vec<MissRateFigure> {
     let configs = CacheConfig::figure12_set();
     let mut figures = Vec::new();
     for size in [32 * 1024usize, 8 * 1024] {
         let kb = size / 1024;
         figures.push(run_figure(
+            engine,
             format!("Figure 12: D$ miss-rate reductions, {kb} kB"),
             &profiles::all(),
             &configs,
@@ -123,6 +185,7 @@ pub fn figure12(len: RunLength) -> Vec<MissRateFigure> {
             len,
         ));
         figures.push(run_figure(
+            engine,
             format!("Figure 12: I$ miss-rate reductions, {kb} kB"),
             &profiles::icache_reported(),
             &configs,
@@ -137,6 +200,11 @@ pub fn figure12(len: RunLength) -> Vec<MissRateFigure> {
 /// Related-work comparison (Section 7.1): the B-Cache against the
 /// column-associative and skewed-associative caches and the HAC.
 pub fn related_work(len: RunLength) -> MissRateFigure {
+    related_work_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`related_work`] on a caller-owned [`Engine`].
+pub fn related_work_with(engine: &Engine, len: RunLength) -> MissRateFigure {
     let configs = vec![
         CacheConfig::ColumnAssoc,
         CacheConfig::SkewedAssoc,
@@ -149,6 +217,7 @@ pub fn related_work(len: RunLength) -> MissRateFigure {
         CacheConfig::BCache { mf: 8, bas: 8 },
     ];
     run_figure(
+        engine,
         "Section 7.1: related-work D$ comparison, 16 kB".into(),
         &profiles::all(),
         &configs,
@@ -206,7 +275,10 @@ mod tests {
         let fig = figure5(quick());
         assert_eq!(fig.rows.len(), 15);
         let red = |l: &str| fig.average_reduction(fig.column(l).unwrap());
-        assert!(red("MF8-BAS8") > red("victim16") + 0.3, "I$ B-Cache crushes the victim buffer");
+        assert!(
+            red("MF8-BAS8") > red("victim16") + 0.3,
+            "I$ B-Cache crushes the victim buffer"
+        );
     }
 
     #[test]

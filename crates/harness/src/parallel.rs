@@ -1,0 +1,423 @@
+//! The parallel experiment engine: a scoped-thread job pool, a shared
+//! trace cache, and deterministic per-job seed derivation.
+//!
+//! Every figure and table of the reproduction is a cross-product of
+//! (benchmark profile × reference side × cache configuration). The
+//! [`Engine`] shards that cross-product into independent jobs, runs
+//! them on a pool of scoped worker threads (std-only: no external
+//! crates), and hands results back **in input order**, so aggregation
+//! is canonical and the output is bit-identical regardless of thread
+//! count or scheduling.
+//!
+//! Three properties make the engine deterministic:
+//!
+//! 1. **Jobs are pure.** A job reads its inputs (profile, config, run
+//!    length) and a shared immutable trace; it never touches mutable
+//!    shared state.
+//! 2. **Seeds are derived, not drawn.** Each job's model seed comes
+//!    from [`job_seed`]`(RunLength.seed, benchmark, side)` — a pure
+//!    hash of the job's identity — never from a shared RNG or from
+//!    scheduling order.
+//! 3. **Aggregation is positional.** [`Engine::run`] returns results
+//!    in the order jobs were submitted, however they interleaved.
+//!
+//! The [`TraceCache`] memoizes generated traces per
+//! `(profile, records, seed)` so a 2M-record trace is synthesized once
+//! and replayed by every job that shares it (both reference sides and
+//! all cache sizes/configs of a sweep read the same records).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+use trace_gen::{BenchmarkProfile, Trace, TraceRecord};
+
+use crate::run::{RunLength, Side, SideTrace};
+
+/// Derives the deterministic seed of one experiment job from the sweep
+/// seed and the job's identity.
+///
+/// The derivation is a pure function — FNV-1a over the benchmark name
+/// and side tag folded with the base seed, finalized with a SplitMix64
+/// mix — so the same job always receives the same seed while distinct
+/// jobs in a sweep receive distinct, decorrelated seeds. Nothing about
+/// thread count or scheduling order can influence it.
+pub fn job_seed(base: u64, benchmark: &str, side: Side) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in benchmark.bytes() {
+        eat(b);
+    }
+    // A separator byte keeps "abc"+I from colliding with "ab"+<c-ish>.
+    eat(0xFF);
+    eat(match side {
+        Side::Instruction => 0x49, // 'I'
+        Side::Data => 0x44,        // 'D'
+    });
+    // Fold in the base seed and finalize (SplitMix64 mixer) so that
+    // consecutive base seeds still produce decorrelated outputs.
+    let mut z = h ^ base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Memoized trace generation, keyed by `(profile name, records, seed)`,
+/// plus memoized per-side access streams keyed additionally by
+/// `(warmup, side)`.
+///
+/// The first job that needs a trace synthesizes it (other requesters
+/// block on the same entry rather than duplicating the work); later
+/// jobs replay the shared, immutable buffer. The same applies to the
+/// extracted [`SideTrace`] streams: the per-side filtering and
+/// instruction-block collapse run once per `(profile, len, side)`, so
+/// every config job of a sweep is pure model work. A full-length
+/// (2M-record) trace is ~48 MB (the extracted streams are smaller), so
+/// a whole 26-benchmark sweep holds about 1.2 GB — call
+/// [`TraceCache::clear`] between experiments if that matters.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<(String, u64, u64), Arc<OnceLock<Arc<Vec<TraceRecord>>>>>>,
+    sides: SideMap,
+}
+
+type SideMap = Mutex<HashMap<(String, u64, u64, u64, bool), Arc<OnceLock<Arc<SideTrace>>>>>;
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the trace of `profile` at `len`, generating it on first
+    /// use.
+    pub fn get(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<Vec<TraceRecord>> {
+        let key = (profile.name.to_string(), len.records, len.seed);
+        let cell = self
+            .entries
+            .lock()
+            .expect("trace cache lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        // Generation happens outside the map lock; concurrent callers
+        // of the same key block on the OnceLock, not on the whole map.
+        cell.get_or_init(|| {
+            Arc::new(
+                Trace::new(profile, len.seed)
+                    .take(len.records as usize)
+                    .collect(),
+            )
+        })
+        .clone()
+    }
+
+    /// Returns the extracted `side` access stream of `profile` at
+    /// `len`, extracting it on first use. Keyed additionally by
+    /// `len.warmup` because the warm-up reset position is baked into
+    /// the stream.
+    ///
+    /// If the raw records are already cached (a [`Self::get`] caller
+    /// wanted them) the extraction reads them; otherwise it streams
+    /// straight from the generator without materializing the ~48 MB
+    /// record buffer — miss-rate sweeps only ever need the (much
+    /// smaller) access streams.
+    pub fn side(&self, profile: &BenchmarkProfile, len: RunLength, side: Side) -> Arc<SideTrace> {
+        let key = (
+            profile.name.to_string(),
+            len.records,
+            len.seed,
+            len.warmup,
+            side == Side::Data,
+        );
+        let cell = self
+            .sides
+            .lock()
+            .expect("side cache lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        cell.get_or_init(|| {
+            let cached_records = {
+                let entries = self.entries.lock().expect("trace cache lock");
+                entries
+                    .get(&(profile.name.to_string(), len.records, len.seed))
+                    .and_then(|c| c.get().cloned())
+            };
+            let trace = match cached_records {
+                Some(records) => SideTrace::extract(records.iter().copied(), side, len.warmup),
+                None => SideTrace::extract(
+                    Trace::new(profile, len.seed).take(len.records as usize),
+                    side,
+                    len.warmup,
+                ),
+            };
+            Arc::new(trace)
+        })
+        .clone()
+    }
+
+    /// Number of distinct traces currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached trace and extracted side stream.
+    pub fn clear(&self) {
+        self.entries.lock().expect("trace cache lock").clear();
+        self.sides.lock().expect("side cache lock").clear();
+    }
+}
+
+/// The parallel experiment engine: a worker pool plus a [`TraceCache`].
+#[derive(Debug)]
+pub struct Engine {
+    jobs: usize,
+    traces: TraceCache,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::with_default_parallelism()
+    }
+}
+
+impl Engine {
+    /// Creates an engine running at most `jobs` worker threads
+    /// (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Engine {
+            jobs: jobs.max(1),
+            traces: TraceCache::new(),
+        }
+    }
+
+    /// Creates an engine sized to the machine
+    /// ([`std::thread::available_parallelism`]).
+    pub fn with_default_parallelism() -> Self {
+        Engine::new(default_parallelism())
+    }
+
+    /// The worker-thread budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The shared trace cache.
+    pub fn traces(&self) -> &TraceCache {
+        &self.traces
+    }
+
+    /// Convenience: the trace of `profile` at `len` from the shared
+    /// cache.
+    pub fn trace(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<Vec<TraceRecord>> {
+        self.traces.get(profile, len)
+    }
+
+    /// Convenience: the extracted `side` stream of `profile` at `len`
+    /// from the shared cache.
+    pub fn side_trace(
+        &self,
+        profile: &BenchmarkProfile,
+        len: RunLength,
+        side: Side,
+    ) -> Arc<SideTrace> {
+        self.traces.side(profile, len, side)
+    }
+
+    /// Runs every job and returns their results **in input order**.
+    ///
+    /// Jobs are pulled from a shared queue by `min(self.jobs, #jobs)`
+    /// scoped worker threads; with a budget of 1 (or a single job) they
+    /// run inline on the caller thread. Either way the result vector is
+    /// positionally identical, which is what makes experiment output
+    /// independent of `--jobs`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panic of any job.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Hold the queue lock only for the pop; the job body
+                    // runs unlocked so workers steal work as they drain.
+                    let next = queue.lock().expect("job queue lock").pop_front();
+                    let Some((i, job)) = next else { break };
+                    let result = job();
+                    *slots[i].lock().expect("result slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every job stores its result")
+            })
+            .collect()
+    }
+}
+
+/// The machine's available parallelism (the `--jobs` default).
+pub fn default_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::profiles;
+
+    #[test]
+    fn results_come_back_in_input_order_at_any_width() {
+        let inputs: Vec<u64> = (0..64).collect();
+        for width in [1usize, 2, 3, 8, 64, 200] {
+            let engine = Engine::new(width);
+            let jobs: Vec<_> = inputs
+                .iter()
+                .map(|&i| {
+                    move || {
+                        // Uneven work so completion order scrambles.
+                        let mut acc = i;
+                        for _ in 0..(i % 7) * 1000 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        }
+                        let _ = acc;
+                        i * 10
+                    }
+                })
+                .collect();
+            let out = engine.run(jobs);
+            assert_eq!(
+                out,
+                inputs.iter().map(|i| i * 10).collect::<Vec<_>>(),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_queues_are_fine() {
+        let engine = Engine::new(0); // clamps to 1
+        assert_eq!(engine.jobs(), 1);
+        let out: Vec<u32> = engine.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn job_seeds_are_stable_and_distinct_across_a_sweep() {
+        use std::collections::HashSet;
+        let benchmarks: Vec<String> = profiles::all().iter().map(|p| p.name.to_string()).collect();
+        assert_eq!(benchmarks.len(), 26);
+        let mut seen = HashSet::new();
+        for side in [Side::Instruction, Side::Data] {
+            for b in &benchmarks {
+                let s = job_seed(1, b, side);
+                // Same job, same seed — always.
+                assert_eq!(s, job_seed(1, b, side));
+                // No two jobs of the sweep share a seed.
+                assert!(seen.insert(s), "seed collision for {b}/{side:?}");
+            }
+        }
+        // The base seed takes part in the derivation.
+        assert_ne!(
+            job_seed(1, "gzip", Side::Data),
+            job_seed(2, "gzip", Side::Data)
+        );
+    }
+
+    #[test]
+    fn trace_cache_returns_the_same_buffer_and_counts_entries() {
+        let cache = TraceCache::new();
+        let p = profiles::by_name("gzip").unwrap();
+        let len = RunLength::with_records(1_000);
+        let a = cache.get(&p, len);
+        let b = cache.get(&p, len);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(cache.len(), 1);
+        // A different run length is a different entry.
+        let c = cache.get(&p, RunLength::with_records(2_000));
+        assert_eq!(c.len(), 2_000);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn side_streams_are_cached_and_match_fresh_extraction() {
+        use crate::run::SideTrace;
+        let cache = TraceCache::new();
+        let p = profiles::by_name("gzip").unwrap();
+        let len = RunLength::with_records(3_000);
+        let a = cache.side(&p, len, Side::Data);
+        let b = cache.side(&p, len, Side::Data);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        // Extraction streams from the generator: it does not force the
+        // raw records into memory.
+        assert_eq!(cache.len(), 0);
+        let records = cache.get(&p, len);
+        let fresh = SideTrace::extract(records.iter().copied(), Side::Data, len.warmup);
+        assert_eq!(*a, fresh);
+        // The other side is a distinct entry with a distinct stream.
+        let i = cache.side(&p, len, Side::Instruction);
+        assert_ne!(*i, *a);
+        cache.clear();
+        let c = cache.side(&p, len, Side::Data);
+        assert!(!Arc::ptr_eq(&a, &c), "clear drops side streams too");
+        assert_eq!(*a, *c);
+    }
+
+    #[test]
+    fn cached_trace_equals_fresh_generation() {
+        let cache = TraceCache::new();
+        let p = profiles::by_name("equake").unwrap();
+        let len = RunLength::with_records(5_000);
+        let cached = cache.get(&p, len);
+        let fresh: Vec<TraceRecord> = Trace::new(&p, len.seed)
+            .take(len.records as usize)
+            .collect();
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn pool_runs_jobs_that_share_the_trace_cache() {
+        let engine = Engine::new(4);
+        let p = profiles::by_name("mcf").unwrap();
+        let len = RunLength::with_records(2_000);
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = &engine;
+                let p = p.clone();
+                move || engine.trace(&p, len).len()
+            })
+            .collect();
+        let out = engine.run(jobs);
+        assert!(out.iter().all(|&n| n == 2_000));
+        assert_eq!(engine.traces().len(), 1, "all jobs share one cached trace");
+    }
+}

@@ -11,8 +11,9 @@ use power_model::{
 use trace_gen::{profiles, Trace};
 
 use crate::config::CacheConfig;
+use crate::parallel::{job_seed, Engine};
 use crate::report::{pct, TextTable};
-use crate::run::{mean, RunLength};
+use crate::run::{mean, RunLength, Side};
 
 /// L1 size used by Figures 8 and 9.
 const L1_BYTES: usize = 16 * 1024;
@@ -106,11 +107,34 @@ pub fn run_config(
     config: &CacheConfig,
     len: RunLength,
 ) -> PerfOutcome {
-    let l1i = config.build(L1_BYTES, len.seed).expect("config must build");
-    let l1d = config.build(L1_BYTES, len.seed + 1).expect("config must build");
+    let records: Vec<trace_gen::TraceRecord> = Trace::new(profile, len.seed)
+        .take(len.records as usize)
+        .collect();
+    run_config_on(profile, config, &records, len)
+}
+
+/// [`run_config`] over a pre-generated record buffer (the engine path;
+/// the records must come from `Trace::new(profile, len.seed)`).
+fn run_config_on(
+    profile: &trace_gen::BenchmarkProfile,
+    config: &CacheConfig,
+    records: &[trace_gen::TraceRecord],
+    len: RunLength,
+) -> PerfOutcome {
+    // Both L1s get job-derived seeds (one per side), like every other
+    // driver; only random-replacement configs consume them.
+    let l1i = config
+        .build(
+            L1_BYTES,
+            job_seed(len.seed, profile.name, Side::Instruction),
+        )
+        .expect("config must build");
+    let l1d = config
+        .build(L1_BYTES, job_seed(len.seed, profile.name, Side::Data))
+        .expect("config must build");
     let hierarchy = MemoryHierarchy::new(l1i, l1d);
     let mut cpu = Cpu::new(CpuConfig::default(), hierarchy);
-    let report = cpu.run(Trace::new(profile, len.seed).take(len.records as usize));
+    let report = cpu.run(records.iter().copied());
 
     let h = cpu.hierarchy();
     let l1i_stats = h.l1i().stats().total();
@@ -138,20 +162,46 @@ pub fn run_config(
 /// Runs Figures 8/9's simulations: all 26 benchmarks, baseline plus the
 /// five comparison configurations.
 pub fn run_perf(len: RunLength) -> Vec<PerfRow> {
+    run_perf_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`run_perf`] on a caller-owned [`Engine`]: one job per
+/// (benchmark, configuration), all replaying the benchmark's cached
+/// trace through the full CPU model.
+pub fn run_perf_with(engine: &Engine, len: RunLength) -> Vec<PerfRow> {
     let mut configs = vec![CacheConfig::DirectMapped];
     configs.extend(CacheConfig::figure8_set());
-    profiles::all()
+    let benchmarks = profiles::all();
+    let jobs: Vec<_> = benchmarks
         .iter()
-        .map(|p| PerfRow {
+        .flat_map(|p| {
+            configs.iter().map(move |c| {
+                move || {
+                    let records = engine.trace(p, len);
+                    run_config_on(p, c, &records, len)
+                }
+            })
+        })
+        .collect();
+    let outcomes = engine.run(jobs);
+    benchmarks
+        .iter()
+        .zip(outcomes.chunks(configs.len()))
+        .map(|(p, chunk)| PerfRow {
             benchmark: p.name.to_string(),
-            outcomes: configs.iter().map(|c| run_config(p, c, len)).collect(),
+            outcomes: chunk.to_vec(),
         })
         .collect()
 }
 
 /// Renders Figure 8 (IPC improvement over baseline) from perf rows.
 pub fn render_figure8(rows: &[PerfRow]) -> String {
-    let labels: Vec<String> = rows[0].outcomes.iter().skip(1).map(|o| o.label.clone()).collect();
+    let labels: Vec<String> = rows[0]
+        .outcomes
+        .iter()
+        .skip(1)
+        .map(|o| o.label.clone())
+        .collect();
     let mut header = vec!["benchmark".to_string(), "base-IPC".to_string()];
     header.extend(labels.iter().cloned());
     let mut t = TextTable::new(header);
@@ -163,7 +213,10 @@ pub fn render_figure8(rows: &[PerfRow]) -> String {
     let mut ave = vec!["Ave".to_string(), String::new()];
     ave.extend((1..rows[0].outcomes.len()).map(|i| pct(mean(rows, |r| r.ipc_improvement(i)))));
     t.row(ave);
-    format!("Figure 8: IPC improvement over the 16 kB direct-mapped baseline\n{}", t.render())
+    format!(
+        "Figure 8: IPC improvement over the 16 kB direct-mapped baseline\n{}",
+        t.render()
+    )
 }
 
 /// Renders Figure 9 (normalized memory energy) from perf rows.

@@ -1,11 +1,30 @@
-//! Shared experiment machinery: single-pass trace replay over many cache
-//! models, warm-up handling, and result records.
+//! Shared experiment machinery: trace replay over cache models, warm-up
+//! handling, deterministic per-job seeding, and result records.
+//!
+//! Two replay paths exist and are guaranteed to agree bit-for-bit:
+//!
+//! * the **streaming** path ([`run_miss_rates`], [`run_bcache_pd_stats`])
+//!   generates the trace on the fly and replays every model in one pass
+//!   — used by callers that want a single benchmark/config without an
+//!   engine;
+//! * the **sharded** path ([`replay_config_on`], [`replay_bcache_pd_on`])
+//!   replays one model over a pre-extracted [`SideTrace`] (normally an
+//!   [`Engine`](crate::parallel::Engine) trace-cache entry) — used by
+//!   the parallel experiment drivers. Extracting the side stream once
+//!   and sharing it means a sharded job is pure model work; the engine
+//!   path costs no more per core than the streaming path.
+//!
+//! Both build models with the seed derived by
+//! [`job_seed`](crate::parallel::job_seed)`(len.seed, benchmark, side)`
+//! and feed the identical access stream, so `--jobs N` can never change
+//! a number.
 
 use bcache_core::BalancedCache;
 use cache_sim::{AccessKind, Addr, CacheModel};
-use trace_gen::{BenchmarkProfile, Op, Trace};
+use trace_gen::{BenchmarkProfile, Op, Trace, TraceRecord};
 
 use crate::config::CacheConfig;
+use crate::parallel::job_seed;
 
 /// Which reference stream of the trace feeds the caches.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -31,7 +50,11 @@ pub struct RunLength {
 
 impl Default for RunLength {
     fn default() -> Self {
-        RunLength { records: 2_000_000, warmup: 200_000, seed: 1 }
+        RunLength {
+            records: 2_000_000,
+            warmup: 200_000,
+            seed: 1,
+        }
     }
 }
 
@@ -39,7 +62,164 @@ impl RunLength {
     /// A scaled copy (used by `--records`-style overrides and quick
     /// tests); warm-up stays at 10%.
     pub fn with_records(records: u64) -> Self {
-        RunLength { records, warmup: records / 10, seed: 1 }
+        RunLength {
+            records,
+            warmup: records / 10,
+            seed: 1,
+        }
+    }
+}
+
+/// Extracts the access stream of one [`Side`] from raw trace records.
+///
+/// On the instruction side consecutive fetches from the same 32-byte
+/// block collapse into one access (the fetch unit reads whole blocks);
+/// the collapse state lives here so streaming and sharded replay agree.
+#[derive(Copy, Clone, Debug)]
+pub struct SideStream {
+    side: Side,
+    last_line: u64,
+}
+
+impl SideStream {
+    /// Creates the extractor for `side`.
+    pub fn new(side: Side) -> Self {
+        SideStream {
+            side,
+            last_line: u64::MAX,
+        }
+    }
+
+    /// The cache access (if any) that `rec` produces on this side.
+    pub fn access(&mut self, rec: &TraceRecord) -> Option<(Addr, AccessKind)> {
+        match self.side {
+            Side::Instruction => {
+                let line = rec.pc / 32;
+                if line == self.last_line {
+                    None
+                } else {
+                    self.last_line = line;
+                    Some((Addr::new(rec.pc), AccessKind::InstrFetch))
+                }
+            }
+            Side::Data => rec.op.data_addr().map(|a| {
+                let kind = if matches!(rec.op, Op::Store(_)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(a), kind)
+            }),
+        }
+    }
+}
+
+/// Replays `records` into every model in `models`, feeding the `side`
+/// stream and resetting statistics after `warmup` records (the paper's
+/// fast-forward stand-in). Returns the number of accesses fed.
+pub fn replay_models(
+    records: impl IntoIterator<Item = TraceRecord>,
+    models: &mut [&mut dyn CacheModel],
+    side: Side,
+    warmup: u64,
+) -> u64 {
+    let mut stream = SideStream::new(side);
+    let mut fed = 0u64;
+    let mut warmed = false;
+    for (i, rec) in records.into_iter().enumerate() {
+        if !warmed && (i as u64) >= warmup {
+            warmed = true;
+            for m in models.iter_mut() {
+                m.reset_stats();
+            }
+        }
+        if let Some((addr, kind)) = stream.access(&rec) {
+            fed += 1;
+            for m in models.iter_mut() {
+                m.access(addr, kind);
+            }
+        }
+    }
+    fed
+}
+
+/// Replays `records` into one model (see [`replay_models`]).
+pub fn replay(
+    records: impl IntoIterator<Item = TraceRecord>,
+    model: &mut dyn CacheModel,
+    side: Side,
+    warmup: u64,
+) -> u64 {
+    replay_models(records, &mut [model], side, warmup)
+}
+
+/// A pre-extracted access stream of one [`Side`]: the filtering and
+/// instruction-block collapse of [`SideStream`] applied once, plus the
+/// position of the warm-up statistics reset, so replaying it is pure
+/// model work — no re-scan of the raw records per configuration.
+///
+/// Replaying a `SideTrace` is bit-identical to replaying the records it
+/// was extracted from: the reset fires between the same two accesses as
+/// [`replay_models`]'s record-index check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SideTrace {
+    accesses: Vec<(Addr, AccessKind)>,
+    reset_at: Option<usize>,
+}
+
+impl SideTrace {
+    /// Extracts the `side` stream of `records`, remembering where the
+    /// `warmup`-records statistics reset lands in access terms. `None`
+    /// reset (warm-up past the end of the records) stays `None`.
+    pub fn extract(
+        records: impl IntoIterator<Item = TraceRecord>,
+        side: Side,
+        warmup: u64,
+    ) -> Self {
+        let mut stream = SideStream::new(side);
+        let mut accesses = Vec::new();
+        let mut reset_at = None;
+        for (i, rec) in records.into_iter().enumerate() {
+            if reset_at.is_none() && (i as u64) >= warmup {
+                reset_at = Some(accesses.len());
+            }
+            if let Some(a) = stream.access(&rec) {
+                accesses.push(a);
+            }
+        }
+        SideTrace { accesses, reset_at }
+    }
+
+    /// The extracted accesses, in record order.
+    pub fn accesses(&self) -> &[(Addr, AccessKind)] {
+        &self.accesses
+    }
+
+    /// Replays the stream into every model, resetting statistics at the
+    /// recorded warm-up point (exactly like [`replay_models`]).
+    pub fn replay_into(&self, models: &mut [&mut dyn CacheModel]) {
+        for (i, &(addr, kind)) in self.accesses.iter().enumerate() {
+            if self.reset_at == Some(i) {
+                for m in models.iter_mut() {
+                    m.reset_stats();
+                }
+            }
+            for m in models.iter_mut() {
+                m.access(addr, kind);
+            }
+        }
+        // A reset landing after the last access still fires: the record
+        // loop reached the warm-up index even though no access followed.
+        if self.reset_at == Some(self.accesses.len()) {
+            for m in models.iter_mut() {
+                m.reset_stats();
+            }
+        }
+    }
+
+    /// [`Self::replay_into`] for a single model.
+    pub fn replay(&self, model: &mut dyn CacheModel) {
+        self.replay_into(&mut [model]);
     }
 }
 
@@ -78,7 +258,12 @@ impl BenchmarkMissRates {
 }
 
 /// Replays one benchmark against the baseline plus `configs` in a single
-/// pass and reports miss rates.
+/// streaming pass and reports miss rates.
+///
+/// Models are seeded with the job seed derived from
+/// `(len.seed, profile.name, side)`, exactly like the sharded path, so
+/// this function and an [`Engine`](crate::parallel::Engine) sweep agree
+/// bit-for-bit.
 ///
 /// # Panics
 ///
@@ -90,48 +275,27 @@ pub fn run_miss_rates(
     side: Side,
     len: RunLength,
 ) -> BenchmarkMissRates {
+    let seed = job_seed(len.seed, profile.name, side);
     let mut baseline = CacheConfig::DirectMapped
-        .build(size_bytes, len.seed)
+        .build(size_bytes, seed)
         .expect("baseline geometry is valid");
     let mut models: Vec<Box<dyn CacheModel>> = configs
         .iter()
-        .map(|c| c.build(size_bytes, len.seed).expect("config must build"))
+        .map(|c| c.build(size_bytes, seed).expect("config must build"))
         .collect();
 
-    let mut fed = 0u64;
-    let mut warmed = false;
-    let mut last_line = u64::MAX;
-    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
-        if !warmed && (i as u64) >= len.warmup {
-            warmed = true;
-            baseline.reset_stats();
-            for m in models.iter_mut() {
-                m.reset_stats();
-            }
-        }
-        let access = match side {
-            Side::Instruction => {
-                let line = rec.pc / 32;
-                if line == last_line {
-                    None
-                } else {
-                    last_line = line;
-                    Some((rec.pc, AccessKind::InstrFetch))
-                }
-            }
-            Side::Data => rec.op.data_addr().map(|a| {
-                (a, if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read })
-            }),
-        };
-        if let Some((addr, kind)) = access {
-            fed += 1;
-            baseline.access(Addr::new(addr), kind);
-            for m in models.iter_mut() {
-                m.access(Addr::new(addr), kind);
-            }
-        }
+    {
+        let mut all: Vec<&mut dyn CacheModel> = Vec::with_capacity(models.len() + 1);
+        all.push(baseline.as_mut());
+        all.extend(models.iter_mut().map(|m| m.as_mut() as &mut dyn CacheModel));
+        let fed = replay_models(
+            Trace::new(profile, len.seed).take(len.records as usize),
+            &mut all,
+            side,
+            len.warmup,
+        );
+        debug_assert!(fed > 0, "trace produced no accesses for {side:?}");
     }
-    debug_assert!(fed > 0, "trace produced no accesses for {side:?}");
 
     let outcomes = models
         .iter()
@@ -152,6 +316,75 @@ pub fn run_miss_rates(
     }
 }
 
+/// One sharded job of a miss-rate sweep: replays a single configuration
+/// over a pre-extracted side stream and reports its post-warm-up miss
+/// rate.
+///
+/// `benchmark` is the profile name the trace came from; together with
+/// `side` it enters the per-job seed derivation so this path agrees
+/// bit-for-bit with [`run_miss_rates`].
+///
+/// # Panics
+///
+/// Panics if the configuration cannot be built at `size_bytes`.
+pub fn replay_config_on(
+    benchmark: &str,
+    trace: &SideTrace,
+    config: &CacheConfig,
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> f64 {
+    let seed = job_seed(len.seed, benchmark, side);
+    let mut model = config.build(size_bytes, seed).expect("config must build");
+    trace.replay(model.as_mut());
+    model.stats().miss_rate()
+}
+
+/// [`replay_config_on`] starting from raw records (extracts the side
+/// stream first).
+pub fn replay_config(
+    benchmark: &str,
+    records: &[TraceRecord],
+    config: &CacheConfig,
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> f64 {
+    let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+    replay_config_on(benchmark, &trace, config, size_bytes, side, len)
+}
+
+/// Exact post-warm-up counters of one configuration on one benchmark
+/// (used by the golden-stats regression tests, where a float would hide
+/// one-miss drifts).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExactCounts {
+    /// Post-warm-up accesses fed to the cache.
+    pub accesses: u64,
+    /// Post-warm-up misses.
+    pub misses: u64,
+}
+
+/// Replays one configuration over `records` and reports exact counts.
+pub fn replay_config_counts(
+    benchmark: &str,
+    records: &[TraceRecord],
+    config: &CacheConfig,
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> ExactCounts {
+    let seed = job_seed(len.seed, benchmark, side);
+    let mut model = config.build(size_bytes, seed).expect("config must build");
+    replay(records.iter().copied(), model.as_mut(), side, len.warmup);
+    let total = model.stats().total();
+    ExactCounts {
+        accesses: total.accesses(),
+        misses: total.misses(),
+    }
+}
+
 /// PD statistics of one B-Cache point on one benchmark (used by Fig. 3
 /// and Table 6, where the PD hit rate during misses is the headline).
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -162,8 +395,47 @@ pub struct BCachePdOutcome {
     pub pd_hit_rate_on_miss: f64,
 }
 
-/// Replays one benchmark against a single B-Cache and reports both the
-/// miss rate and the PD hit rate during misses.
+fn build_bcache(mf: usize, bas: usize, size_bytes: usize) -> BalancedCache {
+    use bcache_core::BCacheParams;
+    use cache_sim::{CacheGeometry, PolicyKind};
+
+    let geom = CacheGeometry::new(size_bytes, 32, 1).expect("valid geometry");
+    let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru).expect("valid B-Cache point");
+    BalancedCache::new(params)
+}
+
+/// Sharded counterpart of [`run_bcache_pd_stats`]: replays one B-Cache
+/// point over a pre-extracted side stream. (No seed parameter: the
+/// B-Cache's LRU replacement draws no randomness.)
+pub fn replay_bcache_pd_on(
+    trace: &SideTrace,
+    mf: usize,
+    bas: usize,
+    size_bytes: usize,
+) -> BCachePdOutcome {
+    let mut bc = build_bcache(mf, bas, size_bytes);
+    trace.replay(&mut bc);
+    BCachePdOutcome {
+        miss_rate: bc.stats().miss_rate(),
+        pd_hit_rate_on_miss: bc.pd_stats().pd_hit_rate_on_miss(),
+    }
+}
+
+/// [`replay_bcache_pd_on`] starting from raw records.
+pub fn replay_bcache_pd(
+    records: &[TraceRecord],
+    mf: usize,
+    bas: usize,
+    size_bytes: usize,
+    side: Side,
+    len: RunLength,
+) -> BCachePdOutcome {
+    let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+    replay_bcache_pd_on(&trace, mf, bas, size_bytes)
+}
+
+/// Replays one benchmark against a single B-Cache (streaming) and
+/// reports both the miss rate and the PD hit rate during misses.
 pub fn run_bcache_pd_stats(
     profile: &BenchmarkProfile,
     mf: usize,
@@ -172,40 +444,13 @@ pub fn run_bcache_pd_stats(
     side: Side,
     len: RunLength,
 ) -> BCachePdOutcome {
-    use bcache_core::BCacheParams;
-    use cache_sim::{CacheGeometry, PolicyKind};
-
-    let geom = CacheGeometry::new(size_bytes, 32, 1).expect("valid geometry");
-    let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru).expect("valid B-Cache point");
-    let mut bc = BalancedCache::new(params);
-
-    let mut warmed = false;
-    let mut last_line = u64::MAX;
-    for (i, rec) in Trace::new(profile, len.seed).take(len.records as usize).enumerate() {
-        if !warmed && (i as u64) >= len.warmup {
-            warmed = true;
-            bc.reset_stats();
-        }
-        match side {
-            Side::Instruction => {
-                let line = rec.pc / 32;
-                if line != last_line {
-                    last_line = line;
-                    bc.access(Addr::new(rec.pc), AccessKind::InstrFetch);
-                }
-            }
-            Side::Data => {
-                if let Some(a) = rec.op.data_addr() {
-                    let kind = if matches!(rec.op, Op::Store(_)) {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    bc.access(Addr::new(a), kind);
-                }
-            }
-        }
-    }
+    let mut bc = build_bcache(mf, bas, size_bytes);
+    replay(
+        Trace::new(profile, len.seed).take(len.records as usize),
+        &mut bc,
+        side,
+        len.warmup,
+    );
     BCachePdOutcome {
         miss_rate: bc.stats().miss_rate(),
         pd_hit_rate_on_miss: bc.pd_stats().pd_hit_rate_on_miss(),
@@ -244,7 +489,10 @@ mod tests {
         let red8 = r.reduction(1);
         let redb = r.reduction(2);
         assert!(red8 > red2, "8-way {red8} must beat 2-way {red2}");
-        assert!(redb > 0.5, "B-Cache reduction {redb} should be large on equake");
+        assert!(
+            redb > 0.5,
+            "B-Cache reduction {redb} should be large on equake"
+        );
     }
 
     #[test]
@@ -255,14 +503,22 @@ mod tests {
             &[],
             16 * 1024,
             Side::Instruction,
-            RunLength { records: 50_000, warmup: 0, seed: 1 },
+            RunLength {
+                records: 50_000,
+                warmup: 0,
+                seed: 1,
+            },
         );
         let warm = run_miss_rates(
             &p,
             &[],
             16 * 1024,
             Side::Instruction,
-            RunLength { records: 50_000, warmup: 25_000, seed: 1 },
+            RunLength {
+                records: 50_000,
+                warmup: 25_000,
+                seed: 1,
+            },
         );
         assert!(warm.baseline_miss_rate <= cold.baseline_miss_rate);
     }
@@ -281,7 +537,125 @@ mod tests {
         let via_pd = run_bcache_pd_stats(&p, 8, 8, 16 * 1024, Side::Data, len);
         assert!((via_grid.outcomes[0].miss_rate - via_pd.miss_rate).abs() < 1e-12);
         // wupwise's far conflicts force PD hits on most conflict misses.
-        assert!(via_pd.pd_hit_rate_on_miss > 0.3, "{}", via_pd.pd_hit_rate_on_miss);
+        assert!(
+            via_pd.pd_hit_rate_on_miss > 0.3,
+            "{}",
+            via_pd.pd_hit_rate_on_miss
+        );
+    }
+
+    #[test]
+    fn sharded_replay_matches_streaming_replay_exactly() {
+        // The parallel drivers replay cached records one config at a
+        // time; the streaming path replays every model in one pass.
+        // They must agree to the last bit.
+        let p = profiles::by_name("vpr").unwrap();
+        let len = RunLength::with_records(60_000);
+        let configs = [
+            CacheConfig::SetAssoc(4),
+            CacheConfig::Victim(16),
+            CacheConfig::BCache { mf: 8, bas: 8 },
+        ];
+        for side in [Side::Data, Side::Instruction] {
+            let streaming = run_miss_rates(&p, &configs, 16 * 1024, side, len);
+            let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
+                .take(len.records as usize)
+                .collect();
+            let base = replay_config(
+                p.name,
+                &records,
+                &CacheConfig::DirectMapped,
+                16 * 1024,
+                side,
+                len,
+            );
+            assert_eq!(streaming.baseline_miss_rate, base, "{side:?} baseline");
+            for (i, c) in configs.iter().enumerate() {
+                let mr = replay_config(p.name, &records, c, 16 * 1024, side, len);
+                assert_eq!(
+                    streaming.outcomes[i].miss_rate,
+                    mr,
+                    "{side:?} {}",
+                    c.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pd_replay_matches_streaming() {
+        let p = profiles::by_name("wupwise").unwrap();
+        let len = RunLength::with_records(50_000);
+        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
+            .take(len.records as usize)
+            .collect();
+        let a = run_bcache_pd_stats(&p, 8, 8, 16 * 1024, Side::Data, len);
+        let b = replay_bcache_pd(&records, 8, 8, 16 * 1024, Side::Data, len);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_counts_are_consistent_with_miss_rates() {
+        let p = profiles::by_name("gzip").unwrap();
+        let len = RunLength::with_records(40_000);
+        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
+            .take(len.records as usize)
+            .collect();
+        let c = CacheConfig::DirectMapped;
+        let counts = replay_config_counts(p.name, &records, &c, 16 * 1024, Side::Data, len);
+        let rate = replay_config(p.name, &records, &c, 16 * 1024, Side::Data, len);
+        assert!(counts.accesses > 0 && counts.misses <= counts.accesses);
+        assert!((counts.misses as f64 / counts.accesses as f64 - rate).abs() < 1e-15);
+    }
+
+    #[test]
+    fn side_trace_replay_matches_record_replay() {
+        // Extracting once and replaying the access stream must land the
+        // warm-up reset between the same two accesses as the
+        // record-index check of `replay_models`.
+        let p = profiles::by_name("ammp").unwrap();
+        let len = RunLength {
+            records: 30_000,
+            warmup: 7_000,
+            seed: 3,
+        };
+        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
+            .take(len.records as usize)
+            .collect();
+        for side in [Side::Data, Side::Instruction] {
+            let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+            let seed = job_seed(len.seed, p.name, side);
+            let mut via_records = CacheConfig::SetAssoc(4).build(16 * 1024, seed).unwrap();
+            let mut via_trace = CacheConfig::SetAssoc(4).build(16 * 1024, seed).unwrap();
+            let fed = replay(
+                records.iter().copied(),
+                via_records.as_mut(),
+                side,
+                len.warmup,
+            );
+            trace.replay(via_trace.as_mut());
+            assert_eq!(trace.accesses().len() as u64, fed, "{side:?}");
+            assert_eq!(
+                via_records.stats().total().misses(),
+                via_trace.stats().total().misses(),
+                "{side:?}"
+            );
+            assert_eq!(
+                via_records.stats().total().accesses(),
+                via_trace.stats().total().accesses(),
+                "{side:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_side_collapses_same_block_fetches() {
+        let mut s = SideStream::new(Side::Instruction);
+        let rec = |pc: u64| TraceRecord { pc, op: Op::Alu };
+        assert!(s.access(&rec(0)).is_some());
+        assert!(s.access(&rec(4)).is_none(), "same 32-byte block");
+        assert!(s.access(&rec(32)).is_some(), "next block fetches");
+        assert!(s.access(&rec(0)).is_some(), "returning re-fetches");
     }
 
     #[test]

@@ -16,37 +16,49 @@ use cache_sim::{
 };
 use trace_gen::{profiles, Op, Trace};
 
+use crate::parallel::Engine;
 use crate::report::{pct, pct2, TextTable};
-use crate::run::{mean, RunLength};
+use crate::run::{mean, RunLength, Side};
 
 /// Miss-rate reduction of victim buffers of several sizes, averaged over
 /// the 26 benchmarks' data caches.
 pub fn victim_sweep(len: RunLength, entries: &[usize]) -> Vec<(usize, f64)> {
+    victim_sweep_with(&Engine::with_default_parallelism(), len, entries)
+}
+
+/// [`victim_sweep`] on a caller-owned [`Engine`]: one job per
+/// (buffer size, benchmark) pair over the shared cached traces.
+pub fn victim_sweep_with(engine: &Engine, len: RunLength, entries: &[usize]) -> Vec<(usize, f64)> {
     let benchmarks = profiles::all();
-    entries
+    let jobs: Vec<_> = entries
         .iter()
-        .map(|&n| {
-            let reductions: Vec<f64> = benchmarks
-                .iter()
-                .map(|p| {
+        .flat_map(|&n| {
+            benchmarks.iter().map(move |p| {
+                move || {
+                    let trace = engine.side_trace(p, len, Side::Data);
                     let mut dm = CacheGeometry::new(16 * 1024, 32, 1)
                         .map(|g| cache_sim::DirectMappedCache::from_geometry(g).unwrap())
                         .unwrap();
                     let mut vc = VictimCache::new(16 * 1024, 32, n).unwrap();
-                    replay_data(p, len, |addr, kind| {
+                    for &(addr, kind) in trace.accesses() {
                         dm.access(addr, kind);
                         vc.access(addr, kind);
-                    });
+                    }
                     let base = dm.stats().miss_rate();
                     if base == 0.0 {
                         0.0
                     } else {
                         1.0 - vc.stats().miss_rate() / base
                     }
-                })
-                .collect();
-            (n, mean(&reductions, |r| *r))
+                }
+            })
         })
+        .collect();
+    let reductions = engine.run(jobs);
+    entries
+        .iter()
+        .zip(reductions.chunks(benchmarks.len()))
+        .map(|(&n, chunk)| (n, mean(chunk, |r| *r)))
         .collect()
 }
 
@@ -68,6 +80,10 @@ pub fn render_victim_sweep(points: &[(usize, f64)]) -> String {
 /// Post-flush warm-up: miss rate of each window of `window` accesses
 /// after every structure (blocks *and* PDs) is flushed, for the baseline
 /// and the B-Cache.
+///
+/// Stays serial on the caller thread: it streams the trace unbounded
+/// until the requested windows fill, so it cannot use the fixed-length
+/// trace cache, and a single run is cheap.
 pub fn cold_start(benchmark: &str, window: u64, windows: usize, len: RunLength) -> Vec<(f64, f64)> {
     let profile = profiles::by_name(benchmark).expect("known benchmark");
     let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
@@ -82,13 +98,19 @@ pub fn cold_start(benchmark: &str, window: u64, windows: usize, len: RunLength) 
             break;
         }
         if let Some(a) = rec.op.data_addr() {
-            let kind =
-                if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if matches!(rec.op, Op::Store(_)) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             dm_misses += u64::from(!dm.access(Addr::new(a), kind).hit);
             bc_misses += u64::from(!bc.access(Addr::new(a), kind).hit);
             seen += 1;
             if seen == window {
-                out.push((dm_misses as f64 / window as f64, bc_misses as f64 / window as f64));
+                out.push((
+                    dm_misses as f64 / window as f64,
+                    bc_misses as f64 / window as f64,
+                ));
                 seen = 0;
                 dm_misses = 0;
                 bc_misses = 0;
@@ -119,37 +141,67 @@ pub fn render_cold_start(benchmark: &str, windows: &[(f64, f64)], window: u64) -
 /// MF=8/BAS=8 balanced variant vs the paper's 4-way L2, fed by the L1
 /// miss stream of the baseline 16 kB L1.
 pub fn l2_bcache(len: RunLength) -> Vec<(String, f64)> {
+    l2_bcache_with(&Engine::with_default_parallelism(), len)
+}
+
+/// [`l2_bcache`] on a caller-owned [`Engine`]: one job per benchmark
+/// (each replays the L1 filter plus all three L2s); the suite aggregate
+/// sums per-benchmark counters in canonical order.
+pub fn l2_bcache_with(engine: &Engine, len: RunLength) -> Vec<(String, f64)> {
     let l2_geom = CacheGeometry::new(256 * 1024, 128, 1).unwrap();
+    let benchmarks = profiles::all();
+    let jobs: Vec<_> = benchmarks
+        .iter()
+        .map(|p| {
+            move || {
+                let trace = engine.side_trace(p, len, Side::Data);
+                let mut l1 = cache_sim::DirectMappedCache::new(16 * 1024, 32).unwrap();
+                let mut l2s: Vec<Box<dyn CacheModel>> = vec![
+                    Box::new(cache_sim::DirectMappedCache::from_geometry(l2_geom).unwrap()),
+                    Box::new(
+                        SetAssociativeCache::new(256 * 1024, 128, 4, PolicyKind::Lru, 0).unwrap(),
+                    ),
+                    Box::new(BalancedCache::new(
+                        BCacheParams::new(l2_geom, 8, 8, PolicyKind::Lru).unwrap(),
+                    )),
+                ];
+                for &(addr, kind) in trace.accesses() {
+                    if !l1.access(addr, kind).hit {
+                        for l2 in l2s.iter_mut() {
+                            l2.access(addr, AccessKind::Read);
+                        }
+                    }
+                }
+                l2s.iter()
+                    .map(|l2| (l2.stats().total().misses(), l2.stats().total().accesses()))
+                    .collect::<Vec<(u64, u64)>>()
+            }
+        })
+        .collect();
+    let per_benchmark = engine.run(jobs);
+
     let mut results: Vec<(String, u64, u64)> = vec![
         ("256k-dm".into(), 0, 0),
         ("256k-4way".into(), 0, 0),
         ("256k-bcache".into(), 0, 0),
     ];
-    for p in profiles::all() {
-        let mut l1 = cache_sim::DirectMappedCache::new(16 * 1024, 32).unwrap();
-        let mut l2s: Vec<Box<dyn CacheModel>> = vec![
-            Box::new(cache_sim::DirectMappedCache::from_geometry(l2_geom).unwrap()),
-            Box::new(SetAssociativeCache::new(256 * 1024, 128, 4, PolicyKind::Lru, 0).unwrap()),
-            Box::new(BalancedCache::new(
-                BCacheParams::new(l2_geom, 8, 8, PolicyKind::Lru).unwrap(),
-            )),
-        ];
-        replay_data(&p, len, |addr, kind| {
-            if !l1.access(addr, kind).hit {
-                for l2 in l2s.iter_mut() {
-                    l2.access(addr, AccessKind::Read);
-                }
-            }
-        });
-        for (acc, l2) in results.iter_mut().zip(&l2s) {
-            acc.1 += l2.stats().total().misses();
-            acc.2 += l2.stats().total().accesses();
+    for counters in &per_benchmark {
+        for (acc, &(misses, accesses)) in results.iter_mut().zip(counters) {
+            acc.1 += misses;
+            acc.2 += accesses;
         }
     }
     results
         .into_iter()
         .map(|(label, misses, accesses)| {
-            (label, if accesses == 0 { 0.0 } else { misses as f64 / accesses as f64 })
+            (
+                label,
+                if accesses == 0 {
+                    0.0
+                } else {
+                    misses as f64 / accesses as f64
+                },
+            )
         })
         .collect()
 }
@@ -165,20 +217,6 @@ pub fn render_l2_bcache(rows: &[(String, f64)]) -> String {
          stream, suite aggregate)\n{}",
         t.render()
     )
-}
-
-fn replay_data(
-    profile: &trace_gen::BenchmarkProfile,
-    len: RunLength,
-    mut f: impl FnMut(Addr, AccessKind),
-) {
-    for rec in Trace::new(profile, len.seed).take(len.records as usize) {
-        if let Some(a) = rec.op.data_addr() {
-            let kind =
-                if matches!(rec.op, Op::Store(_)) { AccessKind::Write } else { AccessKind::Read };
-            f(Addr::new(a), kind);
-        }
-    }
 }
 
 #[cfg(test)]
@@ -219,7 +257,10 @@ mod tests {
     fn l2_bcache_sits_between_dm_and_4way() {
         let rows = l2_bcache(quick());
         let at = |label: &str| rows.iter().find(|(l, _)| l == label).unwrap().1;
-        assert!(at("256k-bcache") <= at("256k-dm") + 1e-9, "balancing helps the L2 too");
+        assert!(
+            at("256k-bcache") <= at("256k-dm") + 1e-9,
+            "balancing helps the L2 too"
+        );
         assert!(
             at("256k-bcache") <= at("256k-dm") * 1.01,
             "dm {} vs bcache {}",

@@ -4,9 +4,7 @@
 use bcache_core::{BCacheOrganization, BCacheParams};
 use cache_sim::{CacheGeometry, PolicyKind};
 use cpu_model::table4_rows;
-use power_model::{
-    bcache_access_pj, conventional_access_pj, table1_rows, table2, EnergyBreakdown,
-};
+use power_model::{bcache_access_pj, conventional_access_pj, table1_rows, table2, EnergyBreakdown};
 
 use crate::report::TextTable;
 
@@ -19,7 +17,14 @@ fn paper_params() -> BCacheParams {
 /// size.
 pub fn render_table1() -> String {
     let mut t = TextTable::new(vec![
-        "subarray", "decoder", "composition", "orig(ns)", "PD(ns)", "NPD", "NPD(ns)", "slack(ns)",
+        "subarray",
+        "decoder",
+        "composition",
+        "orig(ns)",
+        "PD(ns)",
+        "NPD",
+        "NPD(ns)",
+        "slack(ns)",
     ]);
     for row in table1_rows() {
         t.row(vec![
@@ -44,7 +49,9 @@ pub fn render_table1() -> String {
 pub fn render_table2() -> String {
     let (base, bc, overhead) = table2(&paper_params());
     let org = BCacheOrganization::paper_default(&paper_params());
-    let mut t = TextTable::new(vec!["", "tag dec", "tag mem", "data dec", "data mem", "total"]);
+    let mut t = TextTable::new(vec![
+        "", "tag dec", "tag mem", "data dec", "data mem", "total",
+    ]);
     t.row(vec![
         "Baseline".to_string(),
         "no mem cell".to_string(),
@@ -84,7 +91,15 @@ pub fn table3_breakdowns() -> Vec<(String, EnergyBreakdown)> {
 /// Renders Table 3: energy (pJ) per cache access.
 pub fn render_table3() -> String {
     let mut t = TextTable::new(vec![
-        "config", "T-SA", "T-Dec", "T-BL-WL", "D-SA", "D-Dec", "D-BL-WL", "D-others", "PD-CAM",
+        "config",
+        "T-SA",
+        "T-Dec",
+        "T-BL-WL",
+        "D-SA",
+        "D-Dec",
+        "D-BL-WL",
+        "D-others",
+        "PD-CAM",
         "Total(pJ)",
     ]);
     let rows = table3_breakdowns();
@@ -117,7 +132,10 @@ pub fn render_table4() -> String {
     for (k, v) in table4_rows() {
         t.row(vec![k.to_string(), v]);
     }
-    format!("Table 4: baseline and B-Cache processor configuration\n{}", t.render())
+    format!(
+        "Table 4: baseline and B-Cache processor configuration\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,135 @@
+//! Golden-stats regression suite: pins the exact post-warm-up counters
+//! of three representative profiles at a small fixed [`RunLength`], so a
+//! model change that shifts any number fails loudly instead of silently.
+//!
+//! `mcf` is capacity-bound, `gzip` is cache-friendly, `equake` is the
+//! conflict-heavy headline case. If a deliberate model change moves
+//! these numbers, update the table in the same commit (the failure
+//! message prints the new value) and say why in the commit message.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{CacheGeometry, PolicyKind};
+use harness::config::CacheConfig;
+use harness::parallel::TraceCache;
+use harness::run::{replay, replay_config_counts, ExactCounts, RunLength, Side};
+use trace_gen::profiles;
+
+fn len() -> RunLength {
+    RunLength {
+        records: 50_000,
+        warmup: 5_000,
+        seed: 1,
+    }
+}
+
+fn counts(traces: &TraceCache, benchmark: &str, config: CacheConfig, side: Side) -> ExactCounts {
+    let p = profiles::by_name(benchmark).expect("known benchmark");
+    let records = traces.get(&p, len());
+    replay_config_counts(benchmark, &records, &config, 16 * 1024, side, len())
+}
+
+/// Exact PD counters (misses with a PD hit, misses with a PD miss) of
+/// the paper design point (MF=8, BAS=8) on the data side.
+fn pd_counts(traces: &TraceCache, benchmark: &str) -> (u64, u64) {
+    let p = profiles::by_name(benchmark).expect("known benchmark");
+    let records = traces.get(&p, len());
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+    let mut bc = BalancedCache::new(params);
+    replay(records.iter().copied(), &mut bc, Side::Data, len().warmup);
+    let pd = bc.pd_stats();
+    (pd.misses_with_pd_hit, pd.misses_with_pd_miss)
+}
+
+const DM: CacheConfig = CacheConfig::DirectMapped;
+const W8: CacheConfig = CacheConfig::SetAssoc(8);
+const BC: CacheConfig = CacheConfig::BCache { mf: 8, bas: 8 };
+
+/// `(benchmark, config, side, accesses, misses)` — every pinned cell.
+/// Values measured at the fixed [`len`] above; they are exact, not
+/// tolerances.
+const GOLDEN: &[(&str, CacheConfig, Side, u64, u64)] = &[
+    // mcf: capacity-bound — associativity barely dents the D$ misses.
+    ("mcf", DM, Side::Data, 17_975, 13_592),
+    ("mcf", W8, Side::Data, 17_975, 13_315),
+    ("mcf", BC, Side::Data, 17_975, 13_347),
+    ("mcf", DM, Side::Instruction, 5_625, 0),
+    ("mcf", W8, Side::Instruction, 5_625, 0),
+    ("mcf", BC, Side::Instruction, 5_625, 0),
+    // gzip: cache-friendly — low miss counts everywhere.
+    ("gzip", DM, Side::Data, 15_459, 2_738),
+    ("gzip", W8, Side::Data, 15_459, 1_375),
+    ("gzip", BC, Side::Data, 15_459, 1_464),
+    ("gzip", DM, Side::Instruction, 5_625, 0),
+    ("gzip", W8, Side::Instruction, 5_625, 0),
+    ("gzip", BC, Side::Instruction, 5_625, 0),
+    // equake: conflict-heavy — the B-Cache removes ~95% of D$ misses.
+    ("equake", DM, Side::Data, 16_753, 7_515),
+    ("equake", W8, Side::Data, 16_753, 244),
+    ("equake", BC, Side::Data, 16_753, 349),
+    ("equake", DM, Side::Instruction, 5_625, 448),
+    ("equake", W8, Side::Instruction, 5_625, 128),
+    ("equake", BC, Side::Instruction, 5_625, 128),
+];
+
+/// `(benchmark, misses_with_pd_hit, misses_with_pd_miss)` at MF=8/BAS=8.
+const GOLDEN_PD: &[(&str, u64, u64)] = &[
+    ("mcf", 1_650, 11_697),
+    ("gzip", 150, 1_314),
+    ("equake", 176, 173),
+];
+
+#[test]
+fn miss_counts_match_the_golden_table() {
+    let traces = TraceCache::new();
+    for &(benchmark, config, side, accesses, misses) in GOLDEN {
+        let got = counts(&traces, benchmark, config, side);
+        assert_eq!(
+            got,
+            ExactCounts { accesses, misses },
+            "{benchmark} {:?} {side:?}: expected {accesses} accesses / {misses} misses, \
+             got {} / {}",
+            config,
+            got.accesses,
+            got.misses,
+        );
+    }
+}
+
+#[test]
+fn pd_hit_stats_match_the_golden_table() {
+    let traces = TraceCache::new();
+    for &(benchmark, pd_hits, pd_misses) in GOLDEN_PD {
+        let got = pd_counts(&traces, benchmark);
+        assert_eq!(
+            got,
+            (pd_hits, pd_misses),
+            "{benchmark} PD counters moved: expected ({pd_hits}, {pd_misses}), got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_cells_are_internally_consistent() {
+    // Within one (benchmark, side) the access count is config-invariant
+    // (every model sees the same stream), and misses never exceed
+    // accesses.
+    for &(benchmark, _, side, accesses, misses) in GOLDEN {
+        assert!(misses <= accesses, "{benchmark} {side:?}");
+        let same: Vec<u64> = GOLDEN
+            .iter()
+            .filter(|g| g.0 == benchmark && g.2 == side)
+            .map(|g| g.3)
+            .collect();
+        assert!(same.iter().all(|&a| a == accesses), "{benchmark} {side:?}");
+    }
+    // The PD splits sum to no more than the B-Cache's total misses.
+    for &(benchmark, pd_hits, pd_misses) in GOLDEN_PD {
+        let bc_misses = GOLDEN
+            .iter()
+            .find(|g| g.0 == benchmark && g.1 == BC && g.2 == Side::Data)
+            .unwrap()
+            .4;
+        assert_eq!(pd_hits + pd_misses, bc_misses, "{benchmark}");
+    }
+}

@@ -112,7 +112,10 @@ mod tests {
         let dm = conventional_cost(&CacheGeometry::new(16 * 1024, 32, 1).unwrap()).total();
         let w4 = conventional_cost(&CacheGeometry::new(16 * 1024, 32, 4).unwrap()).total();
         let overhead = w4 / dm - 1.0;
-        assert!((overhead - 0.0798).abs() < 0.005, "4-way overhead {overhead:.4}");
+        assert!(
+            (overhead - 0.0798).abs() < 0.005,
+            "4-way overhead {overhead:.4}"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy per access in picojoules.
     pub fn total_pj(&self) -> f64 {
-        self.t_sa + self.t_dec + self.t_bl_wl + self.d_sa + self.d_dec + self.d_bl_wl
+        self.t_sa
+            + self.t_dec
+            + self.t_bl_wl
+            + self.d_sa
+            + self.d_dec
+            + self.d_bl_wl
             + self.d_others
             + self.pd_cam
     }
@@ -189,7 +194,10 @@ mod tests {
         let dm = conventional_access_pj(&l1_geom(1)).total_pj();
         let w8 = conventional_access_pj(&l1_geom(8)).total_pj();
         let saving = 1.0 - dm / w8;
-        assert!((saving - 0.688).abs() < 0.07, "DM saving vs 8-way: {saving:.3}");
+        assert!(
+            (saving - 0.688).abs() < 0.07,
+            "DM saving vs 8-way: {saving:.3}"
+        );
     }
 
     #[test]
@@ -213,7 +221,8 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let b = conventional_access_pj(&l1_geom(4));
-        let sum = b.t_sa + b.t_dec + b.t_bl_wl + b.d_sa + b.d_dec + b.d_bl_wl + b.d_others + b.pd_cam;
+        let sum =
+            b.t_sa + b.t_dec + b.t_bl_wl + b.d_sa + b.d_dec + b.d_bl_wl + b.d_others + b.pd_cam;
         assert!((b.total_pj() - sum).abs() < 1e-9);
     }
 
@@ -227,9 +236,12 @@ mod tests {
     #[test]
     fn bcache_pd_energy_matches_the_papers_pd_population() {
         // 64 tag PDs at 0.78 pJ + 32 data PDs at 1.62 pJ ~ 101.8 pJ.
-        let params =
-            BCacheParams::new(l1_geom(1), 8, 8, PolicyKind::Lru).unwrap();
+        let params = BCacheParams::new(l1_geom(1), 8, 8, PolicyKind::Lru).unwrap();
         let b = bcache_access_pj(&params);
-        assert!((b.pd_cam - (64.0 * 0.78 + 32.0 * 1.62)).abs() < 2.0, "pd_cam = {}", b.pd_cam);
+        assert!(
+            (b.pd_cam - (64.0 * 0.78 + 32.0 * 1.62)).abs() < 2.0,
+            "pd_cam = {}",
+            b.pd_cam
+        );
     }
 }

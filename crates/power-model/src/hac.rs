@@ -45,7 +45,10 @@ pub struct HacComparison {
 pub fn compare_hac(geom: &CacheGeometry, pi_bits: u32) -> HacComparison {
     let lines = geom.lines();
     let lines_per_subarray = 1024 / geom.line_bytes();
-    assert!(lines_per_subarray > 0 && lines.is_multiple_of(lines_per_subarray), "bad HAC partitioning");
+    assert!(
+        lines_per_subarray > 0 && lines.is_multiple_of(lines_per_subarray),
+        "bad HAC partitioning"
+    );
     let subarrays = lines / lines_per_subarray;
 
     // The full HAC: tag + 3 status bits per line, all in CAM (the paper's
@@ -62,8 +65,7 @@ pub fn compare_hac(geom: &CacheGeometry, pi_bits: u32) -> HacComparison {
     let improved_cam_bits = pi_bits as usize * lines;
 
     // Energy: one CAM block per subarray, searched in parallel.
-    let full_energy: f64 =
-        subarrays as f64 * cam_search_pj(full_cam_width, lines_per_subarray);
+    let full_energy: f64 = subarrays as f64 * cam_search_pj(full_cam_width, lines_per_subarray);
     let improved_energy: f64 = subarrays as f64 * cam_search_pj(pi_bits, lines_per_subarray);
 
     HacComparison {

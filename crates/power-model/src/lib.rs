@@ -35,4 +35,6 @@ pub use energy::{
 };
 pub use hac::{compare_hac, HacComparison};
 pub use system::{dynamic_energy_pj, evaluate, EnergyReport, EventEnergies, RunCounts, K_STATIC};
-pub use timing::{cam_decoder_ns, conventional_decoder_ns, decoder_timing, table1_rows, DecoderTimingRow};
+pub use timing::{
+    cam_decoder_ns, conventional_decoder_ns, decoder_timing, table1_rows, DecoderTimingRow,
+};

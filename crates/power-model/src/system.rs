@@ -96,7 +96,11 @@ pub fn evaluate(runs: &[(RunCounts, EventEnergies)]) -> Vec<EnergyReport> {
         .map(|(counts, e)| {
             let dynamic_pj = dynamic_energy_pj(counts, e);
             let static_pj = counts.cycles as f64 * static_per_cycle;
-            EnergyReport { dynamic_pj, static_pj, normalized: (dynamic_pj + static_pj) / base_total }
+            EnergyReport {
+                dynamic_pj,
+                static_pj,
+                normalized: (dynamic_pj + static_pj) / base_total,
+            }
         })
         .collect()
 }
@@ -106,7 +110,12 @@ mod tests {
     use super::*;
 
     fn energies(l1: f64) -> EventEnergies {
-        EventEnergies { l1_access_pj: l1, l2_access_pj: 5000.0, l1_refill_pj: 400.0, offchip_pj: 94_000.0 }
+        EventEnergies {
+            l1_access_pj: l1,
+            l2_access_pj: 5000.0,
+            l1_refill_pj: 400.0,
+            offchip_pj: 94_000.0,
+        }
     }
 
     fn counts(misses: u64, cycles: u64) -> RunCounts {
@@ -133,26 +142,40 @@ mod tests {
         // The paper's Figure 9 story: the B-Cache pays ~10% more per
         // access but wins on misses and execution time.
         let runs = vec![
-            (counts(50_000, 2_000_000), energies(940.0)),   // baseline DM
-            (counts(20_000, 1_800_000), energies(1035.0)),  // B-Cache
+            (counts(50_000, 2_000_000), energies(940.0)), // baseline DM
+            (counts(20_000, 1_800_000), energies(1035.0)), // B-Cache
         ];
         let r = evaluate(&runs);
-        assert!(r[1].normalized < 1.0, "B-Cache normalized {:.3}", r[1].normalized);
+        assert!(
+            r[1].normalized < 1.0,
+            "B-Cache normalized {:.3}",
+            r[1].normalized
+        );
     }
 
     #[test]
     fn expensive_set_associative_costs_more_despite_fewer_misses() {
         let runs = vec![
-            (counts(50_000, 2_000_000), energies(940.0)),  // baseline
+            (counts(50_000, 2_000_000), energies(940.0)), // baseline
             (counts(18_000, 1_790_000), energies(3008.0)), // 8-way
         ];
         let r = evaluate(&runs);
-        assert!(r[1].normalized > 1.0, "8-way should cost more: {:.3}", r[1].normalized);
+        assert!(
+            r[1].normalized > 1.0,
+            "8-way should cost more: {:.3}",
+            r[1].normalized
+        );
     }
 
     #[test]
     fn dynamic_energy_sums_event_classes() {
-        let c = RunCounts { l1_accesses: 10, l1_misses: 2, l2_accesses: 2, l2_misses: 1, cycles: 100 };
+        let c = RunCounts {
+            l1_accesses: 10,
+            l1_misses: 2,
+            l2_accesses: 2,
+            l2_misses: 1,
+            cycles: 100,
+        };
         let e = energies(100.0);
         let expect = 10.0 * 100.0 + 2.0 * 400.0 + 2.0 * 5000.0 + 1.0 * 94_000.0;
         assert!((dynamic_energy_pj(&c, &e) - expect).abs() < 1e-9);

@@ -27,14 +27,38 @@ impl DecoderComposition {
     /// The paper's Table 1 compositions for `bits`-input decoders.
     pub fn for_bits(bits: u32) -> Self {
         match bits {
-            0 | 1 => DecoderComposition { nand_in: 0, nor_in: 0 }, // inverter
-            2 => DecoderComposition { nand_in: 2, nor_in: 0 },     // NAND2
-            3 => DecoderComposition { nand_in: 3, nor_in: 0 },     // NAND3
-            4 => DecoderComposition { nand_in: 2, nor_in: 2 },     // 2D-2R
-            5 => DecoderComposition { nand_in: 3, nor_in: 2 },     // 3D-2R
-            6 => DecoderComposition { nand_in: 2, nor_in: 3 },     // 2D-3R
-            7 | 8 => DecoderComposition { nand_in: 3, nor_in: 3 }, // 3D-3R
-            n => DecoderComposition { nand_in: 3, nor_in: n.div_ceil(3) },
+            0 | 1 => DecoderComposition {
+                nand_in: 0,
+                nor_in: 0,
+            }, // inverter
+            2 => DecoderComposition {
+                nand_in: 2,
+                nor_in: 0,
+            }, // NAND2
+            3 => DecoderComposition {
+                nand_in: 3,
+                nor_in: 0,
+            }, // NAND3
+            4 => DecoderComposition {
+                nand_in: 2,
+                nor_in: 2,
+            }, // 2D-2R
+            5 => DecoderComposition {
+                nand_in: 3,
+                nor_in: 2,
+            }, // 3D-2R
+            6 => DecoderComposition {
+                nand_in: 2,
+                nor_in: 3,
+            }, // 2D-3R
+            7 | 8 => DecoderComposition {
+                nand_in: 3,
+                nor_in: 3,
+            }, // 3D-3R
+            n => DecoderComposition {
+                nand_in: 3,
+                nor_in: n.div_ceil(3),
+            },
         }
     }
 }
@@ -63,7 +87,10 @@ pub fn conventional_decoder_ns(bits: u32, outputs: usize) -> f64 {
     if comp.nor_in <= 1 {
         return Gate::Nand(comp.nand_in).delay_ns(h1.max(4.0));
     }
-    chain_delay_ns(&[(Gate::Nand(comp.nand_in), h1), (Gate::Nor(comp.nor_in), 4.0)])
+    chain_delay_ns(&[
+        (Gate::Nand(comp.nand_in), h1),
+        (Gate::Nor(comp.nor_in), 4.0),
+    ])
 }
 
 /// Delay of a `width x entries` CAM programmable decoder in nanoseconds.
@@ -133,7 +160,10 @@ pub fn decoder_timing(subarray_bytes: usize, pd_width: u32, bas: usize) -> Decod
             Gate::Nand(comp.nand_in).delay_ns(bas as f64)
         } else {
             let h1 = (npd_outputs as f64 / (1u64 << comp.nand_in) as f64).max(1.0);
-            chain_delay_ns(&[(Gate::Nand(comp.nand_in), h1), (Gate::Nor(comp.nor_in), bas as f64)])
+            chain_delay_ns(&[
+                (Gate::Nand(comp.nand_in), h1),
+                (Gate::Nor(comp.nor_in), bas as f64),
+            ])
         }
     };
     let pd_ns = cam_decoder_ns(pd_width, npd_outputs);
@@ -199,7 +229,10 @@ mod tests {
     fn bigger_decoders_are_slower() {
         assert!(conventional_decoder_ns(8, 256) > conventional_decoder_ns(4, 16));
         assert!(cam_decoder_ns(6, 32) > cam_decoder_ns(6, 8));
-        assert!(cam_decoder_ns(26, 32) > cam_decoder_ns(6, 32), "HAC-width CAM is slower");
+        assert!(
+            cam_decoder_ns(26, 32) > cam_decoder_ns(6, 32),
+            "HAC-width CAM is slower"
+        );
     }
 
     #[test]

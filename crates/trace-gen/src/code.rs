@@ -75,7 +75,10 @@ impl CodeLayout {
     ) -> Self {
         let loops = (0..count)
             .map(|i| CodeLoop {
-                segments: vec![CodeSegment { base: base + i as u64 * spacing, bytes: body_bytes }],
+                segments: vec![CodeSegment {
+                    base: base + i as u64 * spacing,
+                    bytes: body_bytes,
+                }],
                 mean_iterations,
                 weight: 1.0,
             })
@@ -94,7 +97,10 @@ impl CodeLayout {
 
     /// Builds a walker over this layout.
     pub fn walker(&self) -> CodeWalker {
-        assert!(!self.loops.is_empty(), "code layout must have at least one loop");
+        assert!(
+            !self.loops.is_empty(),
+            "code layout must have at least one loop"
+        );
         CodeWalker {
             layout: self.clone(),
             current: 0,
@@ -229,8 +235,14 @@ mod tests {
         let layout = CodeLayout {
             loops: vec![CodeLoop {
                 segments: vec![
-                    CodeSegment { base: 0x0, bytes: 8 },
-                    CodeSegment { base: 0x100, bytes: 4 },
+                    CodeSegment {
+                        base: 0x0,
+                        bytes: 8,
+                    },
+                    CodeSegment {
+                        base: 0x100,
+                        bytes: 4,
+                    },
                 ],
                 mean_iterations: 100.0,
                 weight: 1.0,
@@ -245,7 +257,10 @@ mod tests {
     #[test]
     fn body_instructions_counts_all_segments() {
         let lp = CodeLoop {
-            segments: vec![CodeSegment { base: 0, bytes: 40 }, CodeSegment { base: 64, bytes: 8 }],
+            segments: vec![
+                CodeSegment { base: 0, bytes: 40 },
+                CodeSegment { base: 64, bytes: 8 },
+            ],
             mean_iterations: 1.0,
             weight: 1.0,
         };

@@ -44,10 +44,12 @@ impl Trace {
     ///
     /// Panics if the profile has no data streams or an invalid mix.
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
-        assert!(!profile.data.is_empty(), "profile must have at least one data stream");
+        assert!(
+            !profile.data.is_empty(),
+            "profile must have at least one data stream"
+        );
         assert!(profile.mix.is_valid(), "invalid instruction mix");
-        let streams: Vec<StreamState> =
-            profile.data.iter().map(|(_, s)| s.instantiate()).collect();
+        let streams: Vec<StreamState> = profile.data.iter().map(|(_, s)| s.instantiate()).collect();
         let weights: Vec<f64> = profile.data.iter().map(|(w, _)| *w).collect();
         let total_weight: f64 = weights.iter().sum();
         assert!(total_weight > 0.0, "stream weights must be positive");
@@ -84,7 +86,9 @@ impl Iterator for Trace {
         // Loop back-edges are always branches; other instruction classes
         // are sampled from the mix.
         let op = if self.code.took_back_edge() {
-            Op::Branch { mispredict: self.rng.gen_bool(self.mispredict_rate) }
+            Op::Branch {
+                mispredict: self.rng.gen_bool(self.mispredict_rate),
+            }
         } else {
             let u: f64 = self.rng.gen();
             let m = self.mix;
@@ -93,7 +97,9 @@ impl Iterator for Trace {
             } else if u < m.load + m.store {
                 Op::Store(self.next_data_addr())
             } else if u < m.load + m.store + m.branch {
-                Op::Branch { mispredict: self.rng.gen_bool(self.mispredict_rate) }
+                Op::Branch {
+                    mispredict: self.rng.gen_bool(self.mispredict_rate),
+                }
             } else if u < m.load + m.store + m.branch + m.long {
                 Op::Long
             } else {
@@ -117,8 +123,21 @@ mod tests {
             suite: Suite::Int,
             code: CodeLayout::tiny(0x40_0000, 2048),
             data: vec![
-                (3.0, StreamSpec::Hot { base: 0x1000_0000, bytes: 8192 }),
-                (1.0, StreamSpec::Strided { base: 0x2000_0000, bytes: 1 << 20, stride: 8 }),
+                (
+                    3.0,
+                    StreamSpec::Hot {
+                        base: 0x1000_0000,
+                        bytes: 8192,
+                    },
+                ),
+                (
+                    1.0,
+                    StreamSpec::Strided {
+                        base: 0x2000_0000,
+                        bytes: 1 << 20,
+                        stride: 8,
+                    },
+                ),
             ],
             mix: InstrMix::int(),
             mispredict_rate: 0.05,
@@ -184,7 +203,10 @@ mod tests {
             }
         }
         let ratio = hot as f64 / stream.max(1) as f64;
-        assert!((2.0..4.5).contains(&ratio), "expected ~3:1 weighting, got {ratio}");
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "expected ~3:1 weighting, got {ratio}"
+        );
     }
 
     #[test]

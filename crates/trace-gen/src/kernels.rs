@@ -25,8 +25,9 @@ pub struct Kernel {
     pub name: &'static str,
     /// The assembled program.
     pub program: Program,
-    /// Seeds data memory before execution.
-    pub init: Box<dyn Fn(&mut Machine)>,
+    /// Seeds data memory before execution (`Send + Sync` so kernel
+    /// suites can be replayed from worker threads).
+    pub init: Box<dyn Fn(&mut Machine) + Send + Sync>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -68,7 +69,7 @@ pub fn matmul(n: i64) -> Kernel {
         Insn::Mark(1), // j loop
         Insn::Li(3, 0),
         Insn::Li(9, 0), // acc = 0
-        Insn::Mark(2), // k loop
+        Insn::Mark(2),  // k loop
         // r4 = &A[i][k] = a + 8*(i*n + k)
         Insn::Mul(4, 1, 10),
         Insn::Add(4, 4, 3),
@@ -121,7 +122,7 @@ pub fn list_walk(nodes: i64, rounds: i64) -> Kernel {
         Insn::Mark(0), // per-round
         Insn::Li(1, DATA_BASE as i64),
         Insn::Li(3, 0),
-        Insn::Mark(1), // per-node
+        Insn::Mark(1),     // per-node
         Insn::Ld(1, 1, 0), // cursor = cursor->next
         Insn::Addi(3, 3, 1),
         Insn::Blt(3, 4, 1),
@@ -293,9 +294,8 @@ mod tests {
     fn matmul_memory_op_count_scales_as_n_cubed() {
         let (_, t1) = run_kernel(&matmul(4), 10_000_000);
         let (_, t2) = run_kernel(&matmul(8), 10_000_000);
-        let loads = |t: &[crate::TraceRecord]| {
-            t.iter().filter(|r| matches!(r.op, Op::Load(_))).count()
-        };
+        let loads =
+            |t: &[crate::TraceRecord]| t.iter().filter(|r| matches!(r.op, Op::Load(_))).count();
         // 2 loads per inner iteration: n^3 * 2.
         assert_eq!(loads(&t1), 4 * 4 * 4 * 2);
         assert_eq!(loads(&t2), 8 * 8 * 8 * 2);
@@ -310,8 +310,11 @@ mod tests {
         assert_eq!(loads, 64 * 3);
         // The walk is a permutation: consecutive loads are far apart for
         // at least some hops.
-        let addrs: Vec<u64> =
-            trace.iter().filter_map(|r| r.op.data_addr()).take(10).collect();
+        let addrs: Vec<u64> = trace
+            .iter()
+            .filter_map(|r| r.op.data_addr())
+            .take(10)
+            .collect();
         assert!(addrs.windows(2).any(|w| w[0].abs_diff(w[1]) > 64));
     }
 

@@ -41,8 +41,8 @@ pub mod vm;
 
 pub use code::{CodeLayout, CodeLoop, CodeSegment, CodeWalker};
 pub use generator::Trace;
-pub use profile::{BenchmarkProfile, InstrMix, Suite};
 pub use kernels::{run_kernel, Kernel};
+pub use profile::{BenchmarkProfile, InstrMix, Suite};
 pub use record::{Op, TraceRecord};
-pub use vm::{Insn, Machine, Program};
 pub use streams::{StreamSpec, StreamState};
+pub use vm::{Insn, Machine, Program};

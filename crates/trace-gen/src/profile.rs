@@ -43,12 +43,22 @@ pub struct InstrMix {
 impl InstrMix {
     /// A typical integer mix.
     pub const fn int() -> Self {
-        InstrMix { load: 0.24, store: 0.10, branch: 0.16, long: 0.04 }
+        InstrMix {
+            load: 0.24,
+            store: 0.10,
+            branch: 0.16,
+            long: 0.04,
+        }
     }
 
     /// A typical floating-point mix.
     pub const fn fp() -> Self {
-        InstrMix { load: 0.28, store: 0.09, branch: 0.05, long: 0.14 }
+        InstrMix {
+            load: 0.28,
+            store: 0.09,
+            branch: 0.05,
+            long: 0.14,
+        }
     }
 
     /// Validates that the fractions are sane.
@@ -104,8 +114,20 @@ mod tests {
     fn mixes_are_valid() {
         assert!(InstrMix::int().is_valid());
         assert!(InstrMix::fp().is_valid());
-        assert!(!InstrMix { load: 0.9, store: 0.9, branch: 0.0, long: 0.0 }.is_valid());
-        assert!(!InstrMix { load: -0.1, store: 0.0, branch: 0.0, long: 0.0 }.is_valid());
+        assert!(!InstrMix {
+            load: 0.9,
+            store: 0.9,
+            branch: 0.0,
+            long: 0.0
+        }
+        .is_valid());
+        assert!(!InstrMix {
+            load: -0.1,
+            store: 0.0,
+            branch: 0.0,
+            long: 0.0
+        }
+        .is_valid());
     }
 
     #[test]
@@ -121,8 +143,21 @@ mod tests {
             suite: Suite::Int,
             code: CodeLayout::tiny(0, 1024),
             data: vec![
-                (1.0, StreamSpec::Hot { base: 0x1000, bytes: 4096 }),
-                (1.0, StreamSpec::Strided { base: 0x8000, bytes: 8192, stride: 8 }),
+                (
+                    1.0,
+                    StreamSpec::Hot {
+                        base: 0x1000,
+                        bytes: 4096,
+                    },
+                ),
+                (
+                    1.0,
+                    StreamSpec::Strided {
+                        base: 0x8000,
+                        bytes: 8192,
+                        stride: 8,
+                    },
+                ),
             ],
             mix: InstrMix::int(),
             mispredict_rate: 0.05,

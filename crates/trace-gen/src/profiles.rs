@@ -54,15 +54,25 @@ const FAR_SPACING: u64 = 1 << 19;
 const KB: u64 = 1024;
 
 fn hot(bytes: u64) -> StreamSpec {
-    StreamSpec::Hot { base: HOT_BASE, bytes }
+    StreamSpec::Hot {
+        base: HOT_BASE,
+        bytes,
+    }
 }
 
 fn stream(bytes: u64) -> StreamSpec {
-    StreamSpec::Strided { base: STREAM_BASE, bytes, stride: 8 }
+    StreamSpec::Strided {
+        base: STREAM_BASE,
+        bytes,
+        stride: 8,
+    }
 }
 
 fn chase(bytes: u64) -> StreamSpec {
-    StreamSpec::Chase { base: CHASE_BASE, bytes }
+    StreamSpec::Chase {
+        base: CHASE_BASE,
+        bytes,
+    }
 }
 
 /// A conflict group: `arrays` regions congruent modulo the L1 size,
@@ -115,7 +125,14 @@ fn make(
     mix: InstrMix,
     mispredict_rate: f64,
 ) -> BenchmarkProfile {
-    BenchmarkProfile { name, suite, code, data, mix, mispredict_rate }
+    BenchmarkProfile {
+        name,
+        suite,
+        code,
+        data,
+        mix,
+        mispredict_rate,
+    }
 }
 
 fn int(name: &'static str, code: CodeLayout, data: Vec<(f64, StreamSpec)>) -> BenchmarkProfile {
@@ -148,7 +165,11 @@ pub fn all() -> Vec<BenchmarkProfile> {
         int(
             "bzip2",
             icode_tiny(),
-            vec![(3.0, hot(8 * KB)), (0.3, conflict(14 * KB, 2, 256)), (1.2, stream(400 * KB))],
+            vec![
+                (3.0, hot(8 * KB)),
+                (0.3, conflict(14 * KB, 2, 256)),
+                (1.2, stream(400 * KB)),
+            ],
         ),
         int(
             "crafty",
@@ -194,14 +215,27 @@ pub fn all() -> Vec<BenchmarkProfile> {
         int(
             "gzip",
             icode_tiny(),
-            vec![(2.5, hot(6 * KB)), (0.25, conflict(14 * KB, 2, 256)), (1.5, stream(256 * KB))],
+            vec![
+                (2.5, hot(6 * KB)),
+                (0.25, conflict(14 * KB, 2, 256)),
+                (1.5, stream(256 * KB)),
+            ],
         ),
         make(
             "mcf",
             Suite::Int,
             icode_tiny(),
-            vec![(2.5, chase(2048 * KB)), (0.8, stream(1024 * KB)), (0.7, hot(4 * KB))],
-            InstrMix { load: 0.32, store: 0.08, branch: 0.16, long: 0.04 },
+            vec![
+                (2.5, chase(2048 * KB)),
+                (0.8, stream(1024 * KB)),
+                (0.7, hot(4 * KB)),
+            ],
+            InstrMix {
+                load: 0.32,
+                store: 0.08,
+                branch: 0.16,
+                long: 0.04,
+            },
             0.07,
         ),
         int(
@@ -248,18 +282,30 @@ pub fn all() -> Vec<BenchmarkProfile> {
         int(
             "vpr",
             icode_tiny(),
-            vec![(2.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (0.3, chase(32 * KB))],
+            vec![
+                (2.5, hot(4 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.3, chase(32 * KB)),
+            ],
         ),
         // ---------------- CFP2K ----------------
         fp(
             "ammp",
             icode_conflict(4, 512, 30.0),
-            vec![(2.0, hot(4 * KB)), (0.45, conflict(14 * KB, 4, 256)), (0.7, chase(150 * KB))],
+            vec![
+                (2.0, hot(4 * KB)),
+                (0.45, conflict(14 * KB, 4, 256)),
+                (0.7, chase(150 * KB)),
+            ],
         ),
         fp(
             "applu",
             icode_tiny(),
-            vec![(1.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (2.0, stream(500 * KB))],
+            vec![
+                (1.5, hot(4 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (2.0, stream(500 * KB)),
+            ],
         ),
         fp(
             "apsi",
@@ -271,7 +317,11 @@ pub fn all() -> Vec<BenchmarkProfile> {
                 (0.8, stream(200 * KB)),
             ],
         ),
-        fp("art", icode_tiny(), vec![(1.0, hot(2 * KB)), (2.5, stream(800 * KB))]),
+        fp(
+            "art",
+            icode_tiny(),
+            vec![(1.0, hot(2 * KB)), (2.5, stream(800 * KB))],
+        ),
         fp(
             "equake",
             icode_conflict(5, 2048, 12.0),
@@ -315,14 +365,26 @@ pub fn all() -> Vec<BenchmarkProfile> {
         fp(
             "lucas",
             icode_tiny(),
-            vec![(0.4, hot(2 * KB)), (2.5, stream(1024 * KB)), (0.6, chase(256 * KB))],
+            vec![
+                (0.4, hot(2 * KB)),
+                (2.5, stream(1024 * KB)),
+                (0.6, chase(256 * KB)),
+            ],
         ),
         fp(
             "mesa",
             icode_conflict(4, 512, 25.0),
-            vec![(2.5, hot(4 * KB)), (0.4, conflict(14 * KB, 3, 256)), (0.6, stream(150 * KB))],
+            vec![
+                (2.5, hot(4 * KB)),
+                (0.4, conflict(14 * KB, 3, 256)),
+                (0.6, stream(150 * KB)),
+            ],
         ),
-        fp("mgrid", icode_tiny(), vec![(1.0, hot(6 * KB)), (2.2, stream(600 * KB))]),
+        fp(
+            "mgrid",
+            icode_tiny(),
+            vec![(1.0, hot(6 * KB)), (2.2, stream(600 * KB))],
+        ),
         fp(
             "sixtrack",
             icode_conflict(5, 2048, 15.0),
@@ -333,7 +395,11 @@ pub fn all() -> Vec<BenchmarkProfile> {
                 (0.4, stream(100 * KB)),
             ],
         ),
-        fp("swim", icode_tiny(), vec![(0.4, hot(2 * KB)), (2.6, stream(900 * KB))]),
+        fp(
+            "swim",
+            icode_tiny(),
+            vec![(0.4, hot(2 * KB)), (2.6, stream(900 * KB))],
+        ),
         fp(
             "wupwise",
             icode_conflict(4, 2048, 12.0),
@@ -346,7 +412,6 @@ pub fn all() -> Vec<BenchmarkProfile> {
     ]
 }
 
-
 /// Looks a profile up by its SPEC2K name.
 pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
     all().into_iter().find(|p| p.name == name)
@@ -354,7 +419,10 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
 
 /// The CINT2K subset, in plotting order.
 pub fn cint() -> Vec<BenchmarkProfile> {
-    all().into_iter().filter(|p| p.suite == Suite::Int).collect()
+    all()
+        .into_iter()
+        .filter(|p| p.suite == Suite::Int)
+        .collect()
 }
 
 /// The CFP2K subset, in plotting order.
@@ -365,13 +433,16 @@ pub fn cfp() -> Vec<BenchmarkProfile> {
 /// The fifteen benchmarks whose instruction-cache results the paper
 /// reports in Figure 5 (the rest have I$ miss rates below 0.01%).
 pub const ICACHE_REPORTED: [&str; 15] = [
-    "ammp", "apsi", "crafty", "eon", "equake", "fma3d", "gap", "gcc", "mesa", "parser",
-    "perlbmk", "sixtrack", "twolf", "vortex", "wupwise",
+    "ammp", "apsi", "crafty", "eon", "equake", "fma3d", "gap", "gcc", "mesa", "parser", "perlbmk",
+    "sixtrack", "twolf", "vortex", "wupwise",
 ];
 
 /// Profiles for the Figure 5 benchmarks, in the paper's order.
 pub fn icache_reported() -> Vec<BenchmarkProfile> {
-    ICACHE_REPORTED.iter().map(|n| by_name(n).expect("known benchmark")).collect()
+    ICACHE_REPORTED
+        .iter()
+        .map(|n| by_name(n).expect("known benchmark"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -402,7 +473,11 @@ mod tests {
         assert_eq!(reported.len(), 15);
         // Every reported benchmark has a non-trivial code layout.
         for p in &reported {
-            assert!(p.code.loops.len() > 1, "{} should have conflicting loops", p.name);
+            assert!(
+                p.code.loops.len() > 1,
+                "{} should have conflicting loops",
+                p.name
+            );
         }
         // Every excluded benchmark has resident code.
         for p in all() {
@@ -463,7 +538,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(max_arrays > 8, "perlbmk needs >8-way conflicts for the 32-way gap");
+        assert!(
+            max_arrays > 8,
+            "perlbmk needs >8-way conflicts for the 32-way gap"
+        );
     }
 
     #[test]
@@ -496,11 +574,12 @@ mod tests {
                 .data
                 .iter()
                 .filter_map(|(_, s)| match s {
-                    StreamSpec::Conflict { base, bytes, spacing, .. }
-                        if *spacing == L1_BYTES =>
-                    {
-                        Some((base % 2048, base % 2048 + bytes))
-                    }
+                    StreamSpec::Conflict {
+                        base,
+                        bytes,
+                        spacing,
+                        ..
+                    } if *spacing == L1_BYTES => Some((base % 2048, base % 2048 + bytes)),
                     _ => None,
                 })
                 .collect();

@@ -81,7 +81,13 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for op in [Op::Alu, Op::Long, Op::Load(1), Op::Store(2), Op::Branch { mispredict: true }] {
+        for op in [
+            Op::Alu,
+            Op::Long,
+            Op::Load(1),
+            Op::Store(2),
+            Op::Branch { mispredict: true },
+        ] {
             assert!(!op.to_string().is_empty());
         }
     }

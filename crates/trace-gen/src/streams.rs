@@ -65,7 +65,12 @@ pub enum StreamSpec {
 impl StreamSpec {
     /// Instantiates the runtime state for this stream.
     pub fn instantiate(&self) -> StreamState {
-        StreamState { spec: self.clone(), pos: 0, arr: 0, lcg: 0x9E3779B97F4A7C15 }
+        StreamState {
+            spec: self.clone(),
+            pos: 0,
+            arr: 0,
+            lcg: 0x9E3779B97F4A7C15,
+        }
     }
 
     /// The total footprint in bytes (for diagnostics).
@@ -99,7 +104,11 @@ impl StreamState {
                 let words = (bytes / 4).max(1);
                 base + rng.gen_range(0..words) * 4
             }
-            StreamSpec::Strided { base, bytes, stride } => {
+            StreamSpec::Strided {
+                base,
+                bytes,
+                stride,
+            } => {
                 let addr = base + self.pos;
                 self.pos = (self.pos + stride) % bytes.max(1);
                 addr
@@ -113,7 +122,13 @@ impl StreamState {
                 let block = (self.lcg >> 33) % blocks;
                 base + block * 32 + rng.gen_range(0..8) * 4
             }
-            StreamSpec::Conflict { base, arrays, spacing, bytes, stride } => {
+            StreamSpec::Conflict {
+                base,
+                arrays,
+                spacing,
+                bytes,
+                stride,
+            } => {
                 let addr = base + self.arr as u64 * spacing + self.pos;
                 self.arr += 1;
                 if self.arr == arrays {
@@ -142,7 +157,11 @@ mod tests {
 
     #[test]
     fn hot_stays_in_region() {
-        let mut s = StreamSpec::Hot { base: 0x1000, bytes: 4096 }.instantiate();
+        let mut s = StreamSpec::Hot {
+            base: 0x1000,
+            bytes: 4096,
+        }
+        .instantiate();
         let mut r = rng();
         for _ in 0..1000 {
             let a = s.next(&mut r);
@@ -153,7 +172,12 @@ mod tests {
 
     #[test]
     fn strided_sweeps_and_wraps() {
-        let mut s = StreamSpec::Strided { base: 0x100, bytes: 64, stride: 16 }.instantiate();
+        let mut s = StreamSpec::Strided {
+            base: 0x100,
+            bytes: 64,
+            stride: 16,
+        }
+        .instantiate();
         let mut r = rng();
         let addrs: Vec<u64> = (0..6).map(|_| s.next(&mut r)).collect();
         assert_eq!(addrs, vec![0x100, 0x110, 0x120, 0x130, 0x100, 0x110]);
@@ -161,8 +185,16 @@ mod tests {
 
     #[test]
     fn chase_is_deterministic_and_bounded() {
-        let mut a = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
-        let mut b = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
+        let mut a = StreamSpec::Chase {
+            base: 0,
+            bytes: 1 << 16,
+        }
+        .instantiate();
+        let mut b = StreamSpec::Chase {
+            base: 0,
+            bytes: 1 << 16,
+        }
+        .instantiate();
         let mut ra = rng();
         let mut rb = rng();
         for _ in 0..500 {
@@ -174,7 +206,11 @@ mod tests {
 
     #[test]
     fn chase_visits_many_blocks() {
-        let mut s = StreamSpec::Chase { base: 0, bytes: 1 << 16 }.instantiate();
+        let mut s = StreamSpec::Chase {
+            base: 0,
+            bytes: 1 << 16,
+        }
+        .instantiate();
         let mut r = rng();
         let mut blocks = std::collections::HashSet::new();
         for _ in 0..2000 {
@@ -235,6 +271,13 @@ mod tests {
             stride: 32,
         };
         assert_eq!(spec.footprint(), 1024);
-        assert_eq!(StreamSpec::Hot { base: 0, bytes: 4096 }.footprint(), 4096);
+        assert_eq!(
+            StreamSpec::Hot {
+                base: 0,
+                bytes: 4096
+            }
+            .footprint(),
+            4096
+        );
     }
 }

@@ -94,7 +94,11 @@ impl Program {
             }
         }
         let program = Program {
-            insns: insns.iter().filter(|i| !matches!(i, Insn::Mark(_))).copied().collect(),
+            insns: insns
+                .iter()
+                .filter(|i| !matches!(i, Insn::Mark(_)))
+                .copied()
+                .collect(),
             labels,
             code_base,
         };
@@ -102,7 +106,10 @@ impl Program {
             if let Insn::Blt(_, _, l) | Insn::Beq(_, _, l) | Insn::Bne(_, _, l) | Insn::Jmp(l) =
                 insn
             {
-                assert!(program.labels.contains_key(l), "branch to unmarked label {l}");
+                assert!(
+                    program.labels.contains_key(l),
+                    "branch to unmarked label {l}"
+                );
             }
         }
         program
@@ -274,7 +281,9 @@ impl Iterator for Machine {
                 }
                 // Backward taken branches predict well; model a small
                 // data-dependent mispredict chance via the value parity.
-                Op::Branch { mispredict: taken && (r(self, rs) & 0x3F) == 0x3F }
+                Op::Branch {
+                    mispredict: taken && (r(self, rs) & 0x3F) == 0x3F,
+                }
             }
             Insn::Beq(rs, rt, l) => {
                 let taken = r(self, rs) == r(self, rt);

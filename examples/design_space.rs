@@ -11,12 +11,12 @@ use trace_gen::profiles;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = env::args().nth(1).unwrap_or_else(|| "twolf".to_string());
-    let profile = profiles::by_name(&benchmark)
-        .ok_or_else(|| format!("unknown benchmark {benchmark:?}; try one of: equake, twolf, gcc"))?;
+    let profile = profiles::by_name(&benchmark).ok_or_else(|| {
+        format!("unknown benchmark {benchmark:?}; try one of: equake, twolf, gcc")
+    })?;
     let len = RunLength::with_records(1_000_000);
 
-    let baseline =
-        run_miss_rates(&profile, &[], 16 * 1024, Side::Data, len).baseline_miss_rate;
+    let baseline = run_miss_rates(&profile, &[], 16 * 1024, Side::Data, len).baseline_miss_rate;
     println!(
         "{benchmark}: 16 kB direct-mapped D$ baseline miss rate {:.2}%\n",
         baseline * 100.0

@@ -14,8 +14,8 @@ use trace_gen::profiles;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = env::args().nth(1).unwrap_or_else(|| "equake".to_string());
-    let profile = profiles::by_name(&benchmark)
-        .ok_or_else(|| format!("unknown benchmark {benchmark:?}"))?;
+    let profile =
+        profiles::by_name(&benchmark).ok_or_else(|| format!("unknown benchmark {benchmark:?}"))?;
     let len = RunLength::with_records(1_000_000);
 
     let configs = [
@@ -24,10 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CacheConfig::Victim(16),
         CacheConfig::BCache { mf: 8, bas: 8 },
     ];
-    println!("simulating {benchmark} for {} instructions per configuration…\n", len.records);
+    println!(
+        "simulating {benchmark} for {} instructions per configuration…\n",
+        len.records
+    );
     let row = PerfRow {
         benchmark: benchmark.clone(),
-        outcomes: configs.iter().map(|c| run_config(&profile, c, len)).collect(),
+        outcomes: configs
+            .iter()
+            .map(|c| run_config(&profile, c, len))
+            .collect(),
     };
     let energy = row.normalized_energy();
 

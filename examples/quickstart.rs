@@ -49,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  baseline: {}", baseline.set_usage().unwrap().balance());
     println!("  B-Cache:  {}", bcache.set_usage().unwrap().balance());
 
-    assert!(reduction > 0.5, "equake should show a large conflict-miss reduction");
+    assert!(
+        reduction > 0.5,
+        "equake should show a large conflict-miss reduction"
+    );
     Ok(())
 }

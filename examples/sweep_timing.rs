@@ -1,0 +1,66 @@
+//! Wall-clock comparison of the serial (streaming) miss-rate sweep
+//! against the sharded parallel engine, on the Figure 4 + Figure 5
+//! workload.
+//!
+//! Run with: `cargo run --release --example sweep_timing [records] [jobs]`
+//!
+//! The serial pass is the pre-engine code path: one streaming
+//! `run_miss_rates` call per benchmark, regenerating the trace each
+//! time. The engine pass shards (benchmark × config) jobs over cached
+//! per-side access streams. Both produce identical figures (asserted
+//! below).
+
+use std::time::Instant;
+
+use harness::missrate;
+use harness::parallel::Engine;
+use harness::run::{run_miss_rates, RunLength, Side};
+use harness::CacheConfig;
+use trace_gen::profiles;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let records: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500_000);
+    let jobs: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(harness::default_parallelism);
+    let len = RunLength::with_records(records);
+    let configs = CacheConfig::figure4_set();
+
+    let t0 = Instant::now();
+    let mut serial_rows = Vec::new();
+    for (set, side) in [
+        (profiles::cfp(), Side::Data),
+        (profiles::cint(), Side::Data),
+        (profiles::icache_reported(), Side::Instruction),
+    ] {
+        for p in &set {
+            serial_rows.push(run_miss_rates(p, &configs, 16 * 1024, side, len));
+        }
+    }
+    let serial = t0.elapsed();
+
+    let engine = Engine::new(jobs);
+    let t1 = Instant::now();
+    let (fp, int) = missrate::figure4_with(&engine, len);
+    let fig5 = missrate::figure5_with(&engine, len);
+    let parallel = t1.elapsed();
+
+    let engine_rows: Vec<_> = fp
+        .rows
+        .iter()
+        .chain(&int.rows)
+        .chain(&fig5.rows)
+        .cloned()
+        .collect();
+    assert_eq!(serial_rows, engine_rows, "paths must agree bit-for-bit");
+
+    println!("fig4+fig5 sweep, {records} records, 16 kB, 10 models x 41 rows");
+    println!("  serial (streaming, per-benchmark): {serial:.2?}");
+    println!("  engine (--jobs {jobs}, trace cache):  {parallel:.2?}");
+    println!(
+        "  speedup: {:.2}x",
+        serial.as_secs_f64() / parallel.as_secs_f64()
+    );
+}

@@ -10,8 +10,7 @@
 
 use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::{
-    AccessKind, Addr, CacheGeometry, CacheModel, DirectMappedCache, PolicyKind,
-    SetAssociativeCache,
+    AccessKind, Addr, CacheGeometry, CacheModel, DirectMappedCache, PolicyKind, SetAssociativeCache,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bcache = BalancedCache::new(BCacheParams::new(geom, 2, 2, PolicyKind::Lru)?);
 
     println!("address sequence (block numbers): {sequence:?}, repeated 4x\n");
-    println!("{:>8} {:>6} | {:^12} {:^12} {:^12}", "round", "block", "direct", "2-way", "B-Cache");
+    println!(
+        "{:>8} {:>6} | {:^12} {:^12} {:^12}",
+        "round", "block", "direct", "2-way", "B-Cache"
+    );
     for round in 0..4 {
         for block in sequence {
             let addr = Addr::new(block * LINE);
@@ -34,7 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let w = two_way.access(addr, AccessKind::Read).hit;
             let b = bcache.access(addr, AccessKind::Read).hit;
             let show = |hit: bool| if hit { "hit" } else { "MISS" };
-            println!("{:>8} {:>6} | {:^12} {:^12} {:^12}", round, block, show(d), show(w), show(b));
+            println!(
+                "{:>8} {:>6} | {:^12} {:^12} {:^12}",
+                round,
+                block,
+                show(d),
+                show(w),
+                show(b)
+            );
         }
     }
 

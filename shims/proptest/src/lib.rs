@@ -1,0 +1,361 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships this std-only shim under the same crate name. It implements
+//! the surface the property tests use: the [`proptest!`] macro,
+//! [`Strategy`] with [`Strategy::prop_map`], range and tuple
+//! strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! [`prelude::any`] and the `prop_assert*` macros.
+//!
+//! Semantics versus upstream: each test body runs for a fixed number of
+//! deterministically seeded cases (256, like proptest's default). There
+//! is no shrinking — a failing case panics immediately with the
+//! assertion message, which is enough for CI; re-runs are fully
+//! reproducible because the case seed is derived from the test name.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A deterministic 64-bit generator (SplitMix64) driving value
+/// generation for one test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            x: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Returns the next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening multiply; the slight modulo bias is irrelevant for
+        // test-case generation.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (subset of `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.next_below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy for uniformly random values of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy::default()
+    }
+}
+
+impl Strategy for AnyStrategy<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = AnyStrategy<u64>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy::default()
+    }
+}
+
+/// The canonical strategy for `T` (subset of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Namespaced strategy constructors (subset of the `prop` module tree).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A strategy for `Vec`s with lengths drawn from `len` and
+        /// elements from `element`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Creates a [`VecStrategy`].
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.next_below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// A fair coin.
+        pub const ANY: super::super::AnyStrategy<bool> = super::super::AnyStrategy {
+            _marker: std::marker::PhantomData,
+        };
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{any, prop, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases each property runs (matches proptest's default).
+pub const CASES: u64 = 256;
+
+/// Declares property tests (subset of the upstream `proptest!` macro).
+///
+/// Each function runs [`CASES`] deterministic cases; the per-case seed
+/// is derived from the test name, so failures reproduce exactly.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; there is
+/// no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.5f64..2.5), &mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::for_case("vec", 1);
+        let s = prop::collection::vec((0u64..512, any::<bool>()), 1..40);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(!v.is_empty() && v.len() < 40);
+            assert!(v.iter().all(|(x, _)| *x < 512));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_case("map", 2);
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("x", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("x", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_case("y", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_ne!(x, 100);
+            } else {
+                prop_assert_eq!(x.min(99), x);
+            }
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! harness render paths used by the `bcache-repro` binary.
 
 use bcache_core::{BCacheParams, BalancedCache};
-use cache_sim::{
-    AccessKind, Addr, CacheGeometry, DirectMappedCache, MemoryHierarchy,
-};
+use cache_sim::{AccessKind, Addr, CacheGeometry, DirectMappedCache, MemoryHierarchy};
 use cpu_model::{Cpu, CpuConfig};
 use harness::run::RunLength;
 use harness::{balance, design_space, fig3, missrate, tables};
@@ -21,15 +19,32 @@ fn all_26_profiles_run_through_the_full_cpu_pipeline() {
     for profile in profiles::all() {
         let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
         let hierarchy = MemoryHierarchy::new(
-            Box::new(BalancedCache::new(BCacheParams::paper_default(geom).unwrap())),
-            Box::new(BalancedCache::new(BCacheParams::paper_default(geom).unwrap())),
+            Box::new(BalancedCache::new(
+                BCacheParams::paper_default(geom).unwrap(),
+            )),
+            Box::new(BalancedCache::new(
+                BCacheParams::paper_default(geom).unwrap(),
+            )),
         );
         let mut cpu = Cpu::new(CpuConfig::default(), hierarchy);
         let report = cpu.run(Trace::new(&profile, 3).take(20_000));
         assert_eq!(report.instructions, 20_000, "{}", profile.name);
-        assert!(report.ipc() > 0.05 && report.ipc() <= 4.0, "{}: IPC {}", profile.name, report.ipc());
-        assert!(cpu.hierarchy().l1i().stats().total().accesses() > 0, "{}", profile.name);
-        assert!(cpu.hierarchy().l1d().stats().total().accesses() > 0, "{}", profile.name);
+        assert!(
+            report.ipc() > 0.05 && report.ipc() <= 4.0,
+            "{}: IPC {}",
+            profile.name,
+            report.ipc()
+        );
+        assert!(
+            cpu.hierarchy().l1i().stats().total().accesses() > 0,
+            "{}",
+            profile.name
+        );
+        assert!(
+            cpu.hierarchy().l1d().stats().total().accesses() > 0,
+            "{}",
+            profile.name
+        );
     }
 }
 

@@ -24,8 +24,14 @@ fn average_reductions_are_large_and_icache_gains_more() {
         + int.average_reduction(int.column("MF8-BAS8").unwrap()))
         / 2.0;
     let i_ave = fig5.average_reduction(fig5.column("MF8-BAS8").unwrap());
-    assert!(d_ave > 0.25, "D$ average reduction {d_ave:.3} (paper: 37.8%)");
-    assert!(i_ave > 0.45, "I$ average reduction {i_ave:.3} (paper: 64.5%)");
+    assert!(
+        d_ave > 0.25,
+        "D$ average reduction {d_ave:.3} (paper: 37.8%)"
+    );
+    assert!(
+        i_ave > 0.45,
+        "I$ average reduction {i_ave:.3} (paper: 64.5%)"
+    );
     assert!(i_ave > d_ave, "the I$ gains more than the D$ in the paper");
 }
 
@@ -61,7 +67,11 @@ fn mf16_adds_little_over_mf8() {
     for fig in [&fp, &int] {
         let red = |l: &str| fig.average_reduction(fig.column(l).unwrap());
         let delta = red("MF16-BAS8") - red("MF8-BAS8");
-        assert!((-0.01..0.06).contains(&delta), "{}: MF8->MF16 delta {delta:.3}", fig.title);
+        assert!(
+            (-0.01..0.06).contains(&delta),
+            "{}: MF8->MF16 delta {delta:.3}",
+            fig.title
+        );
     }
 }
 
@@ -77,7 +87,10 @@ fn victim_buffer_beats_bcache_only_on_wupwise() {
             let victim = 1.0 - row.outcomes[vi].miss_rate / row.baseline_miss_rate.max(1e-12);
             let bcache = 1.0 - row.outcomes[bi].miss_rate / row.baseline_miss_rate.max(1e-12);
             if row.benchmark == "wupwise" {
-                assert!(victim > bcache, "wupwise: victim {victim:.3} vs B-Cache {bcache:.3}");
+                assert!(
+                    victim > bcache,
+                    "wupwise: victim {victim:.3} vs B-Cache {bcache:.3}"
+                );
             } else {
                 assert!(
                     bcache > victim - 0.05,
@@ -110,7 +123,11 @@ fn capacity_benchmarks_gain_little() {
         for row in &fig.rows {
             if ["art", "lucas", "swim", "mcf"].contains(&row.benchmark.as_str()) {
                 let red = 1.0 - row.outcomes[col].miss_rate / row.baseline_miss_rate.max(1e-12);
-                assert!(red < 0.2, "{}: reduction {red:.3} should be small", row.benchmark);
+                assert!(
+                    red < 0.2,
+                    "{}: reduction {red:.3} should be small",
+                    row.benchmark
+                );
             }
         }
     }
@@ -125,12 +142,22 @@ fn ipc_improves_on_equake_and_not_worse_on_mcf() {
     let equake = profiles::by_name("equake").unwrap();
     let base = perf::run_config(&equake, &CacheConfig::DirectMapped, l);
     let bc = perf::run_config(&equake, &CacheConfig::BCache { mf: 8, bas: 8 }, l);
-    assert!(bc.ipc > base.ipc * 1.05, "equake: {} vs {}", bc.ipc, base.ipc);
+    assert!(
+        bc.ipc > base.ipc * 1.05,
+        "equake: {} vs {}",
+        bc.ipc,
+        base.ipc
+    );
 
     let mcf = profiles::by_name("mcf").unwrap();
     let base = perf::run_config(&mcf, &CacheConfig::DirectMapped, l);
     let bc = perf::run_config(&mcf, &CacheConfig::BCache { mf: 8, bas: 8 }, l);
-    assert!(bc.ipc > base.ipc * 0.97, "mcf must not regress: {} vs {}", bc.ipc, base.ipc);
+    assert!(
+        bc.ipc > base.ipc * 0.97,
+        "mcf must not regress: {} vs {}",
+        bc.ipc,
+        base.ipc
+    );
 }
 
 /// Figure 9's headline: per-benchmark normalized energy of the B-Cache
@@ -149,7 +176,12 @@ fn bcache_energy_beats_8way() {
         ],
     };
     let norm = row.normalized_energy();
-    assert!(norm[2] < norm[1], "B-Cache {:.3} vs 8-way {:.3}", norm[2], norm[1]);
+    assert!(
+        norm[2] < norm[1],
+        "B-Cache {:.3} vs 8-way {:.3}",
+        norm[2],
+        norm[1]
+    );
 }
 
 /// Figure 12: the B-Cache's MF=8/BAS=8 design point holds up at 8 kB and
@@ -160,7 +192,10 @@ fn design_point_works_at_8k_and_32k() {
     for size in [8 * 1024usize, 32 * 1024] {
         let r = run_miss_rates(
             &profile,
-            &[CacheConfig::BCache { mf: 8, bas: 8 }, CacheConfig::SetAssoc(8)],
+            &[
+                CacheConfig::BCache { mf: 8, bas: 8 },
+                CacheConfig::SetAssoc(8),
+            ],
             size,
             Side::Data,
             len(),
@@ -180,8 +215,17 @@ fn related_work_ordering() {
     let fig = missrate::related_work(len());
     let red = |l: &str| fig.average_reduction(fig.column(l).unwrap());
     assert!(red("MF8-BAS8") > red("column"), "vs column-associative");
-    assert!(red("MF8-BAS8") > red("skew2") - 0.05, "vs skewed-associative");
-    assert!(red("column") > 0.0 && red("skew2") > 0.0, "related work beats the baseline too");
+    assert!(
+        red("MF8-BAS8") > red("skew2") - 0.05,
+        "vs skewed-associative"
+    );
+    assert!(
+        red("column") > 0.0 && red("skew2") > 0.0,
+        "related work beats the baseline too"
+    );
     // The HAC (fully programmable decoder) bounds everything from above.
-    assert!(red("hac32") >= red("MF8-BAS8") - 0.03, "HAC is the B-Cache's limit case");
+    assert!(
+        red("hac32") >= red("MF8-BAS8") - 0.03,
+        "HAC is the B-Cache's limit case"
+    );
 }
