@@ -234,4 +234,29 @@ mod tests {
             "16k-diffbit"
         );
     }
+
+    /// Differential hook: this cache is contractually an n-way LRU array
+    /// (the lookup machinery changes latency/energy, never hits, misses
+    /// or evictions), so the reference oracle must track it exactly.
+    #[test]
+    fn matches_reference_oracle() {
+        use crate::oracle::OracleCache;
+        let mut model = DifferenceBitCache::new(1024, 32).unwrap();
+        let mut oracle = OracleCache::new(1024, 32, 2, crate::PolicyKind::Lru, 0, 32);
+        let mut x = 0x2468_ACE0u64;
+        for i in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 16) % 256) * 32;
+            let kind = if x & 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let got = model.access(Addr::new(addr), kind);
+            let want = oracle.access(Addr::new(addr), kind);
+            assert_eq!(want.diff(&got), None, "access {i} at {addr:#x}");
+        }
+    }
 }

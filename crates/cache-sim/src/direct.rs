@@ -239,4 +239,31 @@ mod tests {
             "16k-dm"
         );
     }
+
+    /// Differential hook: the fuzzer's reference model (`crate::oracle`)
+    /// must agree with this cache access-by-access; `harness::fuzz`
+    /// explores random geometries, this pins one conflict-heavy stream.
+    #[test]
+    fn matches_reference_oracle() {
+        use crate::oracle::OracleCache;
+        let mut model = DirectMappedCache::new(1024, 32).unwrap();
+        let mut oracle = OracleCache::new(1024, 32, 1, crate::PolicyKind::Lru, 0, 32);
+        let mut x = 0x2468_ACE0u64;
+        for i in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 16) % 256) * 32;
+            let kind = if x & 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let got = model.access(Addr::new(addr), kind);
+            let want = oracle.access(Addr::new(addr), kind);
+            assert_eq!(want.diff(&got), None, "access {i} at {addr:#x}");
+        }
+        assert_eq!(oracle.misses(), model.stats().total().misses());
+        assert_eq!(oracle.writebacks(), model.stats().writebacks());
+    }
 }

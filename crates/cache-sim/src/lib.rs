@@ -50,6 +50,7 @@ pub mod geometry;
 pub mod hac;
 pub mod hierarchy;
 pub mod model;
+pub mod oracle;
 pub mod pam;
 pub mod replacement;
 pub mod set_assoc;
@@ -67,6 +68,7 @@ pub use geometry::{CacheGeometry, GeometryError, DEFAULT_ADDR_BITS};
 pub use hac::HighlyAssociativeCache;
 pub use hierarchy::{LatencyConfig, MemoryHierarchy};
 pub use model::{AccessKind, AccessResult, CacheModel, Eviction};
+pub use oracle::{BCacheOracle, OracleCache, OracleOutcome};
 pub use pam::PartialMatchCache;
 pub use replacement::{make_policy, PolicyKind, ReplacementPolicy};
 pub use set_assoc::SetAssociativeCache;

@@ -418,4 +418,103 @@ mod tests {
         assert_eq!(PolicyKind::Lru.to_string(), "LRU");
         assert_eq!(PolicyKind::Random.to_string(), "random");
     }
+
+    #[test]
+    fn single_way_victim_is_always_zero_for_every_policy() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+        ] {
+            let mut p = make_policy(kind, 4, 1, 9);
+            for set in 0..4 {
+                p.on_fill(set, 0);
+                p.on_access(set, 0);
+                for _ in 0..8 {
+                    assert_eq!(p.victim(set), 0, "{kind:?} set {set}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lru_cold_set_victim_is_way_zero() {
+        // All stamps equal: min_by_key ties break to the lowest way.
+        let mut p = Lru::new(2, 4);
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.victim(1), 0);
+    }
+
+    #[test]
+    fn lru_repeated_touch_is_idempotent() {
+        let mut p = Lru::new(1, 4);
+        for way in 0..4 {
+            p.on_fill(0, way);
+        }
+        for _ in 0..5 {
+            p.on_access(0, 2); // hammering one way must not reorder the rest
+        }
+        assert_eq!(p.victim(0), 0);
+        p.on_access(0, 0);
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order_under_cyclic_wraparound() {
+        let mut p = Lru::new(1, 4);
+        for way in 0..4 {
+            p.on_fill(0, way);
+        }
+        // A cyclic sweep: after touching way i, the victim is i+1 (mod 4),
+        // for as long as the sweep runs (clock stamps never wrap in u64).
+        for round in 0..3 {
+            for way in 0..4 {
+                p.on_access(0, way);
+                assert_eq!(p.victim(0), (way + 1) % 4, "round {round} way {way}");
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_order_wraps_in_fill_order() {
+        let mut p = Fifo::new(1, 3);
+        for way in 0..3 {
+            p.on_fill(0, way);
+        }
+        // Refilling the victim each time walks the ways in fill order and
+        // wraps around indefinitely.
+        for expect in [0usize, 1, 2, 0, 1, 2, 0] {
+            let v = p.victim(0);
+            assert_eq!(v, expect);
+            p.on_fill(0, v);
+        }
+    }
+
+    #[test]
+    fn tree_plru_victim_fill_cycle_covers_every_way() {
+        // With the victim refilled each time (the miss path), tree-PLRU
+        // walks a fixed permutation of the ways: 0, 2, 1, 3 for assoc 4.
+        let mut p = TreePlru::new(1, 4);
+        for way in 0..4 {
+            p.on_fill(0, way);
+        }
+        let mut victims = Vec::new();
+        for _ in 0..8 {
+            let v = p.victim(0);
+            victims.push(v);
+            p.on_fill(0, v);
+        }
+        assert_eq!(victims, [0, 2, 1, 3, 0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn random_covers_every_way_eventually() {
+        let mut p = RandomPolicy::new(1, 4, 3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[p.victim(0)] = true;
+        }
+        assert_eq!(seen, [true; 4], "random victims must cover all ways");
+    }
 }

@@ -353,4 +353,35 @@ mod tests {
             "16k8way"
         );
     }
+
+    /// Differential hook: every replacement policy must track the
+    /// reference oracle (`crate::oracle`) access-by-access.
+    #[test]
+    fn matches_reference_oracle_for_every_policy() {
+        use crate::oracle::OracleCache;
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+        ] {
+            let mut model = SetAssociativeCache::new(2048, 32, 4, policy, 99).unwrap();
+            let mut oracle = OracleCache::new(2048, 32, 4, policy, 99, 32);
+            let mut x = 0x1357_9BDFu64;
+            for i in 0..4000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = ((x >> 16) % 512) * 32;
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let got = model.access(Addr::new(addr), kind);
+                let want = oracle.access(Addr::new(addr), kind);
+                assert_eq!(want.diff(&got), None, "{policy:?} access {i} at {addr:#x}");
+            }
+        }
+    }
 }

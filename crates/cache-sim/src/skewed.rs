@@ -270,4 +270,29 @@ mod tests {
             "16k-skew2"
         );
     }
+
+    /// Fuzz-subsystem hook: demand-fill sanity — never a hit on a block
+    /// the cache has not seen, and at least one miss per distinct block
+    /// (the compulsory bound). `harness::fuzz` checks the same invariants
+    /// on random configurations.
+    #[test]
+    fn is_demand_fill() {
+        use std::collections::HashSet;
+        let mut c = SkewedAssociativeCache::new(512, 32).unwrap();
+        let mut seen = HashSet::new();
+        let mut x = 0x0F1E_2D3Cu64;
+        for i in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 16) % 128) * 32;
+            let hit = c.access(Addr::new(addr), AccessKind::Read).hit;
+            assert!(
+                !hit || seen.contains(&addr),
+                "access {i}: hit on unseen {addr:#x}"
+            );
+            seen.insert(addr);
+        }
+        assert!(c.stats().total().misses() >= seen.len() as u64);
+    }
 }

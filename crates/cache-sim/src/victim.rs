@@ -279,4 +279,31 @@ mod tests {
             "victim16"
         );
     }
+
+    /// Fuzz-subsystem hook: the main array mirrors a plain DM cache, so
+    /// a DM hit is always a victim-cache hit, and the cache is
+    /// demand-fill (it never hits a block it has not seen).
+    #[test]
+    fn dominates_direct_mapped_and_is_demand_fill() {
+        use std::collections::HashSet;
+        let mut vc = VictimCache::new(512, 32, 4).unwrap();
+        let mut dm = crate::DirectMappedCache::new(512, 32).unwrap();
+        let mut seen = HashSet::new();
+        let mut x = 0x0F1E_2D3Cu64;
+        for i in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 16) % 128) * 32;
+            let hit = vc.access(Addr::new(addr), AccessKind::Read).hit;
+            let dm_hit = dm.access(Addr::new(addr), AccessKind::Read).hit;
+            assert!(
+                !hit || seen.contains(&addr),
+                "access {i}: hit on unseen {addr:#x}"
+            );
+            assert!(!dm_hit || hit, "access {i}: lost a DM hit at {addr:#x}");
+            seen.insert(addr);
+        }
+        assert!(vc.stats().total().misses() >= seen.len() as u64);
+    }
 }

@@ -175,6 +175,19 @@ impl BalancedCache {
 
     fn fill(&mut self, group: usize, way: usize, id: u64, dirty: bool) {
         let s = self.slot(group, way);
+        // Every fill happens after the PD entry is in place (ForcedVictim
+        // reuses the matching entry; the other paths program first), so
+        // the filled block must decode back to exactly this slot.
+        debug_assert_eq!(
+            self.layout.npi(self.block_addr(id)),
+            group,
+            "filled block belongs to a different NPI group"
+        );
+        debug_assert_eq!(
+            self.pd.entry(group, way),
+            Some(self.layout.pi(self.block_addr(id))),
+            "filled block is not decodable by its PD entry"
+        );
         self.blocks[s] = id;
         self.valid[s] = true;
         self.dirty[s] = dirty;
@@ -208,6 +221,16 @@ impl CacheModel for BalancedCache {
             Some(way) => {
                 let s = self.slot(group, way);
                 debug_assert!(self.valid[s], "PD entry valid but block invalid");
+                debug_assert_eq!(
+                    self.layout.pi(self.block_addr(self.blocks[s])),
+                    pi,
+                    "PD match disagrees with the resident block's PI"
+                );
+                debug_assert_eq!(
+                    self.layout.npi(self.block_addr(self.blocks[s])),
+                    group,
+                    "resident block belongs to a different NPI group"
+                );
                 if self.blocks[s] == id {
                     // PD hit + tag hit: a plain one-cycle hit.
                     self.stats.record(kind, true);
@@ -613,5 +636,62 @@ mod tests {
         assert!(bc.probe(Addr::new(0x2010)));
         assert!(!bc.probe(Addr::new(0x8000)));
         assert_eq!(bc.stats().total().accesses(), 1);
+    }
+
+    /// Differential hook against the symbolic-PD oracle in
+    /// `cache_sim::oracle`: the oracle recomputes the BAS candidate set
+    /// from first principles per access, so any drift in PD programming,
+    /// forced-victim handling or policy routing shows up immediately.
+    /// `harness::fuzz` runs the same comparison on random configurations.
+    #[test]
+    fn matches_symbolic_pd_oracle() {
+        use cache_sim::oracle::BCacheOracle;
+        for (mf, mf_bits, bas, policy) in [
+            (4usize, 2u32, 4usize, PolicyKind::Lru),
+            (8, 3, 2, PolicyKind::Fifo),
+            (2, 1, 8, PolicyKind::TreePlru),
+        ] {
+            let geom = CacheGeometry::with_addr_bits(1024, 32, 1, 16).unwrap();
+            let params = BCacheParams::new(geom, mf, bas, policy)
+                .unwrap()
+                .with_seed(11);
+            let layout = params.layout();
+            let mut model = BalancedCache::new(params);
+            let mut oracle = BCacheOracle::new(
+                32,
+                16,
+                layout.npi_bits(),
+                layout.pi_bits(),
+                mf_bits,
+                false,
+                policy,
+                11,
+            );
+            let mut x = 0x5A5A_1234u64;
+            for i in 0..6000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = ((x >> 16) % 2048) * 32;
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let got = model.access(Addr::new(addr), kind);
+                let want = oracle.access(Addr::new(addr), kind);
+                assert_eq!(
+                    want.diff(&got),
+                    None,
+                    "MF{mf} BAS{bas} {policy:?} access {i} at {addr:#x}"
+                );
+            }
+            assert_eq!(oracle.pd_hit_misses(), model.pd_stats().misses_with_pd_hit);
+            assert_eq!(
+                oracle.pd_miss_misses(),
+                model.pd_stats().misses_with_pd_miss
+            );
+            assert!(model.invariants_hold());
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod config;
 pub mod design_space;
 pub mod extensions;
 pub mod fig3;
+pub mod fuzz;
 pub mod kernels_exp;
 pub mod missrate;
 pub mod parallel;

@@ -11,6 +11,10 @@
 //!   kernels   (VM-executed program kernels cross-check)
 //!   sweep     (victim-size sweep, cold start, L2 B-Cache extension)
 //!   all       (everything, in paper order)
+//!
+//! bcache-repro fuzz [--iters N] [--seed S] [--jobs N]
+//!   differential property-fuzz of every cache model against its oracle;
+//!   exits non-zero and prints a shrunk repro on any divergence
 //! ```
 //!
 //! `--jobs N` sets the experiment engine's worker-thread count (default:
@@ -21,13 +25,14 @@ use std::process::ExitCode;
 
 use harness::config::RunOptions;
 use harness::{
-    balance, design_space, extensions, fig3, kernels_exp, missrate, perf, sensitivity, tables,
+    balance, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, sensitivity, tables,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bcache-repro <experiment> [--records N] [--seed S] [--jobs N] [--csv]\n\
-         experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all"
+         experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all\n\
+         \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -37,6 +42,22 @@ fn main() -> ExitCode {
     let Some(experiment) = args.first().cloned() else {
         return usage();
     };
+    if experiment == "fuzz" {
+        let opts = match fuzz::FuzzOptions::parse(&args[1..]) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return usage();
+            }
+        };
+        let report = fuzz::run(&opts);
+        print!("{}", report.render());
+        return if report.divergences.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let opts = match RunOptions::parse(&args[1..]) {
         Ok(opts) => opts,
         Err(msg) => {

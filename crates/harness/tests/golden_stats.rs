@@ -1,11 +1,14 @@
 //! Golden-stats regression suite: pins the exact post-warm-up counters
-//! of three representative profiles at a small fixed [`RunLength`], so a
+//! of eight representative profiles at a small fixed [`RunLength`], so a
 //! model change that shifts any number fails loudly instead of silently.
 //!
 //! `mcf` is capacity-bound, `gzip` is cache-friendly, `equake` is the
-//! conflict-heavy headline case. If a deliberate model change moves
-//! these numbers, update the table in the same commit (the failure
-//! message prints the new value) and say why in the commit message.
+//! conflict-heavy headline case; `ammp`, `art`, `gcc`, `parser` and
+//! `vpr` spread the coverage across the remaining Figure 4/5 behaviour
+//! classes so figure drift is caught per-benchmark. If a deliberate
+//! model change moves these numbers, regenerate the tables with
+//! `cargo run --example golden_dump`, paste them in the same commit,
+//! and say why in the commit message.
 
 use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::{CacheGeometry, PolicyKind};
@@ -70,6 +73,41 @@ const GOLDEN: &[(&str, CacheConfig, Side, u64, u64)] = &[
     ("equake", DM, Side::Instruction, 5_625, 448),
     ("equake", W8, Side::Instruction, 5_625, 128),
     ("equake", BC, Side::Instruction, 5_625, 128),
+    // ammp: mixed — associativity halves the D$ misses, B-Cache tracks.
+    ("ammp", DM, Side::Data, 16_537, 6_655),
+    ("ammp", W8, Side::Data, 16_537, 3_555),
+    ("ammp", BC, Side::Data, 16_537, 3_699),
+    ("ammp", DM, Side::Instruction, 5_625, 96),
+    ("ammp", W8, Side::Instruction, 5_625, 32),
+    ("ammp", BC, Side::Instruction, 5_625, 32),
+    // art: capacity-bound streaming — the B-Cache matches 8-way exactly.
+    ("art", DM, Side::Data, 16_823, 3_431),
+    ("art", W8, Side::Data, 16_823, 3_023),
+    ("art", BC, Side::Data, 16_823, 3_023),
+    ("art", DM, Side::Instruction, 5_625, 0),
+    ("art", W8, Side::Instruction, 5_625, 0),
+    ("art", BC, Side::Instruction, 5_625, 0),
+    // gcc: the only profile with substantial I$ conflict misses.
+    ("gcc", DM, Side::Data, 15_443, 5_894),
+    ("gcc", W8, Side::Data, 15_443, 2_129),
+    ("gcc", BC, Side::Data, 15_443, 2_306),
+    ("gcc", DM, Side::Instruction, 5_625, 640),
+    ("gcc", W8, Side::Instruction, 5_625, 192),
+    ("gcc", BC, Side::Instruction, 5_625, 192),
+    // parser: conflict-prone D$, I$ conflicts fully removed by 8-way.
+    ("parser", DM, Side::Data, 15_303, 5_304),
+    ("parser", W8, Side::Data, 15_303, 2_220),
+    ("parser", BC, Side::Data, 15_303, 2_347),
+    ("parser", DM, Side::Instruction, 5_625, 223),
+    ("parser", W8, Side::Instruction, 5_625, 0),
+    ("parser", BC, Side::Instruction, 5_625, 0),
+    // vpr: conflict-heavy — 8-way removes ~70% of D$ misses.
+    ("vpr", DM, Side::Data, 15_421, 3_343),
+    ("vpr", W8, Side::Data, 15_421, 1_027),
+    ("vpr", BC, Side::Data, 15_421, 1_231),
+    ("vpr", DM, Side::Instruction, 5_625, 0),
+    ("vpr", W8, Side::Instruction, 5_625, 0),
+    ("vpr", BC, Side::Instruction, 5_625, 0),
 ];
 
 /// `(benchmark, misses_with_pd_hit, misses_with_pd_miss)` at MF=8/BAS=8.
@@ -77,6 +115,11 @@ const GOLDEN_PD: &[(&str, u64, u64)] = &[
     ("mcf", 1_650, 11_697),
     ("gzip", 150, 1_314),
     ("equake", 176, 173),
+    ("ammp", 544, 3_155),
+    ("art", 0, 3_023),
+    ("gcc", 407, 1_899),
+    ("parser", 253, 2_094),
+    ("vpr", 417, 814),
 ];
 
 #[test]

@@ -1,0 +1,62 @@
+//! Regenerates the pinned tables of `crates/harness/tests/golden_stats.rs`.
+//!
+//! Run with `cargo run --example golden_dump` after a *deliberate* model
+//! change, and paste the printed rows into `GOLDEN` / `GOLDEN_PD` in the
+//! same commit (saying why in the commit message). The run length and
+//! configurations here must mirror the test file exactly.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{CacheGeometry, PolicyKind};
+use harness::config::CacheConfig;
+use harness::parallel::TraceCache;
+use harness::run::{replay, replay_config_counts, RunLength, Side};
+use trace_gen::profiles;
+
+const BENCHMARKS: &[&str] = &[
+    "mcf", "gzip", "equake", "ammp", "art", "gcc", "parser", "vpr",
+];
+
+fn len() -> RunLength {
+    RunLength {
+        records: 50_000,
+        warmup: 5_000,
+        seed: 1,
+    }
+}
+
+fn main() {
+    let traces = TraceCache::new();
+    let configs = [
+        ("DM", CacheConfig::DirectMapped),
+        ("W8", CacheConfig::SetAssoc(8)),
+        ("BC", CacheConfig::BCache { mf: 8, bas: 8 }),
+    ];
+    println!("// (benchmark, config, side, accesses, misses)");
+    for &benchmark in BENCHMARKS {
+        let p = profiles::by_name(benchmark).expect("known benchmark");
+        let records = traces.get(&p, len());
+        for side in [Side::Data, Side::Instruction] {
+            for (name, config) in &configs {
+                let c = replay_config_counts(benchmark, &records, config, 16 * 1024, side, len());
+                println!(
+                    "    (\"{benchmark}\", {name}, Side::{side:?}, {}, {}),",
+                    c.accesses, c.misses
+                );
+            }
+        }
+    }
+    println!("// (benchmark, misses_with_pd_hit, misses_with_pd_miss)");
+    for &benchmark in BENCHMARKS {
+        let p = profiles::by_name(benchmark).expect("known benchmark");
+        let records = traces.get(&p, len());
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+        let mut bc = BalancedCache::new(params);
+        replay(records.iter().copied(), &mut bc, Side::Data, len().warmup);
+        let pd = bc.pd_stats();
+        println!(
+            "    (\"{benchmark}\", {}, {}),",
+            pd.misses_with_pd_hit, pd.misses_with_pd_miss
+        );
+    }
+}

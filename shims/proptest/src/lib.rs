@@ -8,10 +8,15 @@
 //! [`prelude::any`] and the `prop_assert*` macros.
 //!
 //! Semantics versus upstream: each test body runs for a fixed number of
-//! deterministically seeded cases (256, like proptest's default). There
-//! is no shrinking — a failing case panics immediately with the
-//! assertion message, which is enough for CI; re-runs are fully
-//! reproducible because the case seed is derived from the test name.
+//! deterministically seeded cases (256, like proptest's default).
+//! Re-runs are fully reproducible because the case seed is derived from
+//! the test name. On failure the input is shrunk before the final
+//! panic: [`Strategy::shrink`] proposes simpler candidates (halved
+//! `Vec`s, integers pulled toward the range start, tuples shrunk
+//! element-wise), the macro greedily adopts any candidate that still
+//! fails, and the minimal input is printed and replayed. Shrinking does
+//! not see through [`Strategy::prop_map`] (the map cannot be inverted),
+//! matching the "minimal but honest" goal of this shim.
 
 #![warn(missing_docs)]
 
@@ -67,6 +72,15 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly simpler candidates for a failing `value`,
+    /// most aggressive first (used by [`proptest!`] after a failure).
+    ///
+    /// The default proposes nothing, which disables shrinking for the
+    /// strategy (e.g. [`Map`], whose mapping cannot be inverted).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
@@ -112,6 +126,18 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + rng.next_below((self.end - self.start) as u64) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -128,8 +154,11 @@ impl Strategy for Range<f64> {
 }
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -137,16 +166,29 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Element-wise: shrink one component, keep the others.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 /// Types with a canonical "any value" strategy (subset of
 /// `proptest::arbitrary::Arbitrary`).
@@ -170,6 +212,14 @@ impl Strategy for AnyStrategy<bool> {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for bool {
@@ -185,6 +235,14 @@ impl Strategy for AnyStrategy<u64> {
 
     fn generate(&self, rng: &mut TestRng) -> u64 {
         rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2],
+        }
     }
 }
 
@@ -222,13 +280,35 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
 
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let span = (self.len.end - self.len.start) as u64;
                 let n = self.len.start + rng.next_below(span) as usize;
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                // Halve-and-retry, respecting the minimum length: try
+                // each half first (fast convergence), then single-element
+                // drops from either end (fine-grained cleanup).
+                let n = value.len();
+                let min = self.len.start;
+                let mut out = Vec::new();
+                if n > min {
+                    let half = (n / 2).max(min);
+                    if half < n {
+                        out.push(value[..half].to_vec());
+                        out.push(value[n - half..].to_vec());
+                    }
+                    out.push(value[..n - 1].to_vec());
+                    out.push(value[1..].to_vec());
+                }
+                out
             }
         }
     }
@@ -251,29 +331,96 @@ pub mod prelude {
 /// Number of cases each property runs (matches proptest's default).
 pub const CASES: u64 = 256;
 
+/// Cap on greedy shrink adoptions (a runaway backstop; real shrinks
+/// converge in tens of steps).
+pub const MAX_SHRINK_STEPS: usize = 4096;
+
+/// Greedily minimizes a failing input: repeatedly adopts the first
+/// [`Strategy::shrink`] candidate that still makes `fails` return
+/// `true`, until no candidate fails or [`MAX_SHRINK_STEPS`] is hit.
+///
+/// Panic output is suppressed while probing candidates so the terminal
+/// only shows the original failure and the final minimized replay. Used
+/// by the [`proptest!`] macro; public for the macro's expansion only.
+pub fn shrink_failing<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    mut fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut minimal = initial;
+    'outer: for _ in 0..MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&minimal) {
+            if fails(&cand) {
+                minimal = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(prev);
+    minimal
+}
+
+/// Generates and runs one test case; on failure, minimizes the input
+/// via [`shrink_failing`], prints it, and replays it un-caught so the
+/// panic carries the real assertion message.
+///
+/// This is the [`proptest!`] macro's engine; it lives in a generic
+/// function (rather than the macro expansion) so the body closure's
+/// input type is pinned to `S::Value` and method calls inside test
+/// bodies infer normally.
+pub fn run_case<S: Strategy>(strategy: &S, name: &str, case: u64, run: impl Fn(&S::Value))
+where
+    S::Value: std::fmt::Debug,
+{
+    let mut rng = TestRng::for_case(name, case);
+    let value = strategy.generate(&mut rng);
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&value))).is_ok() {
+        return;
+    }
+    let minimal = shrink_failing(strategy, value, |cand| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(cand))).is_err()
+    });
+    eprintln!("proptest shim: `{name}` case {case} failed; minimal input: {minimal:?}");
+    run(&minimal);
+    unreachable!("shrunk input no longer fails");
+}
+
 /// Declares property tests (subset of the upstream `proptest!` macro).
 ///
 /// Each function runs [`CASES`] deterministic cases; the per-case seed
-/// is derived from the test name, so failures reproduce exactly.
+/// is derived from the test name, so failures reproduce exactly. On a
+/// failing case the input is minimized ([`run_case`]), printed with
+/// `{:?}`, and replayed once more so the panic carries the real
+/// assertion message. Argument values must be `Clone + Debug` (every
+/// generated value in this workspace is).
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
+                let __proptest_strategy = ($($strat,)+);
                 for case in 0..$crate::CASES {
-                    let mut __proptest_rng =
-                        $crate::TestRng::for_case(stringify!($name), case);
-                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)+
-                    $body
+                    $crate::run_case(
+                        &__proptest_strategy,
+                        stringify!($name),
+                        case,
+                        |__proptest_input| {
+                            let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_input);
+                            $body
+                        },
+                    );
                 }
             }
         )*
     };
 }
 
-/// Asserts a condition inside a property (panics on failure; there is
-/// no shrinking in this shim).
+/// Asserts a condition inside a property (panics on failure; the
+/// [`proptest!`] macro catches the panic and shrinks the input).
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
@@ -357,5 +504,47 @@ mod tests {
                 prop_assert_eq!(x.min(99), x);
             }
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let cands = Strategy::shrink(&(10u32..100), &40);
+        assert_eq!(cands, vec![10, 25]);
+        assert!(Strategy::shrink(&(10u32..100), &10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_halves_and_respects_min_length() {
+        let s = prop::collection::vec(0u64..100, 2..50);
+        let value: Vec<u64> = (0..8).collect();
+        let cands = Strategy::shrink(&s, &value);
+        assert!(cands.contains(&vec![0, 1, 2, 3]), "front half");
+        assert!(cands.contains(&vec![4, 5, 6, 7]), "back half");
+        assert!(cands.contains(&vec![0, 1, 2, 3, 4, 5, 6]), "drop last");
+        assert!(cands.contains(&vec![1, 2, 3, 4, 5, 6, 7]), "drop first");
+        assert!(
+            cands.iter().all(|c| c.len() >= 2),
+            "candidates must respect the minimum length"
+        );
+        assert!(Strategy::shrink(&s, &vec![0, 1]).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_elementwise() {
+        let s = (0u64..10, any::<bool>());
+        let cands = Strategy::shrink(&s, &(4, true));
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(2, true)));
+        assert!(cands.contains(&(4, false)));
+    }
+
+    #[test]
+    fn shrink_failing_minimizes_a_vec() {
+        // Failure: any element >= 50. The minimal failing input is just
+        // the offending element on its own.
+        let s = prop::collection::vec(0u64..100, 1..50);
+        let initial: Vec<u64> = (0..40).map(|i| if i == 23 { 77 } else { i }).collect();
+        let minimal = super::shrink_failing(&s, initial, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(minimal, vec![77]);
     }
 }
