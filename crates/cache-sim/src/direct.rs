@@ -3,7 +3,8 @@
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::stats::{CacheStats, SetUsage};
+use crate::packed;
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A direct-mapped, write-back, write-allocate cache.
 ///
@@ -25,9 +26,8 @@ use crate::stats::{CacheStats, SetUsage};
 #[derive(Debug)]
 pub struct DirectMappedCache {
     geom: CacheGeometry,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    /// One [`packed`] `tag|dirty|valid` word per set.
+    lines: Vec<u64>,
     stats: CacheStats,
     usage: SetUsage,
 }
@@ -56,12 +56,14 @@ impl DirectMappedCache {
                 lines: 1,
             });
         }
+        assert!(
+            geom.tag_bits() <= packed::MAX_TAG_BITS,
+            "tag field of {geom} does not fit a packed line word"
+        );
         let sets = geom.sets();
         Ok(DirectMappedCache {
             geom,
-            tags: vec![0; sets],
-            valid: vec![false; sets],
-            dirty: vec![false; sets],
+            lines: vec![packed::EMPTY; sets],
             stats: CacheStats::new(),
             usage: SetUsage::new(sets),
         })
@@ -71,7 +73,7 @@ impl DirectMappedCache {
     /// touching statistics or replacement state.
     pub fn probe(&self, addr: Addr) -> bool {
         let set = self.geom.set_index(addr);
-        self.valid[set] && self.tags[set] == self.geom.tag(addr)
+        packed::matches(self.lines[set], self.geom.tag(addr))
     }
 }
 
@@ -79,19 +81,20 @@ impl CacheModel for DirectMappedCache {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
         let set = self.geom.set_index(addr);
         let tag = self.geom.tag(addr);
-        let hit = self.valid[set] && self.tags[set] == tag;
+        let word = self.lines[set];
+        let hit = packed::matches(word, tag);
         self.stats.record(kind, hit);
         self.usage.record(set, hit);
         if hit {
             if kind.is_write() {
-                self.dirty[set] = true;
+                self.lines[set] = packed::set_dirty(word);
             }
             return AccessResult::hit();
         }
         // Miss: evict the resident block (if any) and fill.
-        let evicted = if self.valid[set] {
-            let block = self.geom.reconstruct(self.tags[set], set);
-            let dirty = self.dirty[set];
+        let evicted = if packed::is_valid(word) {
+            let block = self.geom.reconstruct(packed::tag(word), set);
+            let dirty = packed::is_dirty(word);
             if dirty {
                 self.stats.record_writeback();
             }
@@ -99,10 +102,35 @@ impl CacheModel for DirectMappedCache {
         } else {
             None
         };
-        self.tags[set] = tag;
-        self.valid[set] = true;
-        self.dirty[set] = kind.is_write();
+        self.lines[set] = packed::fill(tag, kind.is_write());
         AccessResult::miss(evicted)
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Monomorphized replay: precomputed field split, packed lines,
+        // statistics tallied in registers — bit-identical outcome to the
+        // `access` loop above (the batch-equivalence suite enforces it).
+        let split = self.geom.split();
+        let lines = &mut self.lines[..];
+        let usage = &mut self.usage;
+        let mut tally = BatchTally::new();
+        for &(addr, kind) in accesses {
+            let set = split.set_index(addr);
+            let tag = split.tag(addr);
+            let word = lines[set];
+            let hit = packed::matches(word, tag);
+            tally.record(kind, hit);
+            usage.record(set, hit);
+            if hit {
+                if kind.is_write() {
+                    lines[set] = packed::set_dirty(word);
+                }
+            } else {
+                tally.record_writeback_if(packed::is_dirty(word));
+                lines[set] = packed::fill(tag, kind.is_write());
+            }
+        }
+        tally.flush(&mut self.stats);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -238,6 +266,33 @@ mod tests {
             DirectMappedCache::new(16 * 1024, 32).unwrap().label(),
             "16k-dm"
         );
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = DirectMappedCache::new(1024, 32).unwrap();
+        let mut batched = DirectMappedCache::new(1024, 32).unwrap();
+        let mut x = 0x1357_9BDFu64;
+        let accesses: Vec<(Addr, AccessKind)> = (0..5_000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.usage, batched.usage);
+        assert_eq!(looped.lines, batched.lines, "contents must match too");
     }
 
     /// Differential hook: the fuzzer's reference model (`crate::oracle`)

@@ -201,13 +201,27 @@ impl CacheGeometry {
     }
 
     /// Extracts the set index of `addr`.
+    #[inline]
     pub fn set_index(&self, addr: Addr) -> usize {
         addr.bits(self.offset_bits(), self.index_bits()) as usize
     }
 
     /// Extracts the tag of `addr`.
+    #[inline]
     pub fn tag(&self, addr: Addr) -> u64 {
         addr.bits(self.offset_bits() + self.index_bits(), self.tag_bits())
+    }
+
+    /// Precomputes the `tag | index | offset` field split as shift/mask
+    /// pairs, for hot loops that cannot afford the per-access field-width
+    /// recomputation of [`set_index`](Self::set_index) / [`tag`](Self::tag).
+    pub const fn split(&self) -> TagIndexSplit {
+        TagIndexSplit {
+            index_shift: self.offset_bits(),
+            index_mask: field_mask(self.index_bits()),
+            tag_shift: self.offset_bits() + self.index_bits(),
+            tag_mask: field_mask(self.tag_bits()),
+        }
     }
 
     /// Rounds `addr` down to its cache-block base.
@@ -233,6 +247,48 @@ impl CacheGeometry {
     /// Same as [`CacheGeometry::new`].
     pub fn with_assoc(&self, assoc: usize) -> Result<Self, GeometryError> {
         Self::with_addr_bits(self.size_bytes, self.line_bytes, assoc, self.addr_bits)
+    }
+}
+
+/// A right-aligned bit mask of `width` bits (0 ≤ width ≤ 64).
+const fn field_mask(width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - width)
+    }
+}
+
+/// The `tag | index | offset` split of a [`CacheGeometry`] as
+/// precomputed shift/mask pairs (see [`CacheGeometry::split`]).
+///
+/// Extraction through this struct is bit-identical to the geometry's
+/// own accessors; it exists so batched replay loops read two plain
+/// fields per access instead of re-deriving field widths.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TagIndexSplit {
+    /// Right-shift bringing the index field to bit 0.
+    pub index_shift: u32,
+    /// Mask of the shifted index field.
+    pub index_mask: u64,
+    /// Right-shift bringing the tag field to bit 0.
+    pub tag_shift: u32,
+    /// Mask of the shifted tag field.
+    pub tag_mask: u64,
+}
+
+impl TagIndexSplit {
+    /// Extracts the set index of `addr` (equals
+    /// [`CacheGeometry::set_index`]).
+    #[inline(always)]
+    pub fn set_index(&self, addr: Addr) -> usize {
+        ((addr.raw() >> self.index_shift) & self.index_mask) as usize
+    }
+
+    /// Extracts the tag of `addr` (equals [`CacheGeometry::tag`]).
+    #[inline(always)]
+    pub fn tag(&self, addr: Addr) -> u64 {
+        (addr.raw() >> self.tag_shift) & self.tag_mask
     }
 }
 
@@ -363,5 +419,22 @@ mod tests {
     fn narrow_address_width_is_supported() {
         let g = CacheGeometry::with_addr_bits(256, 32, 1, 16).unwrap();
         assert_eq!(g.tag_bits(), 16 - 5 - 3);
+    }
+
+    #[test]
+    fn split_matches_the_field_accessors() {
+        for g in [
+            baseline(),
+            CacheGeometry::new(16 * 1024, 32, 8).unwrap(),
+            CacheGeometry::new(512, 32, 16).unwrap(), // index_bits == 0
+            CacheGeometry::with_addr_bits(256, 32, 1, 16).unwrap(),
+        ] {
+            let split = g.split();
+            for raw in [0u64, 0x1040, 0xDEAD_BEE0, 0xFFFF_FFFF, 0x1_0000_0000] {
+                let addr = Addr::new(raw);
+                assert_eq!(split.set_index(addr), g.set_index(addr), "{g} {raw:#x}");
+                assert_eq!(split.tag(addr), g.tag(addr), "{g} {raw:#x}");
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ pub mod hac;
 pub mod hierarchy;
 pub mod model;
 pub mod oracle;
+pub mod packed;
 pub mod pam;
 pub mod replacement;
 pub mod set_assoc;
@@ -64,15 +65,15 @@ pub use agac::AgacCache;
 pub use column::ColumnAssociativeCache;
 pub use difference_bit::DifferenceBitCache;
 pub use direct::DirectMappedCache;
-pub use geometry::{CacheGeometry, GeometryError, DEFAULT_ADDR_BITS};
+pub use geometry::{CacheGeometry, GeometryError, TagIndexSplit, DEFAULT_ADDR_BITS};
 pub use hac::HighlyAssociativeCache;
 pub use hierarchy::{LatencyConfig, MemoryHierarchy};
 pub use model::{AccessKind, AccessResult, CacheModel, Eviction};
 pub use oracle::{BCacheOracle, OracleCache, OracleOutcome};
 pub use pam::PartialMatchCache;
-pub use replacement::{make_policy, PolicyKind, ReplacementPolicy};
+pub use replacement::{make_policy, Lru, PolicyKind, ReplacementPolicy};
 pub use set_assoc::SetAssociativeCache;
 pub use skewed::SkewedAssociativeCache;
-pub use stats::{BalanceReport, CacheStats, Counter, SetUsage};
+pub use stats::{BalanceReport, BatchTally, CacheStats, Counter, SetUsage};
 pub use victim::VictimCache;
 pub use way_halting::WayHaltingCache;

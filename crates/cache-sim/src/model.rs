@@ -105,6 +105,20 @@ pub trait CacheModel {
 
     /// Short human-readable configuration label, e.g. `"16k8way"`.
     fn label(&self) -> String;
+
+    /// Services a batch of accesses, updating state and statistics
+    /// exactly as the equivalent [`access`](Self::access) loop would.
+    ///
+    /// The default implementation *is* that loop; models with a hot
+    /// replay path override it with a monomorphized version that skips
+    /// per-access dispatch. Overrides must stay bit-identical to the
+    /// loop — statistics, set usage, replacement state and contents —
+    /// which `harness`'s batch-equivalence suite enforces.
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        for &(addr, kind) in accesses {
+            self.access(addr, kind);
+        }
+    }
 }
 
 /// Convenience: `Box<dyn CacheModel>` forwards to the inner model.
@@ -131,6 +145,10 @@ impl CacheModel for Box<dyn CacheModel> {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        (**self).access_batch(accesses)
     }
 }
 

@@ -4,6 +4,7 @@
 //! conventional set-associative caches and the B-Cache, whose "sets" are
 //! the NPI groups of `BAS` candidate ways each (paper Section 3.3).
 
+use std::any::Any;
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -55,6 +56,11 @@ pub trait ReplacementPolicy: fmt::Debug {
 
     /// The policy's kind.
     fn kind(&self) -> PolicyKind;
+
+    /// The concrete policy as [`Any`], so batch kernels can specialize
+    /// on a known type (inlining its updates) instead of paying a
+    /// virtual call per access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
 /// Creates a boxed policy for a `(sets, assoc)` grid.
@@ -99,6 +105,7 @@ impl Lru {
         }
     }
 
+    #[inline]
     fn touch(&mut self, set: usize, way: usize) {
         self.clock += 1;
         self.stamps[set * self.assoc + way] = self.clock;
@@ -106,14 +113,17 @@ impl Lru {
 }
 
 impl ReplacementPolicy for Lru {
+    #[inline]
     fn on_access(&mut self, set: usize, way: usize) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
         let slice = &self.stamps[base..base + self.assoc];
@@ -127,6 +137,10 @@ impl ReplacementPolicy for Lru {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::Lru
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -171,6 +185,10 @@ impl ReplacementPolicy for Fifo {
     fn kind(&self) -> PolicyKind {
         PolicyKind::Fifo
     }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Uniform random victim selection with a seeded generator.
@@ -209,6 +227,10 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::Random
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -298,6 +320,10 @@ impl ReplacementPolicy for TreePlru {
 
     fn kind(&self) -> PolicyKind {
         PolicyKind::TreePlru
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 

@@ -1,10 +1,12 @@
 //! Conventional set-associative caches (2-way … fully associative).
 
 use crate::addr::Addr;
+use crate::geometry::TagIndexSplit;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::replacement::{make_policy, PolicyKind, ReplacementPolicy};
-use crate::stats::{CacheStats, SetUsage};
+use crate::packed;
+use crate::replacement::{make_policy, Lru, PolicyKind, ReplacementPolicy};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A set-associative, write-back, write-allocate cache with a pluggable
 /// replacement policy.
@@ -25,10 +27,9 @@ use crate::stats::{CacheStats, SetUsage};
 #[derive(Debug)]
 pub struct SetAssociativeCache {
     geom: CacheGeometry,
-    // Way-major within each set: slot = set * assoc + way.
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    // One packed tag|dirty|valid word per line, way-major within each
+    // set: slot = set * assoc + way.
+    lines: Vec<u64>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
     usage: SetUsage,
@@ -69,13 +70,15 @@ impl SetAssociativeCache {
         policy: PolicyKind,
         seed: u64,
     ) -> Result<Self, GeometryError> {
+        assert!(
+            geom.tag_bits() <= packed::MAX_TAG_BITS,
+            "tag field of {geom} does not fit a packed line word"
+        );
         let sets = geom.sets();
         let ways = geom.assoc();
         Ok(SetAssociativeCache {
             geom,
-            tags: vec![0; sets * ways],
-            valid: vec![false; sets * ways],
-            dirty: vec![false; sets * ways],
+            lines: vec![packed::EMPTY; sets * ways],
             policy: make_policy(policy, sets, ways, seed),
             stats: CacheStats::new(),
             usage: SetUsage::new(sets),
@@ -102,10 +105,10 @@ impl SetAssociativeCache {
 
     /// Looks up the way holding `addr`'s block, if resident.
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
-        (0..self.geom.assoc()).find(|&w| {
-            let s = self.slot(set, w);
-            self.valid[s] && self.tags[s] == tag
-        })
+        let base = self.slot(set, 0);
+        self.lines[base..base + self.geom.assoc()]
+            .iter()
+            .position(|&w| packed::matches(w, tag))
     }
 
     /// Returns `true` if the block containing `addr` is resident, without
@@ -129,10 +132,11 @@ impl SetAssociativeCache {
         let tag = self.geom.tag(addr);
         let way = self.find_way(set, tag)?;
         let s = self.slot(set, way);
-        self.valid[s] = false;
+        let dirty = packed::is_dirty(self.lines[s]);
+        self.lines[s] = packed::EMPTY;
         Some(Eviction {
             block: self.geom.reconstruct(tag, set),
-            dirty: self.dirty[s],
+            dirty,
         })
     }
 
@@ -146,33 +150,80 @@ impl SetAssociativeCache {
         if let Some(way) = self.find_way(set, tag) {
             // Already resident: refresh recency and merge dirtiness.
             let s = self.slot(set, way);
-            self.dirty[s] |= dirty;
+            if dirty {
+                self.lines[s] = packed::set_dirty(self.lines[s]);
+            }
             self.policy.on_access(set, way);
             return None;
         }
         let (way, evicted) = self.choose_fill_slot(set);
         let s = self.slot(set, way);
-        self.tags[s] = tag;
-        self.valid[s] = true;
-        self.dirty[s] = dirty;
+        self.lines[s] = packed::fill(tag, dirty);
         self.policy.on_fill(set, way);
         evicted
     }
 
     fn choose_fill_slot(&mut self, set: usize) -> (usize, Option<Eviction>) {
-        if let Some(way) = (0..self.geom.assoc()).find(|&w| !self.valid[self.slot(set, w)]) {
+        if let Some(way) =
+            (0..self.geom.assoc()).find(|&w| !packed::is_valid(self.lines[self.slot(set, w)]))
+        {
             return (way, None);
         }
         let way = self.policy.victim(set);
         debug_assert!(way < self.geom.assoc(), "policy returned out-of-range way");
         let s = self.slot(set, way);
-        let block = self.geom.reconstruct(self.tags[s], set);
-        let dirty = self.dirty[s];
+        let word = self.lines[s];
+        let block = self.geom.reconstruct(packed::tag(word), set);
+        let dirty = packed::is_dirty(word);
         if dirty {
             self.stats.record_writeback();
         }
         (way, Some(Eviction { block, dirty }))
     }
+}
+
+/// The hot loop of [`SetAssociativeCache::access_batch`], generic over
+/// the replacement policy so the caller can pass either a concrete
+/// [`Lru`] (updates inlined, no virtual dispatch) or the boxed `dyn`
+/// policy. Returns the batch tally; bit-identical to the `access` path.
+fn replay_batch<P: ReplacementPolicy + ?Sized>(
+    split: TagIndexSplit,
+    assoc: usize,
+    lines: &mut [u64],
+    usage: &mut SetUsage,
+    policy: &mut P,
+    accesses: &[(Addr, AccessKind)],
+) -> BatchTally {
+    let mut tally = BatchTally::new();
+    for &(addr, kind) in accesses {
+        let set = split.set_index(addr);
+        let tag = split.tag(addr);
+        let base = set * assoc;
+        let ways = &mut lines[base..base + assoc];
+        if let Some(way) = ways.iter().position(|&w| packed::matches(w, tag)) {
+            tally.record(kind, true);
+            usage.record(set, true);
+            policy.on_access(set, way);
+            if kind.is_write() {
+                ways[way] = packed::set_dirty(ways[way]);
+            }
+            continue;
+        }
+        tally.record(kind, false);
+        usage.record(set, false);
+        let way = match ways.iter().position(|&w| !packed::is_valid(w)) {
+            Some(w) => w,
+            None => {
+                let w = policy.victim(set);
+                debug_assert!(w < assoc, "policy returned out-of-range way");
+                tally.record_writeback_if(packed::is_dirty(ways[w]));
+                w
+            }
+        };
+        ways[way] = packed::fill(tag, kind.is_write());
+        policy.on_fill(set, way);
+    }
+    tally
 }
 
 impl CacheModel for SetAssociativeCache {
@@ -185,7 +236,7 @@ impl CacheModel for SetAssociativeCache {
             self.policy.on_access(set, way);
             if kind.is_write() {
                 let s = self.slot(set, way);
-                self.dirty[s] = true;
+                self.lines[s] = packed::set_dirty(self.lines[s]);
             }
             return AccessResult::hit();
         }
@@ -193,11 +244,39 @@ impl CacheModel for SetAssociativeCache {
         self.usage.record(set, false);
         let (way, evicted) = self.choose_fill_slot(set);
         let s = self.slot(set, way);
-        self.tags[s] = tag;
-        self.valid[s] = true;
-        self.dirty[s] = kind.is_write();
+        self.lines[s] = packed::fill(tag, kind.is_write());
         self.policy.on_fill(set, way);
         AccessResult::miss(evicted)
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Monomorphized replay over the packed line array. LRU — the
+        // paper's default — runs the kernel with its stamp updates
+        // inlined; other policies take the same kernel through dynamic
+        // dispatch. Bit-identical to the `access` loop (the
+        // batch-equivalence suite enforces it).
+        let split = self.geom.split();
+        let assoc = self.geom.assoc();
+        let tally = if let Some(lru) = self.policy.as_any_mut().downcast_mut::<Lru>() {
+            replay_batch(
+                split,
+                assoc,
+                &mut self.lines,
+                &mut self.usage,
+                lru,
+                accesses,
+            )
+        } else {
+            replay_batch(
+                split,
+                assoc,
+                &mut self.lines,
+                &mut self.usage,
+                self.policy.as_mut(),
+                accesses,
+            )
+        };
+        tally.flush(&mut self.stats);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -352,6 +431,40 @@ mod tests {
                 .label(),
             "16k8way"
         );
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+        ] {
+            let mut looped = SetAssociativeCache::new(2048, 32, 4, policy, 99).unwrap();
+            let mut batched = SetAssociativeCache::new(2048, 32, 4, policy, 99).unwrap();
+            let mut x = 0x0F1E_2D3Cu64;
+            let accesses: Vec<(Addr, AccessKind)> = (0..5_000)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let kind = if x & 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    (Addr::new(((x >> 16) % 512) * 32), kind)
+                })
+                .collect();
+            for &(addr, kind) in &accesses {
+                looped.access(addr, kind);
+            }
+            batched.access_batch(&accesses);
+            assert_eq!(looped.stats(), batched.stats(), "{policy:?}");
+            assert_eq!(looped.usage, batched.usage, "{policy:?}");
+            assert_eq!(looped.lines, batched.lines, "{policy:?} contents");
+        }
     }
 
     /// Differential hook: every replacement policy must track the

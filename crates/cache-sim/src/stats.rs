@@ -84,6 +84,27 @@ impl CacheStats {
         self.writebacks += 1;
     }
 
+    /// Adds `hits` hits and `misses` misses of `kind` in one call.
+    ///
+    /// This is the flush half of the batched replay paths: they tally a
+    /// batch in locals and land the sums here, which is arithmetically
+    /// identical to calling [`record`](Self::record) per access.
+    pub fn record_bulk(&mut self, kind: AccessKind, hits: u64, misses: u64) {
+        let c = match kind {
+            AccessKind::Read => &mut self.reads,
+            AccessKind::Write => &mut self.writes,
+            AccessKind::InstrFetch => &mut self.fetches,
+        };
+        c.hits += hits;
+        c.misses += misses;
+    }
+
+    /// Adds `n` write-backs in one call (the bulk counterpart of
+    /// [`record_writeback`](Self::record_writeback)).
+    pub fn record_writebacks(&mut self, n: u64) {
+        self.writebacks += n;
+    }
+
     /// Counter for data reads.
     pub const fn reads(&self) -> &Counter {
         &self.reads
@@ -138,6 +159,72 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Per-kind hit/miss/write-back tallies for one batch of accesses.
+///
+/// Batched replay loops ([`CacheModel::access_batch`]) accumulate here
+/// — plain stack words the optimizer keeps in registers — and land the
+/// sums in a [`CacheStats`] with one [`flush`](Self::flush), which is
+/// arithmetically identical to recording each access on its own.
+///
+/// [`CacheModel::access_batch`]: crate::CacheModel::access_batch
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchTally {
+    hits: [u64; 3],
+    misses: [u64; 3],
+    writebacks: u64,
+}
+
+impl BatchTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const fn kind_slot(kind: AccessKind) -> usize {
+        match kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::InstrFetch => 2,
+        }
+    }
+
+    /// Tallies one access of `kind`.
+    #[inline(always)]
+    pub fn record(&mut self, kind: AccessKind, hit: bool) {
+        let slot = Self::kind_slot(kind);
+        self.hits[slot] += hit as u64;
+        self.misses[slot] += !hit as u64;
+    }
+
+    /// Tallies one dirty eviction.
+    #[inline(always)]
+    pub fn record_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
+    /// Tallies a dirty eviction when `dirty` holds.
+    ///
+    /// Branchless on purpose: whether a victim is dirty is close to a
+    /// coin flip on write-mixed streams, so a conditional here would be
+    /// the least predictable branch of a replay kernel.
+    #[inline(always)]
+    pub fn record_writeback_if(&mut self, dirty: bool) {
+        self.writebacks += dirty as u64;
+    }
+
+    /// Lands the tallies in `stats`.
+    pub fn flush(self, stats: &mut CacheStats) {
+        for (kind, slot) in [
+            (AccessKind::Read, 0),
+            (AccessKind::Write, 1),
+            (AccessKind::InstrFetch, 2),
+        ] {
+            stats.record_bulk(kind, self.hits[slot], self.misses[slot]);
+        }
+        stats.record_writebacks(self.writebacks);
+    }
+}
+
 /// Per-set access counters, the raw material of the paper's Table 7.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SetUsage {
@@ -164,6 +251,7 @@ impl SetUsage {
     /// # Panics
     ///
     /// Panics if `set` is out of range.
+    #[inline]
     pub fn record(&mut self, set: usize, hit: bool) {
         if hit {
             self.hits[set] += 1;
@@ -318,6 +406,50 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_miss_rate() {
         assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_tally_flush_equals_per_access_recording() {
+        let mut per_access = CacheStats::new();
+        let mut tally = BatchTally::new();
+        let pattern = [
+            (AccessKind::Read, true),
+            (AccessKind::Read, false),
+            (AccessKind::Write, true),
+            (AccessKind::Write, false),
+            (AccessKind::InstrFetch, false),
+        ];
+        for &(kind, hit) in &pattern {
+            per_access.record(kind, hit);
+            tally.record(kind, hit);
+            if !hit {
+                per_access.record_writeback();
+                tally.record_writeback();
+            }
+        }
+        let mut batched = CacheStats::new();
+        tally.flush(&mut batched);
+        assert_eq!(per_access, batched);
+    }
+
+    #[test]
+    fn bulk_recording_equals_per_access_recording() {
+        let mut per_access = CacheStats::new();
+        for _ in 0..3 {
+            per_access.record(AccessKind::Read, true);
+        }
+        per_access.record(AccessKind::Read, false);
+        per_access.record(AccessKind::Write, false);
+        per_access.record(AccessKind::InstrFetch, true);
+        per_access.record_writeback();
+        per_access.record_writeback();
+
+        let mut bulk = CacheStats::new();
+        bulk.record_bulk(AccessKind::Read, 3, 1);
+        bulk.record_bulk(AccessKind::Write, 0, 1);
+        bulk.record_bulk(AccessKind::InstrFetch, 1, 0);
+        bulk.record_writebacks(2);
+        assert_eq!(per_access, bulk);
     }
 
     #[test]

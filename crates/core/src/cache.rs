@@ -1,8 +1,9 @@
 //! The Balanced Cache functional model.
 
-use cache_sim::replacement::{make_policy, ReplacementPolicy};
+use cache_sim::replacement::{make_policy, Lru, ReplacementPolicy};
 use cache_sim::{
-    AccessKind, AccessResult, Addr, CacheGeometry, CacheModel, CacheStats, Eviction, SetUsage,
+    packed, AccessKind, AccessResult, Addr, BatchTally, CacheGeometry, CacheModel, CacheStats,
+    Eviction, SetUsage,
 };
 
 use crate::decoder::ProgrammableDecoder;
@@ -67,10 +68,10 @@ pub struct BalancedCache {
     params: BCacheParams,
     layout: IndexLayout,
     pd: ProgrammableDecoder,
-    // Per (group, way): full block identifier (addr >> offset_bits).
-    blocks: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    // Per (group, way): one [`packed`] word holding the full block
+    // identifier (addr >> offset_bits) in the tag field plus the
+    // dirty/valid flags.
+    lines: Vec<u64>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
     usage: SetUsage,
@@ -83,13 +84,16 @@ impl BalancedCache {
         let layout = params.layout();
         let groups = layout.groups();
         let bas = params.bas();
+        let g = params.geometry();
+        assert!(
+            g.addr_bits() - g.offset_bits() <= packed::MAX_TAG_BITS,
+            "block id of {g} does not fit a packed line word"
+        );
         BalancedCache {
             params,
             layout,
             pd: ProgrammableDecoder::new(&layout, bas),
-            blocks: vec![0; groups * bas],
-            valid: vec![false; groups * bas],
-            dirty: vec![false; groups * bas],
+            lines: vec![packed::EMPTY; groups * bas],
             policy: make_policy(params.policy(), groups, bas, params.seed()),
             stats: CacheStats::new(),
             usage: SetUsage::new(groups * bas),
@@ -141,10 +145,7 @@ impl BalancedCache {
         let group = self.layout.npi(addr);
         let pi = self.layout.pi(addr);
         match self.pd.lookup(group, pi) {
-            Some(way) => {
-                let s = self.slot(group, way);
-                self.valid[s] && self.blocks[s] == self.block_id(addr)
-            }
+            Some(way) => packed::matches(self.lines[self.slot(group, way)], self.block_id(addr)),
             None => false,
         }
     }
@@ -160,11 +161,11 @@ impl BalancedCache {
         }
         (0..self.layout.groups()).all(|g| {
             (0..self.params.bas()).all(|w| {
-                let s = self.slot(g, w);
-                match (self.pd.entry(g, w), self.valid[s]) {
+                let word = self.lines[self.slot(g, w)];
+                match (self.pd.entry(g, w), packed::is_valid(word)) {
                     (None, false) => true,
                     (Some(pi), true) => {
-                        let block = self.block_addr(self.blocks[s]);
+                        let block = self.block_addr(packed::tag(word));
                         self.layout.npi(block) == g && self.layout.pi(block) == pi
                     }
                     _ => false,
@@ -188,26 +189,130 @@ impl BalancedCache {
             Some(self.layout.pi(self.block_addr(id))),
             "filled block is not decodable by its PD entry"
         );
-        self.blocks[s] = id;
-        self.valid[s] = true;
-        self.dirty[s] = dirty;
+        self.lines[s] = packed::fill(id, dirty);
         self.policy.on_fill(group, way);
     }
 
     fn evict(&mut self, group: usize, way: usize) -> Option<Eviction> {
         let s = self.slot(group, way);
-        if !self.valid[s] {
+        let word = self.lines[s];
+        if !packed::is_valid(word) {
             return None;
         }
         let ev = Eviction {
-            block: self.block_addr(self.blocks[s]),
-            dirty: self.dirty[s],
+            block: self.block_addr(packed::tag(word)),
+            dirty: packed::is_dirty(word),
         };
         if ev.dirty {
             self.stats.record_writeback();
         }
-        self.valid[s] = false;
+        self.lines[s] = packed::EMPTY;
         Some(ev)
+    }
+}
+
+/// The hot loop of [`BalancedCache::access_batch`] (ForcedVictim
+/// only), generic over the replacement policy so the caller can pass
+/// either a concrete [`Lru`] (updates inlined, no virtual dispatch) or
+/// the boxed `dyn` policy, and over the CAM width `BAS` so the fused
+/// [`ProgrammableDecoder::probe`] unrolls into straight-line compares
+/// (`BAS == 0` selects the runtime-width fallback). Returns the batch
+/// tally and the PD-hit / PD-miss miss counts; bit-identical to the
+/// per-access `access` path.
+#[allow(clippy::too_many_arguments)]
+fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
+    layout: &IndexLayout,
+    bas: usize,
+    offset_bits: u32,
+    pd: &mut ProgrammableDecoder,
+    lines: &mut [u64],
+    usage: &mut SetUsage,
+    policy: &mut P,
+    accesses: &[(Addr, AccessKind)],
+) -> (BatchTally, u64, u64) {
+    let groups = layout.groups();
+    let mut tally = BatchTally::new();
+    let mut pd_hit_misses = 0u64;
+    let mut pd_miss_misses = 0u64;
+    for &(addr, kind) in accesses {
+        let group = layout.npi(addr);
+        let pi = layout.pi(addr);
+        let id = addr.raw() >> offset_bits;
+        let (hit, cold) = if BAS == 0 {
+            pd.probe_any(group, pi)
+        } else {
+            pd.probe::<BAS>(group, pi)
+        };
+        match hit {
+            Some(way) => {
+                let s = group * bas + way;
+                let word = lines[s];
+                debug_assert!(packed::is_valid(word), "PD entry valid but block invalid");
+                if packed::matches(word, id) {
+                    // PD hit + tag hit.
+                    tally.record(kind, true);
+                    usage.record(way * groups + group, true);
+                    policy.on_access(group, way);
+                    if kind.is_write() {
+                        lines[s] = packed::set_dirty(word);
+                    }
+                } else {
+                    // PD hit + tag miss: forced victim, PD unchanged.
+                    tally.record(kind, false);
+                    usage.record(way * groups + group, false);
+                    pd_hit_misses += 1;
+                    tally.record_writeback_if(packed::is_dirty(word));
+                    lines[s] = packed::fill(id, kind.is_write());
+                    policy.on_fill(group, way);
+                }
+            }
+            None => {
+                // PD miss: predetermined miss, policy-chosen victim.
+                tally.record(kind, false);
+                pd_miss_misses += 1;
+                let way = match cold {
+                    Some(w) => w,
+                    None => policy.victim(group),
+                };
+                usage.record(way * groups + group, false);
+                let s = group * bas + way;
+                tally.record_writeback_if(packed::is_dirty(lines[s]));
+                pd.program(group, way, pi);
+                lines[s] = packed::fill(id, kind.is_write());
+                policy.on_fill(group, way);
+            }
+        }
+    }
+    (tally, pd_hit_misses, pd_miss_misses)
+}
+
+/// Picks the monomorphized [`replay_batch`] for the paper's BAS values
+/// (Table 5 sweeps powers of two up to 32); anything else takes the
+/// runtime-width kernel.
+#[allow(clippy::too_many_arguments)]
+fn replay_dispatch<P: ReplacementPolicy + ?Sized>(
+    layout: &IndexLayout,
+    bas: usize,
+    offset_bits: u32,
+    pd: &mut ProgrammableDecoder,
+    lines: &mut [u64],
+    usage: &mut SetUsage,
+    policy: &mut P,
+    accesses: &[(Addr, AccessKind)],
+) -> (BatchTally, u64, u64) {
+    macro_rules! kernel {
+        ($w:literal) => {
+            replay_batch::<P, $w>(layout, bas, offset_bits, pd, lines, usage, policy, accesses)
+        };
+    }
+    match bas {
+        1 => kernel!(1),
+        2 => kernel!(2),
+        4 => kernel!(4),
+        8 => kernel!(8),
+        16 => kernel!(16),
+        32 => kernel!(32),
+        _ => kernel!(0),
     }
 }
 
@@ -220,24 +325,25 @@ impl CacheModel for BalancedCache {
         match self.pd.lookup(group, pi) {
             Some(way) => {
                 let s = self.slot(group, way);
-                debug_assert!(self.valid[s], "PD entry valid but block invalid");
+                let word = self.lines[s];
+                debug_assert!(packed::is_valid(word), "PD entry valid but block invalid");
                 debug_assert_eq!(
-                    self.layout.pi(self.block_addr(self.blocks[s])),
+                    self.layout.pi(self.block_addr(packed::tag(word))),
                     pi,
                     "PD match disagrees with the resident block's PI"
                 );
                 debug_assert_eq!(
-                    self.layout.npi(self.block_addr(self.blocks[s])),
+                    self.layout.npi(self.block_addr(packed::tag(word))),
                     group,
                     "resident block belongs to a different NPI group"
                 );
-                if self.blocks[s] == id {
+                if packed::matches(word, id) {
                     // PD hit + tag hit: a plain one-cycle hit.
                     self.stats.record(kind, true);
                     self.usage.record(self.physical_set(group, way), true);
                     self.policy.on_access(group, way);
                     if kind.is_write() {
-                        self.dirty[s] = true;
+                        self.lines[s] = packed::set_dirty(word);
                     }
                     AccessResult::hit()
                 } else {
@@ -292,6 +398,54 @@ impl CacheModel for BalancedCache {
                 AccessResult::miss(ev)
             }
         }
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Monomorphized replay for the paper's ForcedVictim design:
+        // packed lines, PD lookups over a flat `u64` CAM, statistics
+        // tallied in registers. Bit-identical to the `access` loop (the
+        // batch-equivalence suite and the BCacheOracle enforce it). The
+        // EvictBoth ablation is off the hot path and keeps the loop.
+        if self.params.pd_hit_policy() != crate::params::PdHitPolicy::ForcedVictim {
+            for &(addr, kind) in accesses {
+                self.access(addr, kind);
+            }
+            return;
+        }
+        let bas = self.params.bas();
+        let offset_bits = self.params.geometry().offset_bits();
+        // Specialize the kernel on the concrete policy where it pays:
+        // LRU is the paper default (and the benchmarked configuration),
+        // so its stamp updates inline into the loop instead of costing
+        // two virtual calls per miss. Other policies take the same
+        // kernel through dynamic dispatch.
+        let (tally, pd_hit_misses, pd_miss_misses) =
+            if let Some(lru) = self.policy.as_any_mut().downcast_mut::<Lru>() {
+                replay_dispatch(
+                    &self.layout,
+                    bas,
+                    offset_bits,
+                    &mut self.pd,
+                    &mut self.lines,
+                    &mut self.usage,
+                    lru,
+                    accesses,
+                )
+            } else {
+                replay_dispatch(
+                    &self.layout,
+                    bas,
+                    offset_bits,
+                    &mut self.pd,
+                    &mut self.lines,
+                    &mut self.usage,
+                    self.policy.as_mut(),
+                    accesses,
+                )
+            };
+        tally.flush(&mut self.stats);
+        self.pd_stats.misses_with_pd_hit += pd_hit_misses;
+        self.pd_stats.misses_with_pd_miss += pd_miss_misses;
     }
 
     fn stats(&self) -> &CacheStats {
@@ -636,6 +790,50 @@ mod tests {
         assert!(bc.probe(Addr::new(0x2010)));
         assert!(!bc.probe(Addr::new(0x8000)));
         assert_eq!(bc.stats().total().accesses(), 1);
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        for (mf, bas, policy) in [
+            (8usize, 8usize, PolicyKind::Lru),
+            (4, 4, PolicyKind::Fifo),
+            (2, 8, PolicyKind::TreePlru),
+            (8, 2, PolicyKind::Random),
+        ] {
+            let params = BCacheParams::new(geom_16k(), mf, bas, policy)
+                .unwrap()
+                .with_seed(7);
+            let mut looped = BalancedCache::new(params);
+            let mut batched = BalancedCache::new(params);
+            let mut x = 0x6A09_E667u64;
+            let accesses: Vec<(Addr, AccessKind)> = (0..8_000)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let kind = if x & 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    (Addr::new((x >> 16) & 0xF_FFFF), kind)
+                })
+                .collect();
+            for &(addr, kind) in &accesses {
+                looped.access(addr, kind);
+            }
+            batched.access_batch(&accesses);
+            assert_eq!(
+                looped.stats(),
+                batched.stats(),
+                "MF{mf} BAS{bas} {policy:?}"
+            );
+            assert_eq!(looped.pd_stats(), batched.pd_stats(), "MF{mf} BAS{bas}");
+            assert_eq!(looped.usage, batched.usage, "MF{mf} BAS{bas}");
+            assert_eq!(looped.lines, batched.lines, "MF{mf} BAS{bas} contents");
+            assert_eq!(looped.pd, batched.pd, "MF{mf} BAS{bas} decoders");
+            assert!(batched.invariants_hold());
+        }
     }
 
     /// Differential hook against the symbolic-PD oracle in

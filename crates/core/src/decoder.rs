@@ -9,6 +9,10 @@
 
 use crate::params::IndexLayout;
 
+/// Sentinel marking a cold (invalid) CAM entry. A real PI is at most
+/// `pi_bits < 64` wide, so all-ones can never collide with one.
+const INVALID: u64 = u64::MAX;
+
 /// The functional state of all programmable decoders of a B-Cache.
 ///
 /// Maintains the *unique-decoding invariant*: within one NPI group, no two
@@ -18,16 +22,19 @@ use crate::params::IndexLayout;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProgrammableDecoder {
     bas: usize,
-    /// `groups x bas`, flattened; `None` is an invalid (cold) entry.
-    entries: Vec<Option<u64>>,
+    /// `groups x bas`, flattened; [`INVALID`] marks a cold entry, so a
+    /// lookup is a bare `u64` compare over the group's slice.
+    entries: Vec<u64>,
 }
 
 impl ProgrammableDecoder {
     /// Creates cold decoders for `layout` with `bas` ways per group.
     pub fn new(layout: &IndexLayout, bas: usize) -> Self {
+        // The lookup paths accumulate per-way match bits in a `u64`.
+        assert!(bas <= 64, "BAS above 64 is not supported");
         ProgrammableDecoder {
             bas,
-            entries: vec![None; layout.groups() * bas],
+            entries: vec![INVALID; layout.groups() * bas],
         }
     }
 
@@ -45,36 +52,83 @@ impl ProgrammableDecoder {
     ///
     /// Returns the matching way, or `None` on a PD miss. By the
     /// unique-decoding invariant at most one entry can match.
+    #[inline]
     pub fn lookup(&self, group: usize, pi: u64) -> Option<usize> {
+        debug_assert_ne!(pi, INVALID, "PI collides with the cold sentinel");
         let base = group * self.bas;
-        let found = self.entries[base..base + self.bas]
-            .iter()
-            .position(|e| *e == Some(pi));
+        let entries = &self.entries[base..base + self.bas];
+        let hit = entries.iter().position(|&e| e == pi);
         debug_assert!(
-            found.is_none_or(|w| {
-                self.entries[base..base + self.bas]
-                    .iter()
-                    .filter(|e| **e == Some(pi))
-                    .count()
-                    == 1
-                    && w < self.bas
-            }),
+            hit.is_none() || entries.iter().filter(|&&e| e == pi).count() == 1,
             "unique-decoding invariant violated in group {group}"
         );
-        found
+        hit
     }
 
     /// Returns the PI stored at `(group, way)`, or `None` if cold.
     pub fn entry(&self, group: usize, way: usize) -> Option<u64> {
-        self.entries[group * self.bas + way]
+        let e = self.entries[group * self.bas + way];
+        (e != INVALID).then_some(e)
     }
 
     /// Finds a cold (invalid) way in `group`, if any.
+    #[inline]
     pub fn invalid_way(&self, group: usize) -> Option<usize> {
         let base = group * self.bas;
         self.entries[base..base + self.bas]
             .iter()
-            .position(Option::is_none)
+            .position(|&e| e == INVALID)
+    }
+
+    /// One fused CAM probe: the way matching `pi` and the first cold
+    /// way of `group`, from a single pass over the entries.
+    ///
+    /// `BAS` must equal [`bas`](Self::bas). Monomorphizing on it
+    /// unrolls the scan into straight-line compares — the software
+    /// analogue of the CAM's parallel match lines — and the batched
+    /// replay kernels dispatch to it per configuration.
+    #[inline(always)]
+    pub fn probe<const BAS: usize>(&self, group: usize, pi: u64) -> (Option<usize>, Option<usize>) {
+        debug_assert_eq!(BAS, self.bas, "probe width must match the decoder");
+        debug_assert_ne!(pi, INVALID, "PI collides with the cold sentinel");
+        let base = group * BAS;
+        let entries: &[u64; BAS] = self.entries[base..base + BAS]
+            .try_into()
+            .expect("slice length is BAS");
+        let mut matched = 0u64;
+        let mut cold = 0u64;
+        let mut w = 0;
+        while w < BAS {
+            matched |= ((entries[w] == pi) as u64) << w;
+            cold |= ((entries[w] == INVALID) as u64) << w;
+            w += 1;
+        }
+        debug_assert!(
+            matched.count_ones() <= 1,
+            "unique-decoding invariant violated in group {group}"
+        );
+        (
+            (matched != 0).then(|| matched.trailing_zeros() as usize),
+            (cold != 0).then(|| cold.trailing_zeros() as usize),
+        )
+    }
+
+    /// [`probe`](Self::probe) for a runtime `BAS` (the fallback of the
+    /// batched kernels when no monomorphized width matches).
+    #[inline]
+    pub fn probe_any(&self, group: usize, pi: u64) -> (Option<usize>, Option<usize>) {
+        let base = group * self.bas;
+        let entries = &self.entries[base..base + self.bas];
+        let (hit, cold) = (
+            entries.iter().position(|&e| e == pi),
+            entries.iter().position(|&e| e == INVALID),
+        );
+        debug_assert_ne!(pi, INVALID, "PI collides with the cold sentinel");
+        debug_assert!(
+            hit.is_none() || entries.iter().filter(|&&e| e == pi).count() == 1,
+            "unique-decoding invariant violated in group {group}"
+        );
+        (hit, cold)
     }
 
     /// Programs `(group, way)` with `pi` during a refill.
@@ -84,41 +138,38 @@ impl ProgrammableDecoder {
     /// In debug builds, panics if another way of the group already holds
     /// `pi` — the caller must only program on a PD miss (or reprogram the
     /// matching way itself).
+    #[inline]
     pub fn program(&mut self, group: usize, way: usize, pi: u64) {
+        debug_assert_ne!(pi, INVALID, "PI collides with the cold sentinel");
         let base = group * self.bas;
         debug_assert!(
             self.entries[base..base + self.bas]
                 .iter()
                 .enumerate()
-                .all(|(w, e)| w == way || *e != Some(pi)),
+                .all(|(w, &e)| w == way || e != pi),
             "programming a duplicate PI into group {group}"
         );
-        self.entries[base + way] = Some(pi);
+        self.entries[base + way] = pi;
     }
 
     /// Invalidates the entry at `(group, way)` (used by the evict-both
     /// ablation, where a PD-hit miss steals a different way and the
     /// matching entry must be dropped to preserve unique decoding).
     pub fn invalidate(&mut self, group: usize, way: usize) {
-        self.entries[group * self.bas + way] = None;
+        self.entries[group * self.bas + way] = INVALID;
     }
 
     /// Checks the unique-decoding invariant for every group.
     ///
-    /// Intended for tests and `debug_assert!`s; linear in the decoder
-    /// size.
+    /// Allocation-free pairwise scan — `BAS` is small (≤ 32 in every
+    /// paper configuration), so `O(BAS²)` per group beats sorting a
+    /// temporary. Intended for tests and `debug_assert!`s.
     pub fn invariant_holds(&self) -> bool {
-        (0..self.groups()).all(|g| {
-            let base = g * self.bas;
-            let valid: Vec<u64> = self.entries[base..base + self.bas]
+        self.entries.chunks_exact(self.bas).all(|group| {
+            group
                 .iter()
-                .flatten()
-                .copied()
-                .collect();
-            let mut dedup = valid.clone();
-            dedup.sort_unstable();
-            dedup.dedup();
-            dedup.len() == valid.len()
+                .enumerate()
+                .all(|(i, &a)| a == INVALID || group[..i].iter().all(|&b| b != a))
         })
     }
 
@@ -127,7 +178,7 @@ impl ProgrammableDecoder {
         if self.entries.is_empty() {
             return 1.0;
         }
-        self.entries.iter().filter(|e| e.is_none()).count() as f64 / self.entries.len() as f64
+        self.entries.iter().filter(|&&e| e == INVALID).count() as f64 / self.entries.len() as f64
     }
 }
 
@@ -201,7 +252,7 @@ mod tests {
         pd.program(0, 1, 6);
         assert!(pd.invariant_holds());
         // Forge a duplicate directly.
-        pd.entries[1] = Some(5);
+        pd.entries[1] = 5;
         assert!(!pd.invariant_holds());
     }
 

@@ -269,6 +269,12 @@ pub struct IndexLayout {
     residual_tag_bits: u32,
     addr_bits: u32,
     pi_tag_bits: PiTagBits,
+    /// Precomputed shift-mask pairs for the two hot extractions, so the
+    /// replay kernels do one shift and one AND per field instead of
+    /// rebuilding the mask from the widths on every access.
+    npi_mask: u64,
+    pi_low_shift: u32,
+    pi_low_mask: u64,
 }
 
 impl IndexLayout {
@@ -287,6 +293,9 @@ impl IndexLayout {
             residual_tag_bits: g.tag_bits() - mf_bits,
             addr_bits: g.addr_bits(),
             pi_tag_bits: p.pi_tag_bits(),
+            npi_mask: (1u64 << npi_bits) - 1,
+            pi_low_shift: g.offset_bits() + npi_bits,
+            pi_low_mask: (1u64 << pi_bits) - 1,
         }
     }
 
@@ -311,15 +320,17 @@ impl IndexLayout {
     }
 
     /// Extracts the NPI (group number) of `addr`.
+    #[inline]
     pub fn npi(&self, addr: Addr) -> usize {
-        addr.bits(self.offset_bits, self.npi_bits) as usize
+        ((addr.raw() >> self.offset_bits) & self.npi_mask) as usize
     }
 
     /// Extracts the PI of `addr` — the value a PD entry must match.
+    #[inline]
     pub fn pi(&self, addr: Addr) -> u64 {
         let index_part_bits = self.pi_bits - self.mf_bits;
         match self.pi_tag_bits {
-            PiTagBits::Low => addr.bits(self.offset_bits + self.npi_bits, self.pi_bits),
+            PiTagBits::Low => (addr.raw() >> self.pi_low_shift) & self.pi_low_mask,
             PiTagBits::High => {
                 let index_part = addr.bits(self.offset_bits + self.npi_bits, index_part_bits);
                 let tag_part = addr.bits(self.addr_bits - self.mf_bits, self.mf_bits);
@@ -329,6 +340,7 @@ impl IndexLayout {
     }
 
     /// Extracts the residual tag of `addr` (stored in the tag array).
+    #[inline]
     pub fn residual_tag(&self, addr: Addr) -> u64 {
         match self.pi_tag_bits {
             PiTagBits::Low => addr.bits(

@@ -27,7 +27,12 @@
 //! 9. demand-fill sanity for the bespoke models (victim, column,
 //!    skewed, AGAC): no hit on a never-seen block (the compulsory-miss
 //!    bound), exact access accounting, and — for the victim cache —
-//!    per-access dominance over the bare direct-mapped array.
+//!    per-access dominance over the bare direct-mapped array;
+//! 10. batch equivalence: for a randomly drawn model (any of the ten),
+//!     replaying the trace through [`CacheModel::access_batch`] yields
+//!     exactly the stats of the per-access loop — guarding the
+//!     monomorphized fast paths of the DM, set-associative and B-Cache
+//!     kernels and the default fallback of everything else.
 //!
 //! On divergence the trace is shrunk to a minimal repro — the failing
 //! prefix is bisected into chunks whose removal is retried at widening
@@ -359,7 +364,7 @@ const PAIR_BODY: &str = "        let a = left.access(cache_sim::Addr::new(addr),
 
 fn run_case(seed: u64, case: u64) -> Option<Divergence> {
     let mut rng = CaseRng::new(seed, case);
-    match case % 9 {
+    match case % 10 {
         0 => dm_vs_oracle(seed, case, &mut rng),
         1 => set_assoc_vs_oracle(seed, case, &mut rng),
         2 => bcache_vs_oracle(seed, case, &mut rng),
@@ -368,7 +373,8 @@ fn run_case(seed: u64, case: u64) -> Option<Divergence> {
         5 => full_pi_equivalence(seed, case, &mut rng),
         6 => lru_ways_inclusion(seed, case, &mut rng),
         7 => fa_lru_stack(seed, case, &mut rng),
-        _ => demand_fill_sanity(seed, case, &mut rng),
+        8 => demand_fill_sanity(seed, case, &mut rng),
+        _ => batch_equivalence(seed, case, &mut rng),
     }
 }
 
@@ -876,6 +882,109 @@ fn demand_fill_sanity(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Diverge
     let body = "        let _ = model.access(cache_sim::Addr::new(addr), kind);\n\
          \x20       // Replay and re-check the demand-fill invariants (see harness::fuzz).\n";
     diverge(name, case, seed, trace, &check, model_setup, body)
+}
+
+fn batch_equivalence(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergence> {
+    let line = 32usize;
+    let sets = rng.pick(&[8usize, 16, 32]);
+    let size = sets * line;
+    let which = rng.below(10);
+    let assoc = rng.pick(&[2usize, 4, 8]);
+    let policy = rng.pick(&[
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::TreePlru,
+    ]);
+    let pseed = rng.next();
+    let entries = rng.pick(&[2usize, 4, 8]);
+    let mf = rng.pick(&[1usize, 2, 4, 8]);
+    let bas = rng.pick(&[1usize, 2, 4, 8]).min(sets);
+    let pad_bits = 1 + rng.below(5) as u32;
+    let trace = gen_trace(rng, line as u64, 2 * sets as u64, 32 * size as u64);
+    let build = move || -> Box<dyn CacheModel> {
+        match which {
+            0 => Box::new(DirectMappedCache::new(size, line).unwrap()),
+            1 => Box::new(
+                SetAssociativeCache::new(size * assoc, line, assoc, policy, pseed).unwrap(),
+            ),
+            2 => {
+                let geom = CacheGeometry::new(size, line, 1).unwrap();
+                let params = BCacheParams::new(geom, mf, bas, policy)
+                    .unwrap()
+                    .with_seed(pseed);
+                Box::new(BalancedCache::new(params))
+            }
+            3 => Box::new(VictimCache::new(size, line, entries).unwrap()),
+            4 => Box::new(ColumnAssociativeCache::new(size, line).unwrap()),
+            5 => Box::new(SkewedAssociativeCache::new(size, line).unwrap()),
+            6 => Box::new(AgacCache::new(size, line, entries).unwrap()),
+            7 => Box::new(HighlyAssociativeCache::new(size * assoc, line, assoc * line).unwrap()),
+            8 => Box::new(PartialMatchCache::new(size * 2, line, pad_bits).unwrap()),
+            _ => Box::new(WayHaltingCache::new(size * assoc, line, assoc, pad_bits).unwrap()),
+        }
+    };
+    let check = move |t: &[FuzzRecord]| -> Option<(usize, String)> {
+        let mut scalar = build();
+        let mut batched = build();
+        let accesses: Vec<(Addr, AccessKind)> =
+            t.iter().map(|&(a, w)| (Addr::new(a), kind(w))).collect();
+        batched.access_batch(&accesses);
+        for &(addr, w) in t {
+            scalar.access(Addr::new(addr), kind(w));
+        }
+        (scalar.stats() != batched.stats()).then(|| {
+            (
+                t.len() - 1,
+                format!(
+                    "{}: batched stats diverge from the per-access loop ({:?} vs {:?})",
+                    scalar.label(),
+                    batched.stats().total(),
+                    scalar.stats().total()
+                ),
+            )
+        })
+    };
+    let model_setup: String = match which {
+        0 => format!("    let mut model = cache_sim::DirectMappedCache::new({size}, {line}).unwrap();\n"),
+        1 => format!(
+            "    let mut model = cache_sim::SetAssociativeCache::new({}, {line}, {assoc}, cache_sim::PolicyKind::{policy:?}, {pseed}).unwrap();\n",
+            size * assoc
+        ),
+        2 => format!(
+            "    let geom = cache_sim::CacheGeometry::new({size}, {line}, 1).unwrap();\n\
+             \x20   let mut model = bcache_core::BalancedCache::new(bcache_core::BCacheParams::new(geom, {mf}, {bas}, cache_sim::PolicyKind::{policy:?}).unwrap().with_seed({pseed}));\n"
+        ),
+        3 => format!("    let mut model = cache_sim::VictimCache::new({size}, {line}, {entries}).unwrap();\n"),
+        4 => format!("    let mut model = cache_sim::ColumnAssociativeCache::new({size}, {line}).unwrap();\n"),
+        5 => format!("    let mut model = cache_sim::SkewedAssociativeCache::new({size}, {line}).unwrap();\n"),
+        6 => format!("    let mut model = cache_sim::AgacCache::new({size}, {line}, {entries}).unwrap();\n"),
+        7 => format!(
+            "    let mut model = cache_sim::HighlyAssociativeCache::new({}, {line}, {}).unwrap();\n",
+            size * assoc,
+            assoc * line
+        ),
+        8 => format!(
+            "    let mut model = cache_sim::PartialMatchCache::new({}, {line}, {pad_bits}).unwrap();\n",
+            size * 2
+        ),
+        _ => format!(
+            "    let mut model = cache_sim::WayHaltingCache::new({}, {line}, {assoc}, {pad_bits}).unwrap();\n",
+            size * assoc
+        ),
+    };
+    let body = "        let _ = model.access(cache_sim::Addr::new(addr), kind);\n\
+         \x20       // Replay this trace through `access_batch` on an identical model\n\
+         \x20       // and compare `stats()` (see harness::fuzz, batch_equivalence).\n";
+    diverge(
+        "batch_equivalence",
+        case,
+        seed,
+        trace,
+        &check,
+        model_setup,
+        body,
+    )
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod balance;
+pub mod bench;
 pub mod config;
 pub mod design_space;
 pub mod extensions;

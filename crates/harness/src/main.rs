@@ -15,6 +15,13 @@
 //! bcache-repro fuzz [--iters N] [--seed S] [--jobs N]
 //!   differential property-fuzz of every cache model against its oracle;
 //!   exits non-zero and prints a shrunk repro on any divergence
+//!
+//! bcache-repro bench [--records N] [--seed S] [--out PATH]
+//!                    [--baseline PATH] [--smoke] [--per-access]
+//!   simulator micro-benchmarks at a pinned record count, written as
+//!   BENCH_repro.json rows ({model, maccesses_per_sec, records, seed,
+//!   git_rev}); --smoke shortens the run and fails if direct-mapped
+//!   throughput drops >20% versus the committed BENCH_baseline.json
 //! ```
 //!
 //! `--jobs N` sets the experiment engine's worker-thread count (default:
@@ -25,16 +32,52 @@ use std::process::ExitCode;
 
 use harness::config::RunOptions;
 use harness::{
-    balance, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, sensitivity, tables,
+    balance, bench, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, sensitivity,
+    tables,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bcache-repro <experiment> [--records N] [--seed S] [--jobs N] [--csv]\n\
          experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all\n\
-         \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]"
+         \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]\n\
+         \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]"
     );
     ExitCode::from(2)
+}
+
+fn run_bench(args: &[String]) -> ExitCode {
+    let opts = match bench::BenchOptions::parse(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return usage();
+        }
+    };
+    let rows = bench::run(&opts);
+    print!("{}", bench::render_table(&rows));
+    if let Err(e) = std::fs::write(&opts.out, bench::render_json(&rows)) {
+        eprintln!("cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out);
+    if opts.smoke {
+        let baseline = match std::fs::read_to_string(&opts.baseline) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", opts.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        match bench::check_against_baseline(&rows, &baseline) {
+            Ok(verdict) => println!("{verdict}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -57,6 +100,9 @@ fn main() -> ExitCode {
         } else {
             ExitCode::FAILURE
         };
+    }
+    if experiment == "bench" {
+        return run_bench(&args[1..]);
     }
     let opts = match RunOptions::parse(&args[1..]) {
         Ok(opts) => opts,

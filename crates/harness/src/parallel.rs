@@ -30,7 +30,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
-use trace_gen::{BenchmarkProfile, Trace, TraceRecord};
+use trace_gen::{BenchmarkProfile, Trace, TraceBuffer};
 
 use crate::run::{RunLength, Side, SideTrace};
 
@@ -74,13 +74,14 @@ pub fn job_seed(base: u64, benchmark: &str, side: Side) -> u64 {
 /// jobs replay the shared, immutable buffer. The same applies to the
 /// extracted [`SideTrace`] streams: the per-side filtering and
 /// instruction-block collapse run once per `(profile, len, side)`, so
-/// every config job of a sweep is pure model work. A full-length
-/// (2M-record) trace is ~48 MB (the extracted streams are smaller), so
-/// a whole 26-benchmark sweep holds about 1.2 GB — call
-/// [`TraceCache::clear`] between experiments if that matters.
+/// every config job of a sweep is pure model work. Traces are held as
+/// packed [`TraceBuffer`] columns (17 bytes/record instead of 24), so a
+/// full-length (2M-record) trace is ~34 MB and a whole 26-benchmark
+/// sweep holds under 1 GB — call [`TraceCache::clear`] between
+/// experiments if that matters.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    entries: Mutex<HashMap<(String, u64, u64), Arc<OnceLock<Arc<Vec<TraceRecord>>>>>>,
+    entries: Mutex<HashMap<(String, u64, u64), Arc<OnceLock<Arc<TraceBuffer>>>>>,
     sides: SideMap,
 }
 
@@ -94,7 +95,7 @@ impl TraceCache {
 
     /// Returns the trace of `profile` at `len`, generating it on first
     /// use.
-    pub fn get(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<Vec<TraceRecord>> {
+    pub fn get(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<TraceBuffer> {
         let key = (profile.name.to_string(), len.records, len.seed);
         let cell = self
             .entries
@@ -106,11 +107,7 @@ impl TraceCache {
         // Generation happens outside the map lock; concurrent callers
         // of the same key block on the OnceLock, not on the whole map.
         cell.get_or_init(|| {
-            Arc::new(
-                Trace::new(profile, len.seed)
-                    .take(len.records as usize)
-                    .collect(),
-            )
+            Arc::new(Trace::new(profile, len.seed).take_buffer(len.records as usize))
         })
         .clone()
     }
@@ -122,9 +119,9 @@ impl TraceCache {
     ///
     /// If the raw records are already cached (a [`Self::get`] caller
     /// wanted them) the extraction reads them; otherwise it streams
-    /// straight from the generator without materializing the ~48 MB
-    /// record buffer — miss-rate sweeps only ever need the (much
-    /// smaller) access streams.
+    /// straight from the generator without materializing the record
+    /// buffer — miss-rate sweeps only ever need the (much smaller)
+    /// access streams.
     pub fn side(&self, profile: &BenchmarkProfile, len: RunLength, side: Side) -> Arc<SideTrace> {
         let key = (
             profile.name.to_string(),
@@ -148,7 +145,7 @@ impl TraceCache {
                     .and_then(|c| c.get().cloned())
             };
             let trace = match cached_records {
-                Some(records) => SideTrace::extract(records.iter().copied(), side, len.warmup),
+                Some(records) => SideTrace::extract(records.iter(), side, len.warmup),
                 None => SideTrace::extract(
                     Trace::new(profile, len.seed).take(len.records as usize),
                     side,
@@ -218,7 +215,7 @@ impl Engine {
 
     /// Convenience: the trace of `profile` at `len` from the shared
     /// cache.
-    pub fn trace(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<Vec<TraceRecord>> {
+    pub fn trace(&self, profile: &BenchmarkProfile, len: RunLength) -> Arc<TraceBuffer> {
         self.traces.get(profile, len)
     }
 
@@ -381,7 +378,7 @@ mod tests {
         // raw records into memory.
         assert_eq!(cache.len(), 0);
         let records = cache.get(&p, len);
-        let fresh = SideTrace::extract(records.iter().copied(), Side::Data, len.warmup);
+        let fresh = SideTrace::extract(records.iter(), Side::Data, len.warmup);
         assert_eq!(*a, fresh);
         // The other side is a distinct entry with a distinct stream.
         let i = cache.side(&p, len, Side::Instruction);
@@ -398,10 +395,10 @@ mod tests {
         let p = profiles::by_name("equake").unwrap();
         let len = RunLength::with_records(5_000);
         let cached = cache.get(&p, len);
-        let fresh: Vec<TraceRecord> = Trace::new(&p, len.seed)
+        let fresh: Vec<trace_gen::TraceRecord> = Trace::new(&p, len.seed)
             .take(len.records as usize)
             .collect();
-        assert_eq!(*cached, fresh);
+        assert!(cached.iter().eq(fresh.iter().copied()));
     }
 
     #[test]

@@ -107,9 +107,7 @@ pub fn run_config(
     config: &CacheConfig,
     len: RunLength,
 ) -> PerfOutcome {
-    let records: Vec<trace_gen::TraceRecord> = Trace::new(profile, len.seed)
-        .take(len.records as usize)
-        .collect();
+    let records = Trace::new(profile, len.seed).take_buffer(len.records as usize);
     run_config_on(profile, config, &records, len)
 }
 
@@ -118,7 +116,7 @@ pub fn run_config(
 fn run_config_on(
     profile: &trace_gen::BenchmarkProfile,
     config: &CacheConfig,
-    records: &[trace_gen::TraceRecord],
+    records: &trace_gen::TraceBuffer,
     len: RunLength,
 ) -> PerfOutcome {
     // Both L1s get job-derived seeds (one per side), like every other
@@ -134,7 +132,7 @@ fn run_config_on(
         .expect("config must build");
     let hierarchy = MemoryHierarchy::new(l1i, l1d);
     let mut cpu = Cpu::new(CpuConfig::default(), hierarchy);
-    let report = cpu.run(records.iter().copied());
+    let report = cpu.run(records.iter());
 
     let h = cpu.hierarchy();
     let l1i_stats = h.l1i().stats().total();

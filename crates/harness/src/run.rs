@@ -21,7 +21,7 @@
 
 use bcache_core::BalancedCache;
 use cache_sim::{AccessKind, Addr, CacheModel};
-use trace_gen::{BenchmarkProfile, Op, Trace, TraceRecord};
+use trace_gen::{BenchmarkProfile, Op, Trace, TraceBuffer, TraceRecord};
 
 use crate::config::CacheConfig;
 use crate::parallel::job_seed;
@@ -197,22 +197,24 @@ impl SideTrace {
 
     /// Replays the stream into every model, resetting statistics at the
     /// recorded warm-up point (exactly like [`replay_models`]).
+    ///
+    /// Each model consumes the stream through
+    /// [`CacheModel::access_batch`] — the monomorphized fast path where
+    /// one exists — split at the warm-up reset. Models are independent,
+    /// so running them one after another instead of interleaved is
+    /// observably identical.
     pub fn replay_into(&self, models: &mut [&mut dyn CacheModel]) {
-        for (i, &(addr, kind)) in self.accesses.iter().enumerate() {
-            if self.reset_at == Some(i) {
-                for m in models.iter_mut() {
+        for m in models.iter_mut() {
+            match self.reset_at {
+                // A reset landing after the last access still fires: the
+                // record loop reached the warm-up index even though no
+                // access followed (the trailing batch is then empty).
+                Some(r) => {
+                    m.access_batch(&self.accesses[..r]);
                     m.reset_stats();
+                    m.access_batch(&self.accesses[r..]);
                 }
-            }
-            for m in models.iter_mut() {
-                m.access(addr, kind);
-            }
-        }
-        // A reset landing after the last access still fires: the record
-        // loop reached the warm-up index even though no access followed.
-        if self.reset_at == Some(self.accesses.len()) {
-            for m in models.iter_mut() {
-                m.reset_stats();
+                None => m.access_batch(&self.accesses),
             }
         }
     }
@@ -341,17 +343,17 @@ pub fn replay_config_on(
     model.stats().miss_rate()
 }
 
-/// [`replay_config_on`] starting from raw records (extracts the side
-/// stream first).
+/// [`replay_config_on`] starting from a raw record buffer (extracts the
+/// side stream first).
 pub fn replay_config(
     benchmark: &str,
-    records: &[TraceRecord],
+    records: &TraceBuffer,
     config: &CacheConfig,
     size_bytes: usize,
     side: Side,
     len: RunLength,
 ) -> f64 {
-    let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+    let trace = SideTrace::extract(records.iter(), side, len.warmup);
     replay_config_on(benchmark, &trace, config, size_bytes, side, len)
 }
 
@@ -369,7 +371,7 @@ pub struct ExactCounts {
 /// Replays one configuration over `records` and reports exact counts.
 pub fn replay_config_counts(
     benchmark: &str,
-    records: &[TraceRecord],
+    records: &TraceBuffer,
     config: &CacheConfig,
     size_bytes: usize,
     side: Side,
@@ -377,7 +379,7 @@ pub fn replay_config_counts(
 ) -> ExactCounts {
     let seed = job_seed(len.seed, benchmark, side);
     let mut model = config.build(size_bytes, seed).expect("config must build");
-    replay(records.iter().copied(), model.as_mut(), side, len.warmup);
+    replay(records.iter(), model.as_mut(), side, len.warmup);
     let total = model.stats().total();
     ExactCounts {
         accesses: total.accesses(),
@@ -421,16 +423,16 @@ pub fn replay_bcache_pd_on(
     }
 }
 
-/// [`replay_bcache_pd_on`] starting from raw records.
+/// [`replay_bcache_pd_on`] starting from a raw record buffer.
 pub fn replay_bcache_pd(
-    records: &[TraceRecord],
+    records: &TraceBuffer,
     mf: usize,
     bas: usize,
     size_bytes: usize,
     side: Side,
     len: RunLength,
 ) -> BCachePdOutcome {
-    let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+    let trace = SideTrace::extract(records.iter(), side, len.warmup);
     replay_bcache_pd_on(&trace, mf, bas, size_bytes)
 }
 
@@ -558,9 +560,7 @@ mod tests {
         ];
         for side in [Side::Data, Side::Instruction] {
             let streaming = run_miss_rates(&p, &configs, 16 * 1024, side, len);
-            let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
-                .take(len.records as usize)
-                .collect();
+            let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
             let base = replay_config(
                 p.name,
                 &records,
@@ -586,9 +586,7 @@ mod tests {
     fn sharded_pd_replay_matches_streaming() {
         let p = profiles::by_name("wupwise").unwrap();
         let len = RunLength::with_records(50_000);
-        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
-            .take(len.records as usize)
-            .collect();
+        let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
         let a = run_bcache_pd_stats(&p, 8, 8, 16 * 1024, Side::Data, len);
         let b = replay_bcache_pd(&records, 8, 8, 16 * 1024, Side::Data, len);
         assert_eq!(a, b);
@@ -598,9 +596,7 @@ mod tests {
     fn exact_counts_are_consistent_with_miss_rates() {
         let p = profiles::by_name("gzip").unwrap();
         let len = RunLength::with_records(40_000);
-        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
-            .take(len.records as usize)
-            .collect();
+        let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
         let c = CacheConfig::DirectMapped;
         let counts = replay_config_counts(p.name, &records, &c, 16 * 1024, Side::Data, len);
         let rate = replay_config(p.name, &records, &c, 16 * 1024, Side::Data, len);
@@ -619,20 +615,13 @@ mod tests {
             warmup: 7_000,
             seed: 3,
         };
-        let records: Vec<TraceRecord> = Trace::new(&p, len.seed)
-            .take(len.records as usize)
-            .collect();
+        let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
         for side in [Side::Data, Side::Instruction] {
-            let trace = SideTrace::extract(records.iter().copied(), side, len.warmup);
+            let trace = SideTrace::extract(records.iter(), side, len.warmup);
             let seed = job_seed(len.seed, p.name, side);
             let mut via_records = CacheConfig::SetAssoc(4).build(16 * 1024, seed).unwrap();
             let mut via_trace = CacheConfig::SetAssoc(4).build(16 * 1024, seed).unwrap();
-            let fed = replay(
-                records.iter().copied(),
-                via_records.as_mut(),
-                side,
-                len.warmup,
-            );
+            let fed = replay(records.iter(), via_records.as_mut(), side, len.warmup);
             trace.replay(via_trace.as_mut());
             assert_eq!(trace.accesses().len() as u64, fed, "{side:?}");
             assert_eq!(

@@ -1,0 +1,172 @@
+//! Throughput-neutrality suite: the batched access kernels must be
+//! observably free — [`CacheModel::access_batch`] over a long fuzz
+//! stream produces byte-identical statistics to the per-access loop on
+//! every model, and the monomorphized B-Cache fast path still matches
+//! [`BCacheOracle`] exactly. A divergence here means an optimization
+//! changed simulation semantics, which no speedup justifies.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::oracle::BCacheOracle;
+use cache_sim::{
+    AccessKind, Addr, AgacCache, CacheGeometry, CacheModel, ColumnAssociativeCache,
+    DifferenceBitCache, DirectMappedCache, HighlyAssociativeCache, PartialMatchCache, PolicyKind,
+    SetAssociativeCache, SkewedAssociativeCache, VictimCache, WayHaltingCache,
+};
+
+const RECORDS: usize = 100_000;
+
+/// Generates a deterministic 100k-access fuzz stream mixing uniform
+/// traffic, power-of-two strides and hot-set conflict loops (the same
+/// ingredients as `harness::fuzz::gen_trace`, scaled up).
+fn stream(seed: u64) -> Vec<(Addr, AccessKind)> {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let line = 32u64;
+    let blocks = 1u64 << 14;
+    (0..RECORDS)
+        .map(|i| {
+            let r = next();
+            let block = match (r >> 60) % 4 {
+                0 => (r >> 16) % 64,                   // hot uniform region
+                1 => (i as u64 * 5) % blocks,          // strided sweep
+                2 => (((r >> 16) % 8) * 512) % blocks, // conflict loop
+                _ => (r >> 16) % blocks,               // uniform noise
+            };
+            let kind = if (r >> 8) % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (Addr::new(block * line), kind)
+        })
+        .collect()
+}
+
+/// Two identical instances of every model in the repo.
+fn model_pairs() -> Vec<(Box<dyn CacheModel>, Box<dyn CacheModel>)> {
+    let build: Vec<Box<dyn Fn() -> Box<dyn CacheModel>>> = vec![
+        Box::new(|| Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap())),
+        Box::new(|| {
+            Box::new(SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap())
+        }),
+        Box::new(|| {
+            Box::new(
+                SetAssociativeCache::new(16 * 1024, 32, 4, PolicyKind::Random, 0xBEEF).unwrap(),
+            )
+        }),
+        Box::new(|| {
+            let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+            let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+            Box::new(BalancedCache::new(params))
+        }),
+        Box::new(|| Box::new(VictimCache::new(16 * 1024, 32, 16).unwrap())),
+        Box::new(|| Box::new(ColumnAssociativeCache::new(16 * 1024, 32).unwrap())),
+        Box::new(|| Box::new(SkewedAssociativeCache::new(16 * 1024, 32).unwrap())),
+        Box::new(|| Box::new(AgacCache::new(16 * 1024, 32, 8).unwrap())),
+        Box::new(|| Box::new(HighlyAssociativeCache::new(16 * 1024, 32, 1024).unwrap())),
+        Box::new(|| Box::new(PartialMatchCache::new(16 * 1024, 32, 4).unwrap())),
+        Box::new(|| Box::new(DifferenceBitCache::new(16 * 1024, 32).unwrap())),
+        Box::new(|| Box::new(WayHaltingCache::new(16 * 1024, 32, 4, 4).unwrap())),
+    ];
+    build.iter().map(|b| (b(), b())).collect()
+}
+
+#[test]
+fn access_batch_matches_the_per_access_loop_on_every_model() {
+    let accesses = stream(42);
+    for (mut scalar, mut batched) in model_pairs() {
+        for &(addr, kind) in &accesses {
+            scalar.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(
+            scalar.stats(),
+            batched.stats(),
+            "{}: batched stats diverge from the per-access loop",
+            scalar.label()
+        );
+        assert_eq!(
+            scalar.set_usage(),
+            batched.set_usage(),
+            "{}: batched set-usage counters diverge",
+            scalar.label()
+        );
+    }
+}
+
+#[test]
+fn chunked_batches_match_one_big_batch() {
+    // Tally flushing must compose across access_batch calls: many small
+    // batches and one big batch are the same sequence of accesses.
+    let accesses = stream(7);
+    for (mut whole, mut chunked) in model_pairs() {
+        whole.access_batch(&accesses);
+        for chunk in accesses.chunks(4097) {
+            chunked.access_batch(chunk);
+        }
+        assert_eq!(
+            whole.stats(),
+            chunked.stats(),
+            "{}: chunked batches diverge from a single batch",
+            whole.label()
+        );
+    }
+}
+
+#[test]
+fn batched_bcache_still_matches_the_oracle() {
+    // The monomorphized B-Cache kernel against the independent oracle:
+    // same geometry as the fuzz scenarios (1 kB, 16-bit addresses,
+    // MF=8, BAS=8), but driven through access_batch.
+    let line = 32usize;
+    let size = 1024usize;
+    let addr_bits = 16u32;
+    let geom = CacheGeometry::with_addr_bits(size, line, 1, addr_bits).unwrap();
+    let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+    let layout = params.layout();
+    let mut model = BalancedCache::new(params);
+    let mut oracle = BCacheOracle::new(
+        line as u64,
+        addr_bits,
+        layout.npi_bits(),
+        layout.pi_bits(),
+        3, // MF = 8 = 2^3
+        false,
+        PolicyKind::Lru,
+        0,
+    );
+    let accesses: Vec<(Addr, AccessKind)> = stream(99)
+        .into_iter()
+        .map(|(a, k)| (Addr::new(a.raw() % (1 << addr_bits)), k))
+        .collect();
+    for chunk in accesses.chunks(1024) {
+        model.access_batch(chunk);
+    }
+    for &(addr, kind) in &accesses {
+        oracle.access(addr, kind);
+    }
+    let total = model.stats().total();
+    assert_eq!(total.hits(), oracle.hits(), "hits drifted from the oracle");
+    assert_eq!(
+        total.misses(),
+        oracle.misses(),
+        "misses drifted from the oracle"
+    );
+    assert_eq!(
+        model.stats().writebacks(),
+        oracle.writebacks(),
+        "writebacks drifted from the oracle"
+    );
+    let pd = model.pd_stats();
+    assert_eq!(
+        (pd.misses_with_pd_hit, pd.misses_with_pd_miss),
+        (oracle.pd_hit_misses(), oracle.pd_miss_misses()),
+        "PD counters drifted from the oracle"
+    );
+    assert!(model.invariants_hold(), "B-Cache invariants violated");
+}

@@ -13,8 +13,8 @@
 use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::{CacheGeometry, PolicyKind};
 use harness::config::CacheConfig;
-use harness::parallel::TraceCache;
-use harness::run::{replay, replay_config_counts, ExactCounts, RunLength, Side};
+use harness::parallel::{job_seed, TraceCache};
+use harness::run::{replay, replay_config_counts, ExactCounts, RunLength, Side, SideTrace};
 use trace_gen::profiles;
 
 fn len() -> RunLength {
@@ -39,7 +39,7 @@ fn pd_counts(traces: &TraceCache, benchmark: &str) -> (u64, u64) {
     let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
     let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
     let mut bc = BalancedCache::new(params);
-    replay(records.iter().copied(), &mut bc, Side::Data, len().warmup);
+    replay(records.iter(), &mut bc, Side::Data, len().warmup);
     let pd = bc.pd_stats();
     (pd.misses_with_pd_hit, pd.misses_with_pd_miss)
 }
@@ -148,6 +148,31 @@ fn pd_hit_stats_match_the_golden_table() {
             got,
             (pd_hits, pd_misses),
             "{benchmark} PD counters moved: expected ({pd_hits}, {pd_misses}), got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn batched_replay_reproduces_the_golden_table() {
+    // The same pinned cells, but driven through [`SideTrace`] and hence
+    // [`cache_sim::CacheModel::access_batch`] — the monomorphized batch
+    // kernels used by the sharded experiment engine. The streaming
+    // per-access test above and this one must agree on every cell, so a
+    // batch-path optimization that shifts any counter fails here while
+    // the scalar path still passes (and vice versa).
+    let traces = TraceCache::new();
+    for &(benchmark, config, side, accesses, misses) in GOLDEN {
+        let p = profiles::by_name(benchmark).expect("known benchmark");
+        let records = traces.get(&p, len());
+        let seed = job_seed(len().seed, benchmark, side);
+        let mut model = config.build(16 * 1024, seed).expect("config must build");
+        let batched = SideTrace::extract(records.iter(), side, len().warmup);
+        batched.replay(model.as_mut());
+        let total = model.stats().total();
+        assert_eq!(
+            (total.accesses(), total.misses()),
+            (accesses, misses),
+            "{benchmark} {config:?} {side:?}: the batched path moved a pinned cell"
         );
     }
 }

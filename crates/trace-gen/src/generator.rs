@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::code::CodeWalker;
 use crate::profile::BenchmarkProfile;
-use crate::record::{Op, TraceRecord};
+use crate::record::{Op, TraceBuffer, TraceRecord};
 use crate::streams::StreamState;
 
 /// An infinite, deterministic instruction trace.
@@ -62,6 +62,14 @@ impl Trace {
             mix: profile.mix,
             mispredict_rate: profile.mispredict_rate,
         }
+    }
+
+    /// Packs the first `records` records into a [`TraceBuffer`] — the
+    /// form the experiment engine caches and replays.
+    pub fn take_buffer(self, records: usize) -> TraceBuffer {
+        let mut buf = TraceBuffer::with_capacity(records);
+        buf.extend(self.take(records));
+        buf
     }
 
     fn next_data_addr(&mut self) -> u64 {
@@ -152,6 +160,15 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<_> = Trace::new(&p, 10).take(2000).collect();
         assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn take_buffer_matches_the_iterator() {
+        let p = toy_profile();
+        let buf = Trace::new(&p, 9).take_buffer(2000);
+        let via_iter: Vec<_> = Trace::new(&p, 9).take(2000).collect();
+        assert_eq!(buf.len(), via_iter.len());
+        assert!(buf.iter().eq(via_iter.iter().copied()));
     }
 
     #[test]

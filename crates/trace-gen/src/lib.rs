@@ -43,6 +43,6 @@ pub use code::{CodeLayout, CodeLoop, CodeSegment, CodeWalker};
 pub use generator::Trace;
 pub use kernels::{run_kernel, Kernel};
 pub use profile::{BenchmarkProfile, InstrMix, Suite};
-pub use record::{Op, TraceRecord};
+pub use record::{Op, TraceBuffer, TraceIter, TraceRecord};
 pub use streams::{StreamSpec, StreamState};
 pub use vm::{Insn, Machine, Program};

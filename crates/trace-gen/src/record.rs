@@ -47,6 +47,164 @@ impl Op {
     }
 }
 
+// SoA op tags: discriminant + payload-presence in one byte.
+const OP_ALU: u8 = 0;
+const OP_LONG: u8 = 1;
+const OP_LOAD: u8 = 2;
+const OP_STORE: u8 = 3;
+const OP_BRANCH: u8 = 4;
+const OP_BRANCH_MISPREDICT: u8 = 5;
+
+impl Op {
+    const fn encode(self) -> (u8, u64) {
+        match self {
+            Op::Alu => (OP_ALU, 0),
+            Op::Long => (OP_LONG, 0),
+            Op::Load(a) => (OP_LOAD, a),
+            Op::Store(a) => (OP_STORE, a),
+            Op::Branch { mispredict: false } => (OP_BRANCH, 0),
+            Op::Branch { mispredict: true } => (OP_BRANCH_MISPREDICT, 0),
+        }
+    }
+
+    const fn decode(tag: u8, payload: u64) -> Op {
+        match tag {
+            OP_ALU => Op::Alu,
+            OP_LONG => Op::Long,
+            OP_LOAD => Op::Load(payload),
+            OP_STORE => Op::Store(payload),
+            OP_BRANCH => Op::Branch { mispredict: false },
+            OP_BRANCH_MISPREDICT => Op::Branch { mispredict: true },
+            _ => panic!("corrupt op tag"),
+        }
+    }
+}
+
+/// A packed structure-of-arrays buffer of [`TraceRecord`]s.
+///
+/// The experiment engine materializes each generated trace once and
+/// replays it many times; storing the records column-wise (PCs, one-byte
+/// op tags, data payloads) drops the footprint from 24 to 17 bytes per
+/// record and keeps the replay loops walking dense arrays. Consumers
+/// read it through [`TraceBuffer::iter`], which re-assembles value-type
+/// [`TraceRecord`]s on the fly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    pcs: Vec<u64>,
+    ops: Vec<u8>,
+    payloads: Vec<u64>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `records` records.
+    pub fn with_capacity(records: usize) -> Self {
+        TraceBuffer {
+            pcs: Vec::with_capacity(records),
+            ops: Vec::with_capacity(records),
+            payloads: Vec::with_capacity(records),
+        }
+    }
+
+    /// Appends one record.
+    #[inline]
+    pub fn push(&mut self, rec: TraceRecord) {
+        let (tag, payload) = rec.op.encode();
+        self.pcs.push(rec.pc);
+        self.ops.push(tag);
+        self.payloads.push(payload);
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The `i`-th record, re-assembled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> TraceRecord {
+        TraceRecord {
+            pc: self.pcs[i],
+            op: Op::decode(self.ops[i], self.payloads[i]),
+        }
+    }
+
+    /// Iterates over the records by value.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter { buf: self, next: 0 }
+    }
+}
+
+impl FromIterator<TraceRecord> for TraceBuffer {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut buf = TraceBuffer::with_capacity(iter.size_hint().0);
+        for rec in iter {
+            buf.push(rec);
+        }
+        buf
+    }
+}
+
+impl Extend<TraceRecord> for TraceBuffer {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        for rec in iter {
+            self.push(rec);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = TraceRecord;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> TraceIter<'a> {
+        self.iter()
+    }
+}
+
+/// By-value iterator over a [`TraceBuffer`].
+#[derive(Clone, Debug)]
+pub struct TraceIter<'a> {
+    buf: &'a TraceBuffer,
+    next: usize,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.next < self.buf.len() {
+            let rec = self.buf.get(self.next);
+            self.next += 1;
+            Some(rec)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.buf.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,6 +235,62 @@ mod tests {
         assert!(Op::Load(0).is_mem());
         assert!(Op::Store(0).is_mem());
         assert!(!Op::Long.is_mem());
+    }
+
+    #[test]
+    fn buffer_round_trips_every_op_kind() {
+        let records = [
+            TraceRecord { pc: 0, op: Op::Alu },
+            TraceRecord {
+                pc: 4,
+                op: Op::Long,
+            },
+            TraceRecord {
+                pc: 8,
+                op: Op::Load(0xDEAD),
+            },
+            TraceRecord {
+                pc: 12,
+                op: Op::Store(0xBEEF),
+            },
+            TraceRecord {
+                pc: 16,
+                op: Op::Branch { mispredict: false },
+            },
+            TraceRecord {
+                pc: 20,
+                op: Op::Branch { mispredict: true },
+            },
+        ];
+        let buf: TraceBuffer = records.iter().copied().collect();
+        assert_eq!(buf.len(), records.len());
+        assert!(!buf.is_empty());
+        for (i, &rec) in records.iter().enumerate() {
+            assert_eq!(buf.get(i), rec);
+        }
+        let back: Vec<TraceRecord> = buf.iter().collect();
+        assert_eq!(back, records);
+        assert_eq!(buf.iter().len(), records.len());
+    }
+
+    #[test]
+    fn buffer_push_and_extend_match_collect() {
+        let records = [
+            TraceRecord {
+                pc: 1,
+                op: Op::Load(2),
+            },
+            TraceRecord { pc: 3, op: Op::Alu },
+        ];
+        let mut pushed = TraceBuffer::new();
+        for &rec in &records {
+            pushed.push(rec);
+        }
+        let mut extended = TraceBuffer::with_capacity(2);
+        extended.extend(records.iter().copied());
+        let collected: TraceBuffer = records.iter().copied().collect();
+        assert_eq!(pushed, extended);
+        assert_eq!(pushed, collected);
     }
 
     #[test]

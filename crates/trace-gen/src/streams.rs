@@ -98,6 +98,7 @@ impl StreamState {
     ///
     /// Addresses are word-aligned (4 bytes). `rng` supplies the random
     /// choices of the `Hot` primitive and intra-line jitter.
+    #[inline]
     pub fn next(&mut self, rng: &mut StdRng) -> u64 {
         match self.spec {
             StreamSpec::Hot { base, bytes } => {

@@ -52,7 +52,7 @@ fn main() {
         let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
         let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
         let mut bc = BalancedCache::new(params);
-        replay(records.iter().copied(), &mut bc, Side::Data, len().warmup);
+        replay(records.iter(), &mut bc, Side::Data, len().warmup);
         let pd = bc.pd_stats();
         println!(
             "    (\"{benchmark}\", {}, {}),",
