@@ -1,12 +1,14 @@
 //! Ablation benches for the design choices DESIGN.md calls out. Each
 //! bench reports runtime; the *quality* comparison (miss rates) is
-//! printed once at the start of the run via `eprintln!` so `cargo bench`
-//! output doubles as an ablation table.
+//! logged once at the start of the run via [`telemetry::tele_info!`]
+//! (filterable with `BCACHE_LOG`) so `cargo bench` output doubles as an
+//! ablation table.
 
 use bcache_core::{BCacheParams, BalancedCache, PdHitPolicy, PiTagBits};
 use cache_sim::{AccessKind, Addr, CacheGeometry, CacheModel, PolicyKind};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use telemetry::tele_info;
 use trace_gen::{profiles, Op, Trace};
 
 const RECORDS: usize = 200_000;
@@ -39,7 +41,7 @@ fn bench_replacement_policy(c: &mut Criterion) {
     let rnd = BCacheParams::new(geom(), 8, 8, PolicyKind::Random)
         .unwrap()
         .with_seed(7);
-    eprintln!(
+    tele_info!(
         "[ablation] equake D$ miss rate: LRU {:.3}% vs random {:.3}%",
         miss_rate("equake", lru) * 100.0,
         miss_rate("equake", rnd) * 100.0
@@ -57,7 +59,7 @@ fn bench_pd_hit_policy(c: &mut Criterion) {
     // rejects.
     let forced = BCacheParams::paper_default(geom()).unwrap();
     let both = forced.with_pd_hit_policy(PdHitPolicy::EvictBoth);
-    eprintln!(
+    tele_info!(
         "[ablation] wupwise D$ miss rate: forced-victim {:.3}% vs evict-both {:.3}%",
         miss_rate("wupwise", forced) * 100.0,
         miss_rate("wupwise", both) * 100.0
@@ -75,7 +77,7 @@ fn bench_pi_bit_selection(c: &mut Criterion) {
     // bits in the PI.
     let low = BCacheParams::paper_default(geom()).unwrap();
     let high = low.with_pi_tag_bits(PiTagBits::High);
-    eprintln!(
+    tele_info!(
         "[ablation] facerec D$ miss rate: PI from low tag bits {:.3}% vs high {:.3}%",
         miss_rate("facerec", low) * 100.0,
         miss_rate("facerec", high) * 100.0
@@ -92,7 +94,7 @@ fn bench_design_a_vs_b(c: &mut Criterion) {
     // Section 6.3: equal PD length, clusters vs mapping factor.
     let a = BCacheParams::new(geom(), 8, 8, PolicyKind::Lru).unwrap(); // 6-bit PD
     let b_ = BCacheParams::new(geom(), 16, 4, PolicyKind::Lru).unwrap(); // 6-bit PD
-    eprintln!(
+    tele_info!(
         "[ablation] twolf D$ miss rate: design A (MF8,BAS8) {:.3}% vs design B (MF16,BAS4) {:.3}%",
         miss_rate("twolf", a) * 100.0,
         miss_rate("twolf", b_) * 100.0

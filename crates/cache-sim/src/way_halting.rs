@@ -30,7 +30,7 @@ use crate::stats::{CacheStats, SetUsage};
 /// let mut c = WayHaltingCache::new(16 * 1024, 32, 4, 4)?;
 /// c.access(0x0u64.into(), AccessKind::Read);
 /// assert!(c.access(0x4u64.into(), AccessKind::Read).hit);
-/// println!("halted {:.0}% of way lookups", c.halted_fraction() * 100.0);
+/// telemetry::tele_info!("halted {:.0}% of way lookups", c.halted_fraction() * 100.0);
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]

@@ -5,6 +5,7 @@ use cache_sim::{
     packed, AccessKind, AccessResult, Addr, BatchTally, CacheGeometry, CacheModel, CacheStats,
     Eviction, SetUsage,
 };
+use telemetry::{Event, MissKind, NullObserver, Observer};
 
 use crate::decoder::ProgrammableDecoder;
 use crate::params::{BCacheParams, IndexLayout};
@@ -64,7 +65,7 @@ impl PdStats {
 /// assert!(bc.access(0x1fu64.into(), AccessKind::Read).hit);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct BalancedCache {
+pub struct BalancedCache<O: Observer = NullObserver> {
     params: BCacheParams,
     layout: IndexLayout,
     pd: ProgrammableDecoder,
@@ -76,11 +77,19 @@ pub struct BalancedCache {
     stats: CacheStats,
     usage: SetUsage,
     pd_stats: PdStats,
+    observer: O,
 }
 
 impl BalancedCache {
     /// Creates a cold B-Cache.
     pub fn new(params: BCacheParams) -> Self {
+        Self::with_observer(params, NullObserver)
+    }
+}
+
+impl<O: Observer> BalancedCache<O> {
+    /// Creates a cold B-Cache that emits [`Event`]s to `observer`.
+    pub fn with_observer(params: BCacheParams, observer: O) -> Self {
         let layout = params.layout();
         let groups = layout.groups();
         let bas = params.bas();
@@ -98,7 +107,18 @@ impl BalancedCache {
             stats: CacheStats::new(),
             usage: SetUsage::new(groups * bas),
             pd_stats: PdStats::default(),
+            observer,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The configuration.
@@ -220,7 +240,7 @@ impl BalancedCache {
 /// tally and the PD-hit / PD-miss miss counts; bit-identical to the
 /// per-access `access` path.
 #[allow(clippy::too_many_arguments)]
-fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
+fn replay_batch<P: ReplacementPolicy + ?Sized, O: Observer, const BAS: usize>(
     layout: &IndexLayout,
     bas: usize,
     offset_bits: u32,
@@ -228,6 +248,7 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
     lines: &mut [u64],
     usage: &mut SetUsage,
     policy: &mut P,
+    observer: &mut O,
     accesses: &[(Addr, AccessKind)],
 ) -> (BatchTally, u64, u64) {
     let groups = layout.groups();
@@ -252,6 +273,12 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
                     // PD hit + tag hit.
                     tally.record(kind, true);
                     usage.record(way * groups + group, true);
+                    if O::ENABLED {
+                        observer.event(Event::SetTouch {
+                            set: (way * groups + group) as u64,
+                            hit: true,
+                        });
+                    }
                     policy.on_access(group, way);
                     if kind.is_write() {
                         lines[s] = packed::set_dirty(word);
@@ -261,6 +288,15 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
                     tally.record(kind, false);
                     usage.record(way * groups + group, false);
                     pd_hit_misses += 1;
+                    if O::ENABLED {
+                        observer.event(Event::Miss {
+                            kind: MissKind::PdForced,
+                        });
+                        observer.event(Event::SetTouch {
+                            set: (way * groups + group) as u64,
+                            hit: false,
+                        });
+                    }
                     tally.record_writeback_if(packed::is_dirty(word));
                     lines[s] = packed::fill(id, kind.is_write());
                     policy.on_fill(group, way);
@@ -277,6 +313,24 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
                 usage.record(way * groups + group, false);
                 let s = group * bas + way;
                 tally.record_writeback_if(packed::is_dirty(lines[s]));
+                if O::ENABLED {
+                    observer.event(Event::Miss {
+                        kind: MissKind::Predetermined,
+                    });
+                    observer.event(Event::BasVictim {
+                        candidates: bas as u32,
+                        chosen: way as u32,
+                    });
+                    observer.event(Event::PdReprogram {
+                        subarray: group as u64,
+                        pi_old: pd.entry(group, way),
+                        pi_new: pi,
+                    });
+                    observer.event(Event::SetTouch {
+                        set: (way * groups + group) as u64,
+                        hit: false,
+                    });
+                }
                 pd.program(group, way, pi);
                 lines[s] = packed::fill(id, kind.is_write());
                 policy.on_fill(group, way);
@@ -290,7 +344,7 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, const BAS: usize>(
 /// (Table 5 sweeps powers of two up to 32); anything else takes the
 /// runtime-width kernel.
 #[allow(clippy::too_many_arguments)]
-fn replay_dispatch<P: ReplacementPolicy + ?Sized>(
+fn replay_dispatch<P: ReplacementPolicy + ?Sized, O: Observer>(
     layout: &IndexLayout,
     bas: usize,
     offset_bits: u32,
@@ -298,11 +352,22 @@ fn replay_dispatch<P: ReplacementPolicy + ?Sized>(
     lines: &mut [u64],
     usage: &mut SetUsage,
     policy: &mut P,
+    observer: &mut O,
     accesses: &[(Addr, AccessKind)],
 ) -> (BatchTally, u64, u64) {
     macro_rules! kernel {
         ($w:literal) => {
-            replay_batch::<P, $w>(layout, bas, offset_bits, pd, lines, usage, policy, accesses)
+            replay_batch::<P, O, $w>(
+                layout,
+                bas,
+                offset_bits,
+                pd,
+                lines,
+                usage,
+                policy,
+                observer,
+                accesses,
+            )
         };
     }
     match bas {
@@ -316,7 +381,7 @@ fn replay_dispatch<P: ReplacementPolicy + ?Sized>(
     }
 }
 
-impl CacheModel for BalancedCache {
+impl<O: Observer> CacheModel for BalancedCache<O> {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
         let group = self.layout.npi(addr);
         let pi = self.layout.pi(addr);
@@ -341,6 +406,10 @@ impl CacheModel for BalancedCache {
                     // PD hit + tag hit: a plain one-cycle hit.
                     self.stats.record(kind, true);
                     self.usage.record(self.physical_set(group, way), true);
+                    if O::ENABLED {
+                        let set = self.physical_set(group, way) as u64;
+                        self.observer.event(Event::SetTouch { set, hit: true });
+                    }
                     self.policy.on_access(group, way);
                     if kind.is_write() {
                         self.lines[s] = packed::set_dirty(word);
@@ -353,6 +422,13 @@ impl CacheModel for BalancedCache {
                     self.stats.record(kind, false);
                     self.usage.record(self.physical_set(group, way), false);
                     self.pd_stats.misses_with_pd_hit += 1;
+                    if O::ENABLED {
+                        let set = self.physical_set(group, way) as u64;
+                        self.observer.event(Event::Miss {
+                            kind: MissKind::PdForced,
+                        });
+                        self.observer.event(Event::SetTouch { set, hit: false });
+                    }
                     match self.params.pd_hit_policy() {
                         crate::params::PdHitPolicy::ForcedVictim => {
                             let ev = self.evict(group, way);
@@ -373,6 +449,13 @@ impl CacheModel for BalancedCache {
                                 self.pd.invalidate(group, way);
                             }
                             let ev = self.evict(group, victim);
+                            if O::ENABLED {
+                                self.observer.event(Event::PdReprogram {
+                                    subarray: group as u64,
+                                    pi_old: self.pd.entry(group, victim),
+                                    pi_new: pi,
+                                });
+                            }
                             self.pd.invalidate(group, victim);
                             self.pd.program(group, victim, pi);
                             self.fill(group, victim, id, kind.is_write());
@@ -393,6 +476,22 @@ impl CacheModel for BalancedCache {
                 };
                 self.usage.record(self.physical_set(group, way), false);
                 let ev = self.evict(group, way);
+                if O::ENABLED {
+                    let set = self.physical_set(group, way) as u64;
+                    self.observer.event(Event::Miss {
+                        kind: MissKind::Predetermined,
+                    });
+                    self.observer.event(Event::BasVictim {
+                        candidates: self.params.bas() as u32,
+                        chosen: way as u32,
+                    });
+                    self.observer.event(Event::PdReprogram {
+                        subarray: group as u64,
+                        pi_old: self.pd.entry(group, way),
+                        pi_new: pi,
+                    });
+                    self.observer.event(Event::SetTouch { set, hit: false });
+                }
                 self.pd.program(group, way, pi);
                 self.fill(group, way, id, kind.is_write());
                 AccessResult::miss(ev)
@@ -429,6 +528,7 @@ impl CacheModel for BalancedCache {
                     &mut self.lines,
                     &mut self.usage,
                     lru,
+                    &mut self.observer,
                     accesses,
                 )
             } else {
@@ -440,6 +540,7 @@ impl CacheModel for BalancedCache {
                     &mut self.lines,
                     &mut self.usage,
                     self.policy.as_mut(),
+                    &mut self.observer,
                     accesses,
                 )
             };
@@ -475,12 +576,13 @@ impl CacheModel for BalancedCache {
     }
 }
 
-impl std::fmt::Debug for BalancedCache {
+impl<O: Observer> std::fmt::Debug for BalancedCache<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BalancedCache")
             .field("params", &self.params)
             .field("pd_stats", &self.pd_stats)
             .field("stats", &self.stats)
+            .field("observer", &self.observer)
             .finish()
     }
 }
@@ -834,6 +936,67 @@ mod tests {
             assert_eq!(looped.pd, batched.pd, "MF{mf} BAS{bas} decoders");
             assert!(batched.invariants_hold());
         }
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        for (mf, bas) in [(8usize, 8usize), (4, 4), (8, 2)] {
+            let params = BCacheParams::new(geom_16k(), mf, bas, PolicyKind::Lru)
+                .unwrap()
+                .with_seed(3);
+            let mut looped = BalancedCache::with_observer(params, EventRing::new(256 * 1024));
+            let mut batched = BalancedCache::with_observer(params, EventRing::new(256 * 1024));
+            let mut x = 0xB7E1_5162u64;
+            let accesses: Vec<(Addr, AccessKind)> = (0..6_000)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let kind = if x & 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    (Addr::new((x >> 16) & 0xF_FFFF), kind)
+                })
+                .collect();
+            for &(addr, kind) in &accesses {
+                looped.access(addr, kind);
+            }
+            batched.access_batch(&accesses);
+            assert_eq!(looped.stats(), batched.stats(), "MF{mf} BAS{bas}");
+            let a: Vec<_> = looped.observer().iter().collect();
+            let b: Vec<_> = batched.observer().iter().collect();
+            assert_eq!(a, b, "MF{mf} BAS{bas} event sequences must be identical");
+            assert_eq!(looped.observer().dropped(), 0, "ring sized for the run");
+        }
+    }
+
+    #[test]
+    fn observer_event_counts_agree_with_pd_stats() {
+        use telemetry::EventCounts;
+        let params = BCacheParams::paper_default(geom_16k()).unwrap();
+        let mut bc = BalancedCache::with_observer(params, EventCounts::new());
+        let mut x = 0xC90F_DAA2u64;
+        for _ in 0..30_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bc.access(Addr::new((x >> 16) & 0xF_FFFF), AccessKind::Read);
+        }
+        let counts = *bc.observer();
+        let pd = bc.pd_stats();
+        assert_eq!(counts.pd_forced_misses, pd.misses_with_pd_hit);
+        assert_eq!(counts.predetermined_misses, pd.misses_with_pd_miss);
+        assert_eq!(counts.total_misses(), bc.stats().total().misses());
+        // Every predetermined miss selects a BAS victim and reprograms
+        // exactly one PD entry.
+        assert_eq!(counts.bas_victims, pd.misses_with_pd_miss);
+        assert_eq!(counts.pd_reprograms, pd.misses_with_pd_miss);
+        assert_eq!(counts.set_hits, bc.stats().total().hits());
+        assert_eq!(counts.set_misses, bc.stats().total().misses());
+        assert!(bc.invariants_hold());
     }
 
     /// Differential hook against the symbolic-PD oracle in

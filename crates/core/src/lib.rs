@@ -38,7 +38,7 @@
 //!         assert_eq!(hit, round > 0);
 //!     }
 //! }
-//! println!("PD hit rate on misses: {:.2}", bc.pd_stats().pd_hit_rate_on_miss());
+//! telemetry::tele_info!("PD hit rate on misses: {:.2}", bc.pd_stats().pd_hit_rate_on_miss());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -25,7 +25,7 @@
 //! );
 //! let mut cpu = Cpu::new(CpuConfig::default(), hierarchy);
 //! let report = cpu.run(Trace::new(&profiles::by_name("equake").unwrap(), 1).take(50_000));
-//! println!("IPC = {:.3}", report.ipc());
+//! telemetry::tele_info!("IPC = {:.3}", report.ipc());
 //! # Ok::<(), cache_sim::GeometryError>(())
 //! ```
 

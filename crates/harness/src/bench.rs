@@ -207,23 +207,39 @@ fn measure(
 
 /// Runs the micro-benchmarks and returns one row per model.
 pub fn run(opts: &BenchOptions) -> Vec<BenchRow> {
-    let accesses = access_stream(opts.records, opts.seed);
+    run_recorded(opts, &mut telemetry::Recorder::new())
+}
+
+/// [`run`] with per-phase telemetry: stream-generation and per-model
+/// measurement wall-time spans land in `rec`'s `timing` section, and
+/// the run shape (records, model count) in its counters. The timed
+/// passes themselves are untouched — the spans wrap them from outside.
+pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<BenchRow> {
+    let accesses = rec.time("phase.stream_gen", || {
+        access_stream(opts.records, opts.seed)
+    });
     let git_rev = git_rev();
-    model_set()
+    rec.counter("bench.records", opts.records);
+    let rows: Vec<BenchRow> = model_set()
         .into_iter()
         .map(|(name, config)| {
             let mut model = config
                 .build(16 * 1024, opts.seed)
                 .expect("bench configs build at 16 kB");
+            let maccesses_per_sec = rec.time(&format!("phase.measure.{name}"), || {
+                measure(&mut model, &accesses, opts.per_access)
+            });
             BenchRow {
                 model: name.to_string(),
-                maccesses_per_sec: measure(&mut model, &accesses, opts.per_access),
+                maccesses_per_sec,
                 records: opts.records,
                 seed: opts.seed,
                 git_rev: git_rev.clone(),
             }
         })
-        .collect()
+        .collect();
+    rec.counter("bench.models", rows.len() as u64);
+    rows
 }
 
 /// The short git revision, or `"unknown"` outside a work tree.
@@ -474,6 +490,21 @@ mod tests {
             assert_eq!(r.records, 2_000);
         }
         assert!(render_table(&rows).contains("direct-mapped"));
+    }
+
+    #[test]
+    fn recorded_run_captures_phase_spans() {
+        let opts = BenchOptions {
+            records: 1_000,
+            ..BenchOptions::default()
+        };
+        let mut rec = telemetry::Recorder::new();
+        let rows = run_recorded(&opts, &mut rec);
+        assert_eq!(rows.len(), model_set().len());
+        assert_eq!(rec.counter_value("bench.models"), rows.len() as u64);
+        assert_eq!(rec.counter_value("bench.records"), 1_000);
+        assert_eq!(rec.timing("phase.stream_gen").unwrap().count, 1);
+        assert_eq!(rec.timing("phase.measure.direct-mapped").unwrap().count, 1);
     }
 
     #[test]

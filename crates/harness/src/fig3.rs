@@ -11,6 +11,7 @@
 use crate::parallel::Engine;
 use crate::report::{pct2, TextTable};
 use crate::run::{replay_bcache_pd_on, BCachePdOutcome, RunLength, Side};
+use telemetry::{Recorder, SpanTimer};
 use trace_gen::profiles;
 
 /// One point of the Figure 3 sweep.
@@ -85,6 +86,33 @@ pub fn figure3_with(engine: &Engine, len: RunLength) -> (Vec<Fig3Point>, String)
     (points, rendered)
 }
 
+/// [`figure3_with`] plus telemetry: each MF point's miss rate and PD
+/// hit rate land in `rec` as parts-per-million counters — exact integer
+/// images of the deterministic f64s the table renders, so the metrics
+/// file is byte-identical for any `--jobs N` — and the whole sweep is
+/// wrapped in a `phase.replay` wall-time span.
+pub fn figure3_recorded(
+    engine: &Engine,
+    len: RunLength,
+    rec: &mut Recorder,
+) -> (Vec<Fig3Point>, String) {
+    let t = SpanTimer::start("phase.replay");
+    let (points, text) = figure3_with(engine, len);
+    t.stop(rec);
+    for p in &points {
+        rec.counter(
+            &format!("fig3.mf{}.miss_rate_ppm", p.mf),
+            (p.miss_rate * 1e6).round() as u64,
+        );
+        rec.counter(
+            &format!("fig3.mf{}.pd_hit_rate_ppm", p.mf),
+            (p.pd_hit_rate * 1e6).round() as u64,
+        );
+    }
+    rec.counter("fig3.points", points.len() as u64);
+    (points, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +147,21 @@ mod tests {
         for mf in [2, 64, 512] {
             assert!(text.contains(&format!("MF{mf}")), "{text}");
         }
+    }
+
+    #[test]
+    fn recorded_figure3_metrics_are_exact_point_images() {
+        let engine = Engine::new(2);
+        let len = RunLength::with_records(40_000);
+        let mut rec = Recorder::new();
+        let (points, _) = figure3_recorded(&engine, len, &mut rec);
+        assert_eq!(rec.counter_value("fig3.points"), points.len() as u64);
+        for p in &points {
+            assert_eq!(
+                rec.counter_value(&format!("fig3.mf{}.miss_rate_ppm", p.mf)),
+                (p.miss_rate * 1e6).round() as u64
+            );
+        }
+        assert_eq!(rec.timing("phase.replay").unwrap().count, 1);
     }
 }

@@ -15,6 +15,8 @@
 //! | Tab. 5/6 (design space) | [`design_space`] | `tab5`, `tab6` |
 //! | Tab. 7 (balance) | [`balance`] | `tab7` |
 //! | §7.1 related work | [`missrate::related_work`] | `related` |
+//! | Telemetry replay report | [`runcmd`] | `run` |
+//! | Set-pressure report | [`statscmd`] | `stats` |
 //!
 //! Experiments default to 2 M trace records with a 10% warm-up prefix
 //! (statistics are reset after warm-up, standing in for the paper's
@@ -52,8 +54,11 @@ pub mod parallel;
 pub mod perf;
 pub mod report;
 pub mod run;
+pub mod runcmd;
 pub mod sensitivity;
+pub mod statscmd;
 pub mod tables;
+pub mod telemetry_io;
 
 pub use config::CacheConfig;
 pub use parallel::{default_parallelism, job_seed, Engine, TraceCache};

@@ -12,6 +12,16 @@
 //!   sweep     (victim-size sweep, cold start, L2 B-Cache extension)
 //!   all       (everything, in paper order)
 //!
+//! bcache-repro run [--bench NAME] [--side i|d] [--records N] [--seed S]
+//!                  [--jobs N]
+//!   telemetry replay report of one benchmark across the reference
+//!   model set: per-phase wall times, per-model counters, set-pressure
+//!   histograms, B-Cache PD activity
+//!
+//! bcache-repro stats [--records N] [--seed S] [--jobs N]
+//!   set-pressure report over the eight golden benchmarks: per-set
+//!   usage histograms (DM vs B-Cache MF8-BAS8) and PD churn rates
+//!
 //! bcache-repro fuzz [--iters N] [--seed S] [--jobs N]
 //!   differential property-fuzz of every cache model against its oracle;
 //!   exits non-zero and prints a shrunk repro on any divergence
@@ -24,55 +34,108 @@
 //!   throughput drops >20% versus the committed BENCH_baseline.json
 //! ```
 //!
+//! `run`, `stats`, `fig3`, `bench` and `fuzz` additionally accept
+//! `--metrics <path>` (merged counters/histograms/timings as JSON) and —
+//! where an event source exists (`run`, `fig3`) — `--trace-events
+//! <path>` (typed B-Cache events as JSON Lines).
+//!
 //! `--jobs N` sets the experiment engine's worker-thread count (default:
 //! available parallelism). Output is bit-identical for every `N`.
+//! Diagnostics honor `BCACHE_LOG` (`off`/`error`/`warn`/`info`/`debug`,
+//! default `info`).
 
 use std::env;
 use std::process::ExitCode;
 
 use harness::config::RunOptions;
+use harness::telemetry_io::{self, TelemetryFlags};
 use harness::{
-    balance, bench, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, sensitivity,
-    tables,
+    balance, bench, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, run, runcmd,
+    sensitivity, statscmd, tables,
 };
+use telemetry::{tele_error, tele_info, tele_warn, EventRing, Recorder};
 
 fn usage() -> ExitCode {
-    eprintln!(
+    tele_error!(
         "usage: bcache-repro <experiment> [--records N] [--seed S] [--jobs N] [--csv]\n\
          experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all\n\
+         \x20      bcache-repro run [--bench NAME] [--side i|d] [--records N] [--seed S] [--jobs N]\n\
+         \x20      bcache-repro stats [--records N] [--seed S] [--jobs N]\n\
          \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]\n\
-         \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]"
+         \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]\n\
+         telemetry: run/stats/fig3/bench/fuzz take --metrics PATH; run/fig3 take --trace-events PATH"
     );
     ExitCode::from(2)
 }
 
-fn run_bench(args: &[String]) -> ExitCode {
+/// Writes the merged recorder (timing included — the file documents one
+/// concrete invocation) and reports the outcome.
+fn write_metrics_file(path: &str, rec: &Recorder) -> bool {
+    match telemetry_io::write_metrics(path, rec, true) {
+        Ok(()) => {
+            tele_info!("wrote metrics to {path}");
+            true
+        }
+        Err(e) => {
+            tele_error!("cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+fn write_events_file(path: &str, ring: &EventRing) -> bool {
+    match telemetry_io::write_events(path, ring) {
+        Ok(()) => {
+            tele_info!(
+                "wrote {} events to {path} ({} dropped by the ring)",
+                ring.len(),
+                ring.dropped()
+            );
+            true
+        }
+        Err(e) => {
+            tele_error!("cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+fn run_bench(args: &[String], tele: &TelemetryFlags) -> ExitCode {
+    if tele.trace_events.is_some() {
+        tele_warn!("--trace-events is not supported by bench; ignoring");
+    }
     let opts = match bench::BenchOptions::parse(args) {
         Ok(opts) => opts,
         Err(msg) => {
-            eprintln!("{msg}");
+            tele_error!("{msg}");
             return usage();
         }
     };
-    let rows = bench::run(&opts);
+    let mut rec = Recorder::new();
+    let rows = bench::run_recorded(&opts, &mut rec);
     print!("{}", bench::render_table(&rows));
     if let Err(e) = std::fs::write(&opts.out, bench::render_json(&rows)) {
-        eprintln!("cannot write {}: {e}", opts.out);
+        tele_error!("cannot write {}: {e}", opts.out);
         return ExitCode::FAILURE;
     }
-    println!("wrote {}", opts.out);
+    tele_info!("wrote {}", opts.out);
+    if let Some(path) = &tele.metrics {
+        if !write_metrics_file(path, &rec) {
+            return ExitCode::FAILURE;
+        }
+    }
     if opts.smoke {
         let baseline = match std::fs::read_to_string(&opts.baseline) {
             Ok(text) => text,
             Err(e) => {
-                eprintln!("cannot read baseline {}: {e}", opts.baseline);
+                tele_error!("cannot read baseline {}: {e}", opts.baseline);
                 return ExitCode::FAILURE;
             }
         };
         match bench::check_against_baseline(&rows, &baseline) {
             Ok(verdict) => println!("{verdict}"),
             Err(e) => {
-                eprintln!("{e}");
+                tele_error!("{e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -85,16 +148,78 @@ fn main() -> ExitCode {
     let Some(experiment) = args.first().cloned() else {
         return usage();
     };
-    if experiment == "fuzz" {
-        let opts = match fuzz::FuzzOptions::parse(&args[1..]) {
+    let mut tail: Vec<String> = args[1..].to_vec();
+    let tele = match TelemetryFlags::extract(&mut tail) {
+        Ok(tele) => tele,
+        Err(msg) => {
+            tele_error!("{msg}");
+            return usage();
+        }
+    };
+
+    if experiment == "run" {
+        let opts = match runcmd::RunCmdOptions::parse(&tail) {
             Ok(opts) => opts,
             Err(msg) => {
-                eprintln!("{msg}");
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        let out = runcmd::run_cmd(&opts, tele.trace_events.is_some());
+        print!("{}", out.report);
+        if let Some(path) = &tele.metrics {
+            if !write_metrics_file(path, &out.metrics) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let (Some(path), Some(ring)) = (&tele.trace_events, &out.events) {
+            if !write_events_file(path, ring) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if experiment == "stats" {
+        if tele.trace_events.is_some() {
+            tele_warn!("--trace-events is not supported by stats; ignoring");
+        }
+        let opts = match RunOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        let out = statscmd::stats_cmd(&opts);
+        print!("{}", out.report);
+        if let Some(path) = &tele.metrics {
+            if !write_metrics_file(path, &out.metrics) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if experiment == "fuzz" {
+        if tele.trace_events.is_some() {
+            tele_warn!("--trace-events is not supported by fuzz; ignoring");
+        }
+        let opts = match fuzz::FuzzOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
                 return usage();
             }
         };
         let report = fuzz::run(&opts);
         print!("{}", report.render());
+        if let Some(path) = &tele.metrics {
+            let mut rec = Recorder::new();
+            rec.counter("fuzz.cases", report.iters);
+            rec.counter("fuzz.divergences", report.divergences.len() as u64);
+            if !write_metrics_file(path, &rec) {
+                return ExitCode::FAILURE;
+            }
+        }
         return if report.divergences.is_empty() {
             ExitCode::SUCCESS
         } else {
@@ -102,20 +227,57 @@ fn main() -> ExitCode {
         };
     }
     if experiment == "bench" {
-        return run_bench(&args[1..]);
+        return run_bench(&tail, &tele);
     }
-    let opts = match RunOptions::parse(&args[1..]) {
+    let opts = match RunOptions::parse(&tail) {
         Ok(opts) => opts,
         Err(msg) => {
-            eprintln!("{msg}");
+            tele_error!("{msg}");
             return usage();
         }
     };
     let (len, csv) = (opts.len, opts.csv);
     let engine = opts.engine();
+    if tele.any() && experiment != "fig3" {
+        tele_warn!(
+            "--metrics/--trace-events apply to run, stats, fig3, bench and fuzz; \
+             ignoring for {experiment}"
+        );
+    }
 
     match experiment.as_str() {
-        "fig3" => print!("{}", fig3::figure3_with(&engine, len).1),
+        "fig3" => {
+            if tele.any() {
+                let mut rec = Recorder::new();
+                let (_, text) = fig3::figure3_recorded(&engine, len, &mut rec);
+                print!("{text}");
+                rec.merge(&engine.timing_snapshot());
+                if let Some(path) = &tele.metrics {
+                    if !write_metrics_file(path, &rec) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(path) = &tele.trace_events {
+                    // The event trace documents the sweep's headline
+                    // point: wupwise data side at MF = 8, BAS = 8.
+                    let profile =
+                        trace_gen::profiles::by_name("wupwise").expect("wupwise profile exists");
+                    let trace = engine.side_trace(&profile, len, run::Side::Data);
+                    let bc = run::replay_bcache_observed(
+                        &trace,
+                        8,
+                        8,
+                        16 * 1024,
+                        runcmd::EVENT_RING_CAPACITY,
+                    );
+                    if !write_events_file(path, bc.observer()) {
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{}", fig3::figure3_with(&engine, len).1);
+            }
+        }
         "fig4" => {
             let (fp, int) = missrate::figure4_with(&engine, len);
             if csv {

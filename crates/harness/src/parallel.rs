@@ -30,6 +30,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
+use telemetry::Recorder;
 use trace_gen::{BenchmarkProfile, Trace, TraceBuffer};
 
 use crate::run::{RunLength, Side, SideTrace};
@@ -83,6 +84,12 @@ pub fn job_seed(base: u64, benchmark: &str, side: Side) -> u64 {
 pub struct TraceCache {
     entries: Mutex<HashMap<(String, u64, u64), Arc<OnceLock<Arc<TraceBuffer>>>>>,
     sides: SideMap,
+    // Wall-clock spans of trace generation and side extraction. Timing
+    // is inherently non-deterministic (and whether an extraction reads
+    // cached records or streams from the generator depends on
+    // scheduling), so this feeds ONLY the recorder's `timing` section —
+    // never the deterministic counters/histograms.
+    timing: Mutex<Recorder>,
 }
 
 type SideMap = Mutex<HashMap<(String, u64, u64, u64, bool), Arc<OnceLock<Arc<SideTrace>>>>>;
@@ -107,7 +114,13 @@ impl TraceCache {
         // Generation happens outside the map lock; concurrent callers
         // of the same key block on the OnceLock, not on the whole map.
         cell.get_or_init(|| {
-            Arc::new(Trace::new(profile, len.seed).take_buffer(len.records as usize))
+            let start = std::time::Instant::now();
+            let buf = Arc::new(Trace::new(profile, len.seed).take_buffer(len.records as usize));
+            self.timing
+                .lock()
+                .expect("trace timing lock")
+                .record_span("phase.trace_gen", start.elapsed());
+            buf
         })
         .clone()
     }
@@ -138,6 +151,7 @@ impl TraceCache {
             .or_default()
             .clone();
         cell.get_or_init(|| {
+            let start = std::time::Instant::now();
             let cached_records = {
                 let entries = self.entries.lock().expect("trace cache lock");
                 entries
@@ -152,9 +166,19 @@ impl TraceCache {
                     len.warmup,
                 ),
             };
+            self.timing
+                .lock()
+                .expect("trace timing lock")
+                .record_span("phase.trace_extract", start.elapsed());
             Arc::new(trace)
         })
         .clone()
+    }
+
+    /// A snapshot of the accumulated trace-generation/extraction span
+    /// timings (see the `timing` field note: wall-clock only).
+    pub fn timing_snapshot(&self) -> Recorder {
+        self.timing.lock().expect("trace timing lock").clone()
     }
 
     /// Number of distinct traces currently cached.
@@ -211,6 +235,13 @@ impl Engine {
     /// The shared trace cache.
     pub fn traces(&self) -> &TraceCache {
         &self.traces
+    }
+
+    /// A snapshot of the engine's wall-clock phase timings (trace
+    /// generation and side extraction). These merge into a recorder's
+    /// non-deterministic `timing` section only.
+    pub fn timing_snapshot(&self) -> Recorder {
+        self.traces.timing_snapshot()
     }
 
     /// Convenience: the trace of `profile` at `len` from the shared
@@ -387,6 +418,22 @@ mod tests {
         let c = cache.side(&p, len, Side::Data);
         assert!(!Arc::ptr_eq(&a, &c), "clear drops side streams too");
         assert_eq!(*a, *c);
+    }
+
+    #[test]
+    fn timing_snapshot_records_generation_spans() {
+        let cache = TraceCache::new();
+        let p = profiles::by_name("gzip").unwrap();
+        let len = RunLength::with_records(1_000);
+        assert!(cache.timing_snapshot().is_empty());
+        cache.get(&p, len);
+        cache.get(&p, len); // cache hit: no second generation span
+        let t = cache.timing_snapshot();
+        assert_eq!(t.timing("phase.trace_gen").unwrap().count, 1);
+        cache.side(&p, len, Side::Data);
+        cache.side(&p, len, Side::Data);
+        let t = cache.timing_snapshot();
+        assert_eq!(t.timing("phase.trace_extract").unwrap().count, 1);
     }
 
     #[test]

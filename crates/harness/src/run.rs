@@ -195,6 +195,13 @@ impl SideTrace {
         &self.accesses
     }
 
+    /// Position of the warm-up statistics reset within
+    /// [`Self::accesses`], if the warm-up landed inside the records the
+    /// stream was extracted from.
+    pub fn reset_at(&self) -> Option<usize> {
+        self.reset_at
+    }
+
     /// Replays the stream into every model, resetting statistics at the
     /// recorded warm-up point (exactly like [`replay_models`]).
     ///
@@ -423,6 +430,30 @@ pub fn replay_bcache_pd_on(
     }
 }
 
+/// [`replay_bcache_pd_on`] with a bounded event ring attached: the
+/// B-Cache replays the stream while every typed event (PD reprograms,
+/// BAS victim choices, misses, set touches) lands in the ring, which is
+/// returned together with the cache for `--trace-events` output and
+/// usage inspection. The ring only retains the newest `ring_capacity`
+/// events (overflow is accounted, not silent), so the post-warm-up tail
+/// of a long replay survives.
+pub fn replay_bcache_observed(
+    trace: &SideTrace,
+    mf: usize,
+    bas: usize,
+    size_bytes: usize,
+    ring_capacity: usize,
+) -> BalancedCache<telemetry::EventRing> {
+    use bcache_core::BCacheParams;
+    use cache_sim::{CacheGeometry, PolicyKind};
+
+    let geom = CacheGeometry::new(size_bytes, 32, 1).expect("valid geometry");
+    let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru).expect("valid B-Cache point");
+    let mut bc = BalancedCache::with_observer(params, telemetry::EventRing::new(ring_capacity));
+    trace.replay(&mut bc);
+    bc
+}
+
 /// [`replay_bcache_pd_on`] starting from a raw record buffer.
 pub fn replay_bcache_pd(
     records: &TraceBuffer,
@@ -590,6 +621,31 @@ mod tests {
         let a = run_bcache_pd_stats(&p, 8, 8, 16 * 1024, Side::Data, len);
         let b = replay_bcache_pd(&records, 8, 8, 16 * 1024, Side::Data, len);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_bcache_replay_matches_plain_replay() {
+        use telemetry::Event;
+        let p = profiles::by_name("mcf").unwrap();
+        let len = RunLength::with_records(40_000);
+        let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
+        let trace = SideTrace::extract(records.iter(), Side::Data, len.warmup);
+        let plain = replay_bcache_pd_on(&trace, 8, 8, 16 * 1024);
+        let observed = replay_bcache_observed(&trace, 8, 8, 16 * 1024, 4096);
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(observed.stats().miss_rate(), plain.miss_rate);
+        assert_eq!(
+            observed.pd_stats().pd_hit_rate_on_miss(),
+            plain.pd_hit_rate_on_miss
+        );
+        let ring = observed.observer();
+        assert!(ring.pushed() > 0, "replay must emit events");
+        assert!(ring.len() <= 4096);
+        // The ring retains the newest events; any overflow is accounted.
+        assert_eq!(ring.dropped() + ring.len() as u64, ring.pushed());
+        assert!(ring
+            .iter()
+            .any(|(_, e)| matches!(e, Event::SetTouch { .. })));
     }
 
     #[test]

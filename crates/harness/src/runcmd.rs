@@ -1,0 +1,366 @@
+//! The `bcache-repro run` subcommand: replay one benchmark through the
+//! reference model set with full telemetry — per-phase wall-time spans
+//! (trace generation, warm-up, replay, report), per-model counters and
+//! set-pressure histograms, and an optional typed-event trace of the
+//! B-Cache replay.
+//!
+//! ```text
+//! bcache-repro run [--bench NAME] [--side i|d] [--records N] [--seed S]
+//!                  [--jobs N] [--metrics PATH] [--trace-events PATH]
+//! ```
+//!
+//! The metrics split follows the [`Recorder`] contract: counters and
+//! histograms are pure functions of the (deterministic) simulation and
+//! merge positionally across the engine's jobs, so they are
+//! byte-identical for any `--jobs N`; wall-clock spans go to the
+//! separate `timing` section.
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::{CacheGeometry, CacheModel, PolicyKind};
+use telemetry::{EventRing, Recorder, SpanTimer};
+use trace_gen::profiles;
+
+use crate::config::CacheConfig;
+use crate::parallel::{default_parallelism, job_seed, Engine};
+use crate::run::{replay_bcache_observed, RunLength, Side, SideTrace};
+use crate::telemetry_io::record_model;
+
+/// Capacity of the `--trace-events` ring: enough to keep the miss
+/// activity of a default-length replay's tail while bounding memory.
+pub const EVENT_RING_CAPACITY: usize = 1 << 16;
+
+/// L1 size the `run` report uses (the paper's headline 16 kB point).
+const SIZE_BYTES: usize = 16 * 1024;
+
+/// Options of the `run` subcommand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunCmdOptions {
+    /// Benchmark profile name (default `mcf`, the paper's conflict-miss
+    /// workhorse).
+    pub benchmark: String,
+    /// Which reference stream feeds the caches (default data).
+    pub side: Side,
+    /// Trace length and warm-up.
+    pub len: RunLength,
+    /// Worker threads.
+    pub jobs: usize,
+}
+
+impl Default for RunCmdOptions {
+    fn default() -> Self {
+        RunCmdOptions {
+            benchmark: "mcf".into(),
+            side: Side::Data,
+            len: RunLength::default(),
+            jobs: default_parallelism(),
+        }
+    }
+}
+
+impl RunCmdOptions {
+    /// Parses the option tail after `run` (telemetry flags are stripped
+    /// earlier by
+    /// [`TelemetryFlags::extract`](crate::telemetry_io::TelemetryFlags::extract)).
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<RunCmdOptions, String> {
+        let mut opts = RunCmdOptions::default();
+        let mut i = 0;
+        let value = |args: &[S], i: usize| {
+            args.get(i + 1)
+                .and_then(|s| s.as_ref().parse::<u64>().ok())
+                .ok_or_else(|| format!("{} needs an integer argument", args[i].as_ref()))
+        };
+        while i < args.len() {
+            match args[i].as_ref() {
+                "--bench" => {
+                    let name = args
+                        .get(i + 1)
+                        .map(|s| s.as_ref().to_string())
+                        .ok_or("--bench needs a benchmark name")?;
+                    if profiles::by_name(&name).is_none() {
+                        return Err(format!("unknown benchmark: {name}"));
+                    }
+                    opts.benchmark = name;
+                    i += 2;
+                }
+                "--side" => {
+                    opts.side = match args.get(i + 1).map(|s| s.as_ref()) {
+                        Some("i") | Some("instruction") => Side::Instruction,
+                        Some("d") | Some("data") => Side::Data,
+                        _ => return Err("--side needs 'i' or 'd'".into()),
+                    };
+                    i += 2;
+                }
+                "--records" => {
+                    let v = value(args, i)?;
+                    if v == 0 {
+                        return Err("--records must be positive".into());
+                    }
+                    let seed = opts.len.seed;
+                    opts.len = RunLength::with_records(v);
+                    opts.len.seed = seed;
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.len.seed = value(args, i)?;
+                    i += 2;
+                }
+                "--jobs" => {
+                    let v = value(args, i)?;
+                    if v == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    opts.jobs = v as usize;
+                    i += 2;
+                }
+                other => return Err(format!("unknown option: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Everything a `run` invocation produces; the binary decides which
+/// parts to print or write.
+#[derive(Clone, Debug)]
+pub struct RunCmdOutcome {
+    /// Human-readable report.
+    pub report: String,
+    /// Merged telemetry (deterministic counters/histograms + timing).
+    pub metrics: Recorder,
+    /// The B-Cache event trace, when `--trace-events` asked for one.
+    pub events: Option<EventRing>,
+}
+
+/// The models a `run` replays, in report order.
+fn run_model_set() -> Vec<(&'static str, CacheConfig)> {
+    vec![
+        ("dm", CacheConfig::DirectMapped),
+        ("8way", CacheConfig::SetAssoc(8)),
+        ("victim16", CacheConfig::Victim(16)),
+        ("bcache", CacheConfig::BCache { mf: 8, bas: 8 }),
+    ]
+}
+
+/// Replays the side trace into `model` with warm-up and replay
+/// separately timed into `rec` — observably identical to
+/// [`SideTrace::replay`], which the batch-equivalence suite pins.
+pub(crate) fn replay_timed(trace: &SideTrace, model: &mut dyn CacheModel, rec: &mut Recorder) {
+    match trace.reset_at() {
+        Some(r) => {
+            let t = SpanTimer::start("phase.warmup");
+            model.access_batch(&trace.accesses()[..r]);
+            model.reset_stats();
+            t.stop(rec);
+            let t = SpanTimer::start("phase.replay");
+            model.access_batch(&trace.accesses()[r..]);
+            t.stop(rec);
+        }
+        None => {
+            let t = SpanTimer::start("phase.replay");
+            model.access_batch(trace.accesses());
+            t.stop(rec);
+        }
+    }
+}
+
+/// Runs the subcommand: one engine job per model, fragments merged in
+/// input order. `want_events` additionally replays the B-Cache point
+/// with an [`EventRing`] observer (outside the timed jobs).
+///
+/// # Panics
+///
+/// Panics if `opts.benchmark` names no profile (the parser validates
+/// it, so only direct library misuse can trip this).
+pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
+    let profile = profiles::by_name(&opts.benchmark).expect("validated benchmark name");
+    let engine = Engine::new(opts.jobs);
+    let len = opts.len;
+    let side = opts.side;
+
+    let jobs: Vec<_> = run_model_set()
+        .into_iter()
+        .map(|(name, config)| {
+            let profile = profile.clone();
+            let engine = &engine;
+            let benchmark = opts.benchmark.clone();
+            move || {
+                // The first job in generates the trace (its span lands
+                // in the engine's timing recorder); the rest share it.
+                let trace = engine.side_trace(&profile, len, side);
+                let seed = job_seed(len.seed, &benchmark, side);
+                let mut frag = Recorder::new();
+                let miss_rate = if let CacheConfig::BCache { mf, bas } = config {
+                    // Built concretely (seeded exactly like
+                    // `CacheConfig::build`) so the PD statistics are
+                    // reachable — the trait object hides them.
+                    let geom = CacheGeometry::new(SIZE_BYTES, 32, 1).expect("valid run geometry");
+                    let params = BCacheParams::new(geom, mf, bas, PolicyKind::Lru)
+                        .expect("valid B-Cache point")
+                        .with_seed(seed);
+                    let mut bc = BalancedCache::new(params);
+                    replay_timed(&trace, &mut bc, &mut frag);
+                    record_model(&mut frag, name, &bc);
+                    let pd = bc.pd_stats();
+                    frag.counter("bcache.pd_reprograms", pd.misses_with_pd_miss);
+                    frag.counter("bcache.pd_forced_misses", pd.misses_with_pd_hit);
+                    bc.stats().miss_rate()
+                } else {
+                    let mut model = config
+                        .build(SIZE_BYTES, seed)
+                        .expect("run model set builds at 16 kB");
+                    replay_timed(&trace, model.as_mut(), &mut frag);
+                    record_model(&mut frag, name, model.as_ref());
+                    model.stats().miss_rate()
+                };
+                (name, miss_rate, frag)
+            }
+        })
+        .collect();
+
+    let mut metrics = Recorder::new();
+    let mut rows = Vec::new();
+    for (name, miss_rate, frag) in engine.run(jobs) {
+        metrics.merge(&frag);
+        rows.push((name, miss_rate));
+    }
+
+    // The event trace comes from a dedicated observed replay of the
+    // cached stream — instrumentation the timed jobs never pay.
+    let events = want_events.then(|| {
+        let trace = engine.side_trace(&profile, len, side);
+        let bc = replay_bcache_observed(&trace, 8, 8, SIZE_BYTES, EVENT_RING_CAPACITY);
+        bc.observer().clone()
+    });
+    metrics.merge(&engine.timing_snapshot());
+
+    let t = SpanTimer::start("phase.report");
+    let pd_reprograms = metrics.counter_value("bcache.pd_reprograms");
+    let pd_forced = metrics.counter_value("bcache.pd_forced_misses");
+    let mut report = format!(
+        "run: {} {} side, {} records (warmup {}), seed {}\n\n",
+        opts.benchmark,
+        match side {
+            Side::Data => "data",
+            Side::Instruction => "instruction",
+        },
+        len.records,
+        len.warmup,
+        len.seed
+    );
+    report.push_str("model      miss_rate\n");
+    for (name, miss_rate) in &rows {
+        report.push_str(&format!("{name:<10} {:>8.4}%\n", miss_rate * 100.0));
+    }
+    report.push_str(&format!(
+        "\nB-Cache PD reprograms: {pd_reprograms} (one per predetermined miss), \
+         PD-forced misses: {pd_forced}\n"
+    ));
+    for prefix in ["dm", "bcache"] {
+        if let Some(h) = metrics.histogram(&format!("{prefix}.set_accesses")) {
+            report.push_str(&format!(
+                "\nper-set access histogram ({prefix}), {} sets:\n{}",
+                h.count(),
+                h.render_ascii(40)
+            ));
+        }
+    }
+    t.stop(&mut metrics);
+    RunCmdOutcome {
+        report,
+        metrics,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(records: u64) -> RunCmdOptions {
+        RunCmdOptions {
+            len: RunLength::with_records(records),
+            ..RunCmdOptions::default()
+        }
+    }
+
+    #[test]
+    fn options_parse_and_reject() {
+        let o = RunCmdOptions::parse(&[
+            "--bench",
+            "gzip",
+            "--side",
+            "i",
+            "--records",
+            "5000",
+            "--seed",
+            "9",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.benchmark, "gzip");
+        assert_eq!(o.side, Side::Instruction);
+        assert_eq!(o.len.records, 5_000);
+        assert_eq!(o.len.warmup, 500);
+        assert_eq!(o.len.seed, 9);
+        assert_eq!(o.jobs, 2);
+        assert!(RunCmdOptions::parse(&["--bench", "nonesuch"]).is_err());
+        assert!(RunCmdOptions::parse(&["--side", "x"]).is_err());
+        assert!(RunCmdOptions::parse(&["--records", "0"]).is_err());
+        assert!(RunCmdOptions::parse(&["--frobnicate"]).is_err());
+        let d = RunCmdOptions::parse::<&str>(&[]).unwrap();
+        assert_eq!(d.benchmark, "mcf");
+        assert_eq!(d.side, Side::Data);
+    }
+
+    #[test]
+    fn run_cmd_produces_metrics_report_and_optional_events() {
+        let mut opts = quick(30_000);
+        opts.jobs = 2;
+        let out = run_cmd(&opts, true);
+        assert!(out.report.contains("bcache"), "{}", out.report);
+        assert!(out.report.contains("per-set access histogram"));
+        // Required metric keys (the CI telemetry smoke asserts these on
+        // the written JSON).
+        let json = out.metrics.to_json(false);
+        for key in [
+            "dm.accesses",
+            "dm.misses",
+            "bcache.accesses",
+            "bcache.pd_reprograms",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        assert!(out.metrics.histogram("dm.set_accesses").is_some());
+        assert!(out.metrics.timing("phase.replay").is_some());
+        assert!(out.metrics.timing("phase.warmup").is_some());
+        assert!(out.metrics.timing("phase.report").is_some());
+        assert!(out.metrics.timing("phase.trace_extract").is_some());
+        let ring = out.events.expect("events were requested");
+        assert!(ring.pushed() > 0);
+        // Without events, none are produced and PD counters still land.
+        let out2 = run_cmd(&opts, false);
+        assert!(out2.events.is_none());
+        assert_eq!(
+            out2.metrics.counter_value("bcache.pd_reprograms"),
+            out.metrics.counter_value("bcache.pd_reprograms")
+        );
+        assert!(out.metrics.counter_value("bcache.pd_reprograms") > 0);
+    }
+
+    #[test]
+    fn deterministic_section_is_jobs_invariant() {
+        let base = quick(20_000);
+        let mut golden: Option<String> = None;
+        for jobs in [1usize, 2, 8] {
+            let mut opts = base.clone();
+            opts.jobs = jobs;
+            let out = run_cmd(&opts, false);
+            let json = out.metrics.to_json(false);
+            match &golden {
+                None => golden = Some(json),
+                Some(g) => assert_eq!(g, &json, "--jobs {jobs} changed the metrics"),
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Golden determinism tests for the telemetry subsystem: the merged
+//! deterministic metrics section (counters + histograms, rendered by
+//! `Recorder::to_json(false)`) must be **byte-identical** for any
+//! `--jobs N`, and the bounded event ring must account for every event
+//! it drops.
+
+use harness::config::RunOptions;
+use harness::fig3;
+use harness::parallel::Engine;
+use harness::run::{replay_bcache_observed, RunLength, Side, SideTrace};
+use harness::runcmd::{run_cmd, RunCmdOptions};
+use harness::statscmd::stats_cmd;
+use telemetry::{Event, Recorder};
+use trace_gen::{profiles, Trace};
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn run_metrics_are_byte_identical_across_job_widths() {
+    let mut golden: Option<String> = None;
+    for jobs in WIDTHS {
+        let opts = RunCmdOptions {
+            len: RunLength::with_records(25_000),
+            jobs,
+            ..RunCmdOptions::default()
+        };
+        let json = run_cmd(&opts, false).metrics.to_json(false);
+        match &golden {
+            None => golden = Some(json),
+            Some(g) => assert_eq!(g, &json, "run metrics changed at --jobs {jobs}"),
+        }
+    }
+}
+
+#[test]
+fn stats_metrics_are_byte_identical_across_job_widths() {
+    let mut golden: Option<String> = None;
+    for jobs in WIDTHS {
+        let opts = RunOptions {
+            len: RunLength::with_records(10_000),
+            csv: false,
+            jobs,
+        };
+        let json = stats_cmd(&opts).metrics.to_json(false);
+        match &golden {
+            None => golden = Some(json),
+            Some(g) => assert_eq!(g, &json, "stats metrics changed at --jobs {jobs}"),
+        }
+    }
+}
+
+#[test]
+fn fig3_metrics_are_byte_identical_across_job_widths() {
+    let mut golden: Option<String> = None;
+    for jobs in WIDTHS {
+        let engine = Engine::new(jobs);
+        let mut rec = Recorder::new();
+        fig3::figure3_recorded(&engine, RunLength::with_records(20_000), &mut rec);
+        let json = rec.to_json(false);
+        match &golden {
+            None => golden = Some(json),
+            Some(g) => assert_eq!(g, &json, "fig3 metrics changed at --jobs {jobs}"),
+        }
+    }
+}
+
+#[test]
+fn event_ring_overflow_is_accounted_on_a_real_replay() {
+    let p = profiles::by_name("mcf").unwrap();
+    let len = RunLength::with_records(40_000);
+    let records = Trace::new(&p, len.seed).take_buffer(len.records as usize);
+    let trace = SideTrace::extract(records.iter(), Side::Data, len.warmup);
+
+    // A ring far smaller than the event volume must overflow…
+    let small = replay_bcache_observed(&trace, 8, 8, 16 * 1024, 256);
+    let ring = small.observer();
+    assert_eq!(ring.len(), 256, "small ring fills to capacity");
+    assert!(
+        ring.dropped() > 0,
+        "a 40k-record replay overflows 256 slots"
+    );
+    assert_eq!(ring.dropped() + ring.len() as u64, ring.pushed());
+
+    // …while keeping the NEWEST events: sequence numbers are the tail
+    // of the push sequence, contiguous and increasing.
+    let seqs: Vec<u64> = ring.iter().map(|(seq, _)| seq).collect();
+    assert_eq!(seqs.first().copied(), Some(ring.pushed() - 256));
+    assert_eq!(seqs.last().copied(), Some(ring.pushed() - 1));
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+
+    // A large ring sees the identical event stream — same totals, and
+    // the small ring's contents are exactly the tail of the large one.
+    let big = replay_bcache_observed(&trace, 8, 8, 16 * 1024, 1 << 20);
+    let big_ring = big.observer();
+    assert_eq!(big_ring.dropped(), 0);
+    assert_eq!(big_ring.pushed(), ring.pushed());
+    let tail: Vec<(u64, Event)> = big_ring
+        .iter()
+        .skip(big_ring.len() - 256)
+        .map(|(s, e)| (s, *e))
+        .collect();
+    let small_events: Vec<(u64, Event)> = ring.iter().map(|(s, e)| (s, *e)).collect();
+    assert_eq!(tail, small_events);
+
+    // The JSONL header accounts the drop for downstream consumers.
+    let header = ring.to_jsonl().lines().next().unwrap().to_string();
+    assert!(header.contains("\"dropped\""), "{header}");
+    assert!(header.contains(&format!("{}", ring.dropped())), "{header}");
+}
