@@ -210,6 +210,44 @@ pub fn run(opts: &BenchOptions) -> Vec<BenchRow> {
     run_recorded(opts, &mut telemetry::Recorder::new())
 }
 
+/// Extra row measuring the supervised engine's dispatch overhead: the
+/// same stream sharded into four direct-mapped jobs on an
+/// [`Engine`](crate::parallel::Engine), so the fault-free cost of
+/// `catch_unwind` + supervision is a tracked number rather than a hope.
+pub const ENGINE_ROW: &str = "dm-engine-4shard";
+
+/// Best-of-three throughput of [`ENGINE_ROW`]: four chunks of the
+/// stream, each replayed through its own direct-mapped model inside an
+/// engine job (the shards are independent caches — this measures
+/// dispatch, not cache behavior).
+fn measure_engine_dispatch(accesses: &[(Addr, AccessKind)], seed: u64) -> f64 {
+    let engine = crate::parallel::Engine::new(4);
+    let chunk = accesses.len().div_ceil(4).max(1);
+    let pass = |engine: &crate::parallel::Engine| {
+        let jobs: Vec<_> = accesses
+            .chunks(chunk)
+            .map(|shard| {
+                move || {
+                    let mut dm = CacheConfig::DirectMapped
+                        .build(16 * 1024, seed)
+                        .expect("bench configs build at 16 kB");
+                    dm.access_batch(shard);
+                    std::hint::black_box(dm.stats().total().misses())
+                }
+            })
+            .collect();
+        std::hint::black_box(engine.run(jobs));
+    };
+    pass(&engine);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        pass(&engine);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    accesses.len() as f64 / best / 1e6
+}
+
 /// [`run`] with per-phase telemetry: stream-generation and per-model
 /// measurement wall-time spans land in `rec`'s `timing` section, and
 /// the run shape (records, model count) in its counters. The timed
@@ -220,7 +258,7 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
     });
     let git_rev = git_rev();
     rec.counter("bench.records", opts.records);
-    let rows: Vec<BenchRow> = model_set()
+    let mut rows: Vec<BenchRow> = model_set()
         .into_iter()
         .map(|(name, config)| {
             let mut model = config
@@ -238,6 +276,16 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
             }
         })
         .collect();
+    let engine_dispatch = rec.time(&format!("phase.measure.{ENGINE_ROW}"), || {
+        measure_engine_dispatch(&accesses, opts.seed)
+    });
+    rows.push(BenchRow {
+        model: ENGINE_ROW.to_string(),
+        maccesses_per_sec: engine_dispatch,
+        records: opts.records,
+        seed: opts.seed,
+        git_rev,
+    });
     rec.counter("bench.models", rows.len() as u64);
     rows
 }
@@ -484,11 +532,12 @@ mod tests {
             ..BenchOptions::default()
         };
         let rows = run(&opts);
-        assert_eq!(rows.len(), model_set().len());
+        assert_eq!(rows.len(), model_set().len() + 1, "models + engine row");
         for r in &rows {
             assert!(r.maccesses_per_sec > 0.0, "{}", r.model);
             assert_eq!(r.records, 2_000);
         }
+        assert!(rows.iter().any(|r| r.model == ENGINE_ROW));
         assert!(render_table(&rows).contains("direct-mapped"));
     }
 
@@ -500,11 +549,17 @@ mod tests {
         };
         let mut rec = telemetry::Recorder::new();
         let rows = run_recorded(&opts, &mut rec);
-        assert_eq!(rows.len(), model_set().len());
+        assert_eq!(rows.len(), model_set().len() + 1);
         assert_eq!(rec.counter_value("bench.models"), rows.len() as u64);
         assert_eq!(rec.counter_value("bench.records"), 1_000);
         assert_eq!(rec.timing("phase.stream_gen").unwrap().count, 1);
         assert_eq!(rec.timing("phase.measure.direct-mapped").unwrap().count, 1);
+        assert_eq!(
+            rec.timing(&format!("phase.measure.{ENGINE_ROW}"))
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -156,9 +156,115 @@ impl CacheConfig {
     }
 }
 
+/// Robustness options shared by every subcommand that builds an
+/// [`Engine`](crate::parallel::Engine): retry/backoff/timeout policy,
+/// deterministic fault injection, and checkpoint/resume paths.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineSetup {
+    /// Retry/backoff/timeout policy overrides.
+    pub policy: crate::parallel::RunPolicy,
+    /// Injected faults (`--inject-fault`, repeatable).
+    pub faults: Vec<crate::parallel::FaultSpec>,
+    /// `--checkpoint PATH`: persist results there, resuming if the
+    /// file already matches this run.
+    pub checkpoint: Option<String>,
+    /// `--resume PATH`: the checkpoint must exist and match.
+    pub resume: Option<String>,
+}
+
+impl EngineSetup {
+    /// Tries to consume the flag at `args[*i]`. Returns `Ok(true)`
+    /// (advancing `*i`) if it was an engine flag, `Ok(false)` if the
+    /// caller should handle it, `Err` on a malformed engine flag.
+    pub fn try_flag<S: AsRef<str>>(&mut self, args: &[S], i: &mut usize) -> Result<bool, String> {
+        let text = |args: &[S], i: usize| -> Result<String, String> {
+            args.get(i + 1)
+                .map(|s| s.as_ref().to_string())
+                .ok_or_else(|| format!("{} needs an argument", args[i].as_ref()))
+        };
+        let int = |args: &[S], i: usize| -> Result<u64, String> {
+            args.get(i + 1)
+                .and_then(|s| s.as_ref().parse::<u64>().ok())
+                .ok_or_else(|| format!("{} needs an integer argument", args[i].as_ref()))
+        };
+        match args[*i].as_ref() {
+            "--retries" => {
+                let v = int(args, *i)?.min(u32::MAX as u64) as u32;
+                self.policy.max_attempts = v.saturating_add(1);
+                *i += 2;
+            }
+            "--backoff-ms" => {
+                self.policy.backoff_ms = int(args, *i)?;
+                *i += 2;
+            }
+            "--job-timeout-ms" => {
+                let v = int(args, *i)?;
+                if v == 0 {
+                    return Err("--job-timeout-ms must be positive".into());
+                }
+                self.policy.timeout_ms = v;
+                *i += 2;
+            }
+            "--inject-fault" => {
+                self.faults
+                    .push(crate::parallel::FaultSpec::parse(&text(args, *i)?)?);
+                *i += 2;
+            }
+            "--checkpoint" => {
+                self.checkpoint = Some(text(args, *i)?);
+                *i += 2;
+            }
+            "--resume" => {
+                self.resume = Some(text(args, *i)?);
+                *i += 2;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Builds an engine with `jobs` workers under this setup's policy
+    /// and fault plan (checkpoints attach separately — they need the
+    /// experiment identity; see [`EngineSetup::attach_checkpoint`]).
+    pub fn build_engine(&self, jobs: usize) -> crate::parallel::Engine {
+        crate::parallel::Engine::new(jobs)
+            .with_policy(self.policy)
+            .with_faults(crate::parallel::FaultPlan::new(self.faults.clone()))
+    }
+
+    /// Whether `--checkpoint` or `--resume` was given.
+    pub fn wants_checkpoint(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
+    }
+
+    /// Attaches the requested checkpoint (if any) to `engine`, pinned
+    /// to `experiment` at run length `len`. Returns whether one was
+    /// attached; errors if `--resume` names a missing or mismatched
+    /// checkpoint.
+    pub fn attach_checkpoint(
+        &self,
+        engine: &crate::parallel::Engine,
+        experiment: &str,
+        len: crate::run::RunLength,
+    ) -> Result<bool, String> {
+        let meta = crate::checkpoint::CheckpointMeta::new(experiment, len);
+        let ckpt = if let Some(path) = &self.resume {
+            crate::checkpoint::Checkpoint::resume(std::path::Path::new(path), meta)?
+        } else if let Some(path) = &self.checkpoint {
+            crate::checkpoint::Checkpoint::load_or_create(std::path::Path::new(path), meta)?
+        } else {
+            return Ok(false);
+        };
+        engine.attach_checkpoint(ckpt);
+        Ok(true)
+    }
+}
+
 /// Options shared by every `bcache-repro` subcommand:
-/// `[--records N] [--seed S] [--jobs N] [--csv]`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// `[--records N] [--warmup N] [--seed S] [--jobs N] [--csv]` plus the
+/// engine robustness flags (`--retries`, `--backoff-ms`,
+/// `--job-timeout-ms`, `--inject-fault`, `--checkpoint`, `--resume`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunOptions {
     /// Trace length / warm-up / seed.
     pub len: crate::run::RunLength,
@@ -167,6 +273,8 @@ pub struct RunOptions {
     /// Worker threads for the experiment engine (default: available
     /// parallelism). Any value produces identical output.
     pub jobs: usize,
+    /// Engine robustness configuration.
+    pub setup: EngineSetup,
 }
 
 impl Default for RunOptions {
@@ -175,6 +283,7 @@ impl Default for RunOptions {
             len: crate::run::RunLength::default(),
             csv: false,
             jobs: crate::parallel::default_parallelism(),
+            setup: EngineSetup::default(),
         }
     }
 }
@@ -185,6 +294,7 @@ impl RunOptions {
     /// message naming the offender.
     pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<RunOptions, String> {
         let mut opts = RunOptions::default();
+        let mut warmup_override = None;
         let mut i = 0;
         let value = |args: &[S], i: usize| -> Result<u64, String> {
             args.get(i + 1)
@@ -198,6 +308,10 @@ impl RunOptions {
                     let seed = opts.len.seed;
                     opts.len = crate::run::RunLength::with_records(v);
                     opts.len.seed = seed;
+                    i += 2;
+                }
+                "--warmup" => {
+                    warmup_override = Some(value(args, i)?);
                     i += 2;
                 }
                 "--seed" => {
@@ -216,16 +330,42 @@ impl RunOptions {
                     opts.csv = true;
                     i += 1;
                 }
-                other => return Err(format!("unknown option: {other}")),
+                other => {
+                    if !opts.setup.try_flag(args, &mut i)? {
+                        return Err(format!("unknown option: {other}"));
+                    }
+                }
             }
         }
+        if let Some(w) = warmup_override {
+            opts.len.warmup = w;
+        }
+        validate_len(opts.len)?;
         Ok(opts)
     }
 
     /// Builds the experiment engine these options describe.
     pub fn engine(&self) -> crate::parallel::Engine {
-        crate::parallel::Engine::new(self.jobs)
+        self.setup.build_engine(self.jobs)
     }
+}
+
+/// Rejects run lengths whose measured region is empty: zero records,
+/// or a warm-up that consumes the whole trace (statistics reset at the
+/// warm-up mark, so `warmup >= records` would report miss rates over
+/// zero accesses — NaN — instead of failing).
+pub fn validate_len(len: crate::run::RunLength) -> Result<(), String> {
+    if len.records == 0 {
+        return Err("--records must be positive".into());
+    }
+    if len.warmup >= len.records {
+        return Err(format!(
+            "--warmup {} leaves no measured records (--records {}): the warm-up \
+             prefix must be shorter than the trace",
+            len.warmup, len.records
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -305,5 +445,74 @@ mod tests {
         let d = RunOptions::parse::<&str>(&[]).unwrap();
         assert_eq!(d.len, crate::run::RunLength::default());
         assert!(d.jobs >= 1);
+    }
+
+    #[test]
+    fn run_options_parse_engine_flags() {
+        use crate::parallel::{FaultMode, FaultSpec};
+        let o = RunOptions::parse(&[
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "2",
+            "--job-timeout-ms",
+            "1234",
+            "--inject-fault",
+            "job=3,mode=panic",
+            "--inject-fault",
+            "job=4,mode=hang,times=2",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.setup.policy.max_attempts, 6,
+            "--retries N is N+1 attempts"
+        );
+        assert_eq!(o.setup.policy.backoff_ms, 2);
+        assert_eq!(o.setup.policy.timeout_ms, 1234);
+        assert_eq!(
+            o.setup.faults,
+            vec![
+                FaultSpec {
+                    job: 3,
+                    mode: FaultMode::Panic,
+                    times: 1
+                },
+                FaultSpec {
+                    job: 4,
+                    mode: FaultMode::Hang,
+                    times: 2
+                },
+            ]
+        );
+        let e = o.engine();
+        assert_eq!(e.policy().max_attempts, 6);
+        assert!(RunOptions::parse(&["--inject-fault", "job=1"]).is_err());
+        assert!(RunOptions::parse(&["--job-timeout-ms", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_options_parse_checkpoint_paths() {
+        let o = RunOptions::parse(&["--checkpoint", "/tmp/x.jsonl"]).unwrap();
+        assert_eq!(o.setup.checkpoint.as_deref(), Some("/tmp/x.jsonl"));
+        assert!(o.setup.wants_checkpoint());
+        let o = RunOptions::parse(&["--resume", "/tmp/y.jsonl"]).unwrap();
+        assert_eq!(o.setup.resume.as_deref(), Some("/tmp/y.jsonl"));
+        assert!(o.setup.wants_checkpoint());
+        assert!(!RunOptions::parse::<&str>(&[])
+            .unwrap()
+            .setup
+            .wants_checkpoint());
+    }
+
+    #[test]
+    fn empty_measured_region_is_a_clean_error() {
+        // Warm-up consuming the whole trace used to replay an empty
+        // measured region (NaN miss rates); now it is a CLI error.
+        let err = RunOptions::parse(&["--records", "1000", "--warmup", "1000"]).unwrap_err();
+        assert!(err.contains("warm-up"), "err: {err}");
+        assert!(RunOptions::parse(&["--records", "1000", "--warmup", "2000"]).is_err());
+        assert!(RunOptions::parse(&["--records", "0"]).is_err());
+        let o = RunOptions::parse(&["--records", "1000", "--warmup", "999"]).unwrap();
+        assert_eq!(o.len.warmup, 999);
     }
 }

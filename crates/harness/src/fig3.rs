@@ -31,7 +31,9 @@ pub fn figure3_for(benchmark: &str, len: RunLength) -> Vec<Fig3Point> {
 }
 
 /// [`figure3_for`] on a caller-owned [`Engine`]: one job per MF point,
-/// all replaying the benchmark's cached trace.
+/// all replaying the benchmark's cached trace. Jobs carry checkpoint
+/// identities (`fig3/<benchmark>/mf<N>`), so an engine with an attached
+/// checkpoint resumes an interrupted sweep from the finished points.
 pub fn figure3_for_with(engine: &Engine, benchmark: &str, len: RunLength) -> Vec<Fig3Point> {
     let profile = profiles::by_name(benchmark).expect("known benchmark");
     let mfs = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
@@ -39,14 +41,14 @@ pub fn figure3_for_with(engine: &Engine, benchmark: &str, len: RunLength) -> Vec
         .iter()
         .map(|&mf| {
             let profile = profile.clone();
-            move || {
+            (format!("mf{mf}"), move || {
                 let trace = engine.side_trace(&profile, len, Side::Data);
                 replay_bcache_pd_on(&trace, mf, 8, 16 * 1024)
-            }
+            })
         })
         .collect();
     mfs.iter()
-        .zip(engine.run(jobs))
+        .zip(engine.run_checkpointed(&format!("fig3/{benchmark}"), jobs))
         .map(
             |(
                 &mf,

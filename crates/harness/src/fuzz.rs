@@ -163,7 +163,9 @@ impl FuzzReport {
 
 /// Runs the fuzzer: `iters` cases sharded over the engine's workers.
 pub fn run(opts: &FuzzOptions) -> FuzzReport {
-    let engine = Engine::new(opts.jobs);
+    // Fail-fast: a panic in a fuzz case is a finding, not a transient
+    // fault — retrying would just rediscover it.
+    let engine = Engine::new(opts.jobs).with_policy(crate::parallel::RunPolicy::fail_fast());
     let seed = opts.seed;
     // More chunks than workers for load balance; results stay positional.
     let chunks = (opts.jobs * 4).max(1) as u64;

@@ -43,6 +43,7 @@
 
 pub mod balance;
 pub mod bench;
+pub mod checkpoint;
 pub mod config;
 pub mod design_space;
 pub mod extensions;
@@ -60,6 +61,9 @@ pub mod statscmd;
 pub mod tables;
 pub mod telemetry_io;
 
+pub use checkpoint::{Checkpoint, CheckpointMeta, CheckpointValue};
 pub use config::CacheConfig;
-pub use parallel::{default_parallelism, job_seed, Engine, TraceCache};
+pub use parallel::{
+    default_parallelism, job_seed, Engine, FaultMode, FaultPlan, FaultSpec, RunPolicy, TraceCache,
+};
 pub use run::{run_bcache_pd_stats, run_miss_rates, RunLength, Side};

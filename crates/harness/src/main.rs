@@ -43,6 +43,28 @@
 //! available parallelism). Output is bit-identical for every `N`.
 //! Diagnostics honor `BCACHE_LOG` (`off`/`error`/`warn`/`info`/`debug`,
 //! default `info`).
+//!
+//! ## Fault tolerance
+//!
+//! Every experiment engine isolates job panics, retries failed jobs
+//! with deterministic backoff, and timeout-flags hung jobs:
+//!
+//! * `--retries N` — extra attempts per job (default 2, so 3 total)
+//! * `--backoff-ms MS` — base retry delay, doubling per attempt
+//! * `--job-timeout-ms MS` — per-job watchdog budget (default 60 000)
+//! * `--inject-fault job=K,mode=panic|hang|corrupt[,times=N]` —
+//!   deterministic fault injection (repeatable; job ordinals count
+//!   submissions)
+//! * `--checkpoint PATH` — persist completed sweep results (JSONL),
+//!   resuming from PATH if it already matches this run
+//! * `--resume PATH` — resume a sweep; the checkpoint must exist and
+//!   match the run's experiment/records/warmup/seed
+//!
+//! Checkpointing covers the sweep experiments (`fig3`, `fig4`, `fig5`,
+//! `fig12`, `related`, `all`). Because retried jobs are pure, a
+//! recovered or resumed run is byte-identical to an uninterrupted one;
+//! failures are tallied as `engine.*` metrics and a degraded-run
+//! summary in the `run`/`stats` reports.
 
 use std::env;
 use std::process::ExitCode;
@@ -63,7 +85,10 @@ fn usage() -> ExitCode {
          \x20      bcache-repro stats [--records N] [--seed S] [--jobs N]\n\
          \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]\n\
          \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]\n\
-         telemetry: run/stats/fig3/bench/fuzz take --metrics PATH; run/fig3 take --trace-events PATH"
+         telemetry: run/stats/fig3/bench/fuzz take --metrics PATH; run/fig3 take --trace-events PATH\n\
+         robustness: experiments/run/stats take [--retries N] [--backoff-ms MS] [--job-timeout-ms MS]\n\
+         \x20          [--inject-fault job=K,mode=panic|hang|corrupt[,times=N]];\n\
+         \x20          sweeps (fig3 fig4 fig5 fig12 related all) take [--checkpoint PATH] [--resume PATH]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +122,43 @@ fn write_events_file(path: &str, ring: &EventRing) -> bool {
             tele_error!("cannot write {path}: {e}");
             false
         }
+    }
+}
+
+/// Runs `body` under `catch_unwind`, turning a permanent job failure
+/// (the engine re-raises the first one after exhausting retries) into a
+/// clean non-zero exit instead of an unwinding crash. When a checkpoint
+/// is attached the completed jobs were already flushed, so the error
+/// carries a resume hint.
+fn guarded<T>(
+    engine: Option<&harness::parallel::Engine>,
+    body: impl FnOnce() -> T,
+) -> Result<T, ExitCode> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            tele_error!(
+                "experiment failed: {}",
+                harness::parallel::panic_message(payload.as_ref())
+            );
+            if engine.is_some_and(|e| e.has_checkpoint()) {
+                tele_error!(
+                    "completed jobs are checkpointed; re-run with --resume <path> to \
+                     replay only the remainder"
+                );
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Logs a warning if the engine degraded (failures that retries
+/// absorbed) — the figures have no report section for it, so the
+/// summary goes to the diagnostics stream.
+fn warn_if_degraded(engine: &harness::parallel::Engine) {
+    if engine.degraded() {
+        let summary = telemetry_io::degraded_summary(&engine.failure_snapshot());
+        tele_warn!("{}", summary.trim());
     }
 }
 
@@ -165,7 +227,13 @@ fn main() -> ExitCode {
                 return usage();
             }
         };
-        let out = runcmd::run_cmd(&opts, tele.trace_events.is_some());
+        if opts.setup.wants_checkpoint() {
+            tele_warn!("--checkpoint/--resume apply to the sweep experiments; ignoring for run");
+        }
+        let out = match guarded(None, || runcmd::run_cmd(&opts, tele.trace_events.is_some())) {
+            Ok(out) => out,
+            Err(code) => return code,
+        };
         print!("{}", out.report);
         if let Some(path) = &tele.metrics {
             if !write_metrics_file(path, &out.metrics) {
@@ -190,7 +258,13 @@ fn main() -> ExitCode {
                 return usage();
             }
         };
-        let out = statscmd::stats_cmd(&opts);
+        if opts.setup.wants_checkpoint() {
+            tele_warn!("--checkpoint/--resume apply to the sweep experiments; ignoring for stats");
+        }
+        let out = match guarded(None, || statscmd::stats_cmd(&opts)) {
+            Ok(out) => out,
+            Err(code) => return code,
+        };
         print!("{}", out.report);
         if let Some(path) = &tele.metrics {
             if !write_metrics_file(path, &out.metrics) {
@@ -245,143 +319,182 @@ fn main() -> ExitCode {
         );
     }
 
-    match experiment.as_str() {
-        "fig3" => {
-            if tele.any() {
-                let mut rec = Recorder::new();
-                let (_, text) = fig3::figure3_recorded(&engine, len, &mut rec);
-                print!("{text}");
-                rec.merge(&engine.timing_snapshot());
-                if let Some(path) = &tele.metrics {
-                    if !write_metrics_file(path, &rec) {
-                        return ExitCode::FAILURE;
-                    }
+    // Checkpointing needs jobs with stable identities, which the sweep
+    // experiments provide (`run_checkpointed` scopes).
+    const CHECKPOINTABLE: &[&str] = &["fig3", "fig4", "fig5", "fig12", "related", "all"];
+    if opts.setup.wants_checkpoint() {
+        if CHECKPOINTABLE.contains(&experiment.as_str()) {
+            match opts.setup.attach_checkpoint(&engine, &experiment, len) {
+                Ok(_) => tele_info!("checkpointing {experiment}"),
+                Err(msg) => {
+                    tele_error!("{msg}");
+                    return ExitCode::FAILURE;
                 }
-                if let Some(path) = &tele.trace_events {
-                    // The event trace documents the sweep's headline
-                    // point: wupwise data side at MF = 8, BAS = 8.
-                    let profile =
-                        trace_gen::profiles::by_name("wupwise").expect("wupwise profile exists");
-                    let trace = engine.side_trace(&profile, len, run::Side::Data);
-                    let bc = run::replay_bcache_observed(
-                        &trace,
-                        8,
-                        8,
-                        16 * 1024,
-                        runcmd::EVENT_RING_CAPACITY,
-                    );
-                    if !write_events_file(path, bc.observer()) {
-                        return ExitCode::FAILURE;
+            }
+        } else {
+            tele_warn!(
+                "--checkpoint/--resume apply to {}; ignoring for {experiment}",
+                CHECKPOINTABLE.join("/")
+            );
+        }
+    }
+
+    let dispatch = || {
+        match experiment.as_str() {
+            "fig3" => {
+                if tele.any() {
+                    let mut rec = Recorder::new();
+                    let (_, text) = fig3::figure3_recorded(&engine, len, &mut rec);
+                    print!("{text}");
+                    rec.merge(&engine.timing_snapshot());
+                    rec.merge(&engine.failure_snapshot());
+                    if let Some(path) = &tele.metrics {
+                        if !write_metrics_file(path, &rec) {
+                            return ExitCode::FAILURE;
+                        }
                     }
-                }
-            } else {
-                print!("{}", fig3::figure3_with(&engine, len).1);
-            }
-        }
-        "fig4" => {
-            let (fp, int) = missrate::figure4_with(&engine, len);
-            if csv {
-                print!("{}{}", fp.render_csv(), int.render_csv());
-            } else {
-                print!("{}\n{}", fp.render(), int.render());
-            }
-        }
-        "fig5" => {
-            let fig = missrate::figure5_with(&engine, len);
-            print!("{}", if csv { fig.render_csv() } else { fig.render() });
-        }
-        "fig8" => print!(
-            "{}",
-            perf::render_figure8(&perf::run_perf_with(&engine, len))
-        ),
-        "fig9" => print!(
-            "{}",
-            perf::render_figure9(&perf::run_perf_with(&engine, len))
-        ),
-        "fig12" => {
-            for fig in missrate::figure12_with(&engine, len) {
-                if csv {
-                    print!("{}", fig.render_csv());
+                    if let Some(path) = &tele.trace_events {
+                        // The event trace documents the sweep's headline
+                        // point: wupwise data side at MF = 8, BAS = 8.
+                        let profile = trace_gen::profiles::by_name("wupwise")
+                            .expect("wupwise profile exists");
+                        let trace = engine.side_trace(&profile, len, run::Side::Data);
+                        let bc = run::replay_bcache_observed(
+                            &trace,
+                            8,
+                            8,
+                            16 * 1024,
+                            runcmd::EVENT_RING_CAPACITY,
+                        );
+                        if !write_events_file(path, bc.observer()) {
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 } else {
-                    println!("{}", fig.render());
+                    print!("{}", fig3::figure3_with(&engine, len).1);
                 }
             }
-        }
-        "tab1" => print!("{}", tables::render_table1()),
-        "tab2" => print!("{}", tables::render_table2()),
-        "tab3" => print!("{}", tables::render_table3()),
-        "tab4" => print!("{}", tables::render_table4()),
-        "tab5" | "tab6" => {
-            let grid = design_space::design_space_grid_with(&engine, len);
-            print!("{}", design_space::render_tables_5_and_6(&grid));
-        }
-        "tab7" => print!(
-            "{}",
-            balance::render_table7(&balance::table7_with(&engine, len))
-        ),
-        "related" => {
-            let fig = missrate::related_work_with(&engine, len);
-            print!("{}", if csv { fig.render_csv() } else { fig.render() });
-        }
-        "sweep" => {
-            let points = sensitivity::victim_sweep_with(&engine, len, &[2, 4, 8, 16, 32, 64]);
-            print!("{}", sensitivity::render_victim_sweep(&points));
-            let windows = sensitivity::cold_start("equake", 20_000, 8, len);
-            print!(
+            "fig4" => {
+                let (fp, int) = missrate::figure4_with(&engine, len);
+                if csv {
+                    print!("{}{}", fp.render_csv(), int.render_csv());
+                } else {
+                    print!("{}\n{}", fp.render(), int.render());
+                }
+            }
+            "fig5" => {
+                let fig = missrate::figure5_with(&engine, len);
+                print!("{}", if csv { fig.render_csv() } else { fig.render() });
+            }
+            "fig8" => print!(
                 "{}",
-                sensitivity::render_cold_start("equake", &windows, 20_000)
-            );
-            print!(
+                perf::render_figure8(&perf::run_perf_with(&engine, len))
+            ),
+            "fig9" => print!(
                 "{}",
-                sensitivity::render_l2_bcache(&sensitivity::l2_bcache_with(&engine, len))
-            );
-        }
-        "kernels" => {
-            print!(
-                "{}",
-                kernels_exp::render_kernels(&kernels_exp::run_kernels_with(&engine, len.records))
-            )
-        }
-        "hac" => print!("{}", extensions::render_hac_comparison()),
-        "drowsy" => print!(
-            "{}",
-            extensions::render_drowsy(&extensions::drowsy_analysis(len))
-        ),
-        "vp" => print!("{}", extensions::render_vp_analysis()),
-        "all" => {
-            print!("{}", tables::render_table4());
-            let (fp, int) = missrate::figure4_with(&engine, len);
-            print!("{}\n{}", fp.render(), int.render());
-            print!("{}", missrate::figure5_with(&engine, len).render());
-            print!("{}", fig3::figure3_with(&engine, len).1);
-            print!("{}", tables::render_table1());
-            print!("{}", tables::render_table2());
-            print!("{}", tables::render_table3());
-            let rows = perf::run_perf_with(&engine, len);
-            print!("{}", perf::render_figure8(&rows));
-            print!("{}", perf::render_figure9(&rows));
-            let grid = design_space::design_space_grid_with(&engine, len);
-            print!("{}", design_space::render_tables_5_and_6(&grid));
-            print!(
+                perf::render_figure9(&perf::run_perf_with(&engine, len))
+            ),
+            "fig12" => {
+                for fig in missrate::figure12_with(&engine, len) {
+                    if csv {
+                        print!("{}", fig.render_csv());
+                    } else {
+                        println!("{}", fig.render());
+                    }
+                }
+            }
+            "tab1" => print!("{}", tables::render_table1()),
+            "tab2" => print!("{}", tables::render_table2()),
+            "tab3" => print!("{}", tables::render_table3()),
+            "tab4" => print!("{}", tables::render_table4()),
+            "tab5" | "tab6" => {
+                let grid = design_space::design_space_grid_with(&engine, len);
+                print!("{}", design_space::render_tables_5_and_6(&grid));
+            }
+            "tab7" => print!(
                 "{}",
                 balance::render_table7(&balance::table7_with(&engine, len))
-            );
-            for fig in missrate::figure12_with(&engine, len) {
-                println!("{}", fig.render());
+            ),
+            "related" => {
+                let fig = missrate::related_work_with(&engine, len);
+                print!("{}", if csv { fig.render_csv() } else { fig.render() });
             }
-            print!("{}", missrate::related_work_with(&engine, len).render());
-            print!("{}", extensions::render_hac_comparison());
-            print!(
+            "sweep" => {
+                let points = sensitivity::victim_sweep_with(&engine, len, &[2, 4, 8, 16, 32, 64]);
+                print!("{}", sensitivity::render_victim_sweep(&points));
+                let windows = sensitivity::cold_start("equake", 20_000, 8, len);
+                print!(
+                    "{}",
+                    sensitivity::render_cold_start("equake", &windows, 20_000)
+                );
+                print!(
+                    "{}",
+                    sensitivity::render_l2_bcache(&sensitivity::l2_bcache_with(&engine, len))
+                );
+            }
+            "kernels" => {
+                print!(
+                    "{}",
+                    kernels_exp::render_kernels(&kernels_exp::run_kernels_with(
+                        &engine,
+                        len.records
+                    ))
+                )
+            }
+            "hac" => print!("{}", extensions::render_hac_comparison()),
+            "drowsy" => print!(
                 "{}",
                 extensions::render_drowsy(&extensions::drowsy_analysis(len))
-            );
-            print!("{}", extensions::render_vp_analysis());
-            print!(
-                "{}",
-                kernels_exp::render_kernels(&kernels_exp::run_kernels_with(&engine, len.records))
-            );
+            ),
+            "vp" => print!("{}", extensions::render_vp_analysis()),
+            "all" => {
+                print!("{}", tables::render_table4());
+                let (fp, int) = missrate::figure4_with(&engine, len);
+                print!("{}\n{}", fp.render(), int.render());
+                print!("{}", missrate::figure5_with(&engine, len).render());
+                print!("{}", fig3::figure3_with(&engine, len).1);
+                print!("{}", tables::render_table1());
+                print!("{}", tables::render_table2());
+                print!("{}", tables::render_table3());
+                let rows = perf::run_perf_with(&engine, len);
+                print!("{}", perf::render_figure8(&rows));
+                print!("{}", perf::render_figure9(&rows));
+                let grid = design_space::design_space_grid_with(&engine, len);
+                print!("{}", design_space::render_tables_5_and_6(&grid));
+                print!(
+                    "{}",
+                    balance::render_table7(&balance::table7_with(&engine, len))
+                );
+                for fig in missrate::figure12_with(&engine, len) {
+                    println!("{}", fig.render());
+                }
+                print!("{}", missrate::related_work_with(&engine, len).render());
+                print!("{}", extensions::render_hac_comparison());
+                print!(
+                    "{}",
+                    extensions::render_drowsy(&extensions::drowsy_analysis(len))
+                );
+                print!("{}", extensions::render_vp_analysis());
+                print!(
+                    "{}",
+                    kernels_exp::render_kernels(&kernels_exp::run_kernels_with(
+                        &engine,
+                        len.records
+                    ))
+                );
+            }
+            _ => return usage(),
         }
-        _ => return usage(),
+        ExitCode::SUCCESS
+    };
+    // A job that exhausts its retries propagates out of the engine;
+    // turn that into a clean failure exit (with the checkpoint already
+    // flushed and a resume hint) instead of an unwinding crash.
+    match guarded(Some(&engine), dispatch) {
+        Ok(code) => {
+            warn_if_degraded(&engine);
+            code
+        }
+        Err(code) => code,
     }
-    ExitCode::SUCCESS
 }

@@ -64,6 +64,7 @@ impl MissRateFigure {
 
 fn run_figure(
     engine: &Engine,
+    scope: &str,
     title: String,
     benchmarks: &[BenchmarkProfile],
     configs: &[CacheConfig],
@@ -73,23 +74,27 @@ fn run_figure(
 ) -> MissRateFigure {
     // One job per (benchmark, column); column 0 is the baseline. The
     // engine returns miss rates in submission order, so rows rebuild
-    // canonically however the jobs interleaved.
+    // canonically however the jobs interleaved. Each job carries a
+    // checkpoint identity (`scope/benchmark/label`) so interrupted
+    // sweeps resume from the finished cells.
     let mut cols = Vec::with_capacity(configs.len() + 1);
     cols.push(CacheConfig::DirectMapped);
     cols.extend_from_slice(configs);
-    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = benchmarks
+    type Job<'a> = Box<dyn Fn() -> f64 + Send + Sync + 'a>;
+    let jobs: Vec<(String, Job<'_>)> = benchmarks
         .iter()
         .flat_map(|p| {
-            cols.iter()
-                .map(move |&c| -> Box<dyn FnOnce() -> f64 + Send + '_> {
-                    Box::new(move || {
-                        let trace = engine.side_trace(p, len, side);
-                        replay_config_on(p.name, &trace, &c, size_bytes, side, len)
-                    })
-                })
+            cols.iter().map(move |&c| {
+                let key = format!("{}/{}", p.name, c.label());
+                let job: Job<'_> = Box::new(move || {
+                    let trace = engine.side_trace(p, len, side);
+                    replay_config_on(p.name, &trace, &c, size_bytes, side, len)
+                });
+                (key, job)
+            })
         })
         .collect();
-    let rates = engine.run(jobs);
+    let rates = engine.run_checkpointed(scope, jobs);
     let rows = benchmarks
         .iter()
         .zip(rates.chunks(cols.len()))
@@ -125,6 +130,7 @@ pub fn figure4_with(engine: &Engine, len: RunLength) -> (MissRateFigure, MissRat
     let configs = CacheConfig::figure4_set();
     let fp = run_figure(
         engine,
+        "fig4/cfp",
         "Figure 4 (top): D$ miss-rate reductions, SPEC CFP2K, 16 kB".into(),
         &profiles::cfp(),
         &configs,
@@ -134,6 +140,7 @@ pub fn figure4_with(engine: &Engine, len: RunLength) -> (MissRateFigure, MissRat
     );
     let int = run_figure(
         engine,
+        "fig4/cint",
         "Figure 4 (bottom): D$ miss-rate reductions, SPEC CINT2K, 16 kB".into(),
         &profiles::cint(),
         &configs,
@@ -154,6 +161,7 @@ pub fn figure5(len: RunLength) -> MissRateFigure {
 pub fn figure5_with(engine: &Engine, len: RunLength) -> MissRateFigure {
     run_figure(
         engine,
+        "fig5",
         "Figure 5: I$ miss-rate reductions, reported benchmarks, 16 kB".into(),
         &profiles::icache_reported(),
         &CacheConfig::figure4_set(),
@@ -177,6 +185,7 @@ pub fn figure12_with(engine: &Engine, len: RunLength) -> Vec<MissRateFigure> {
         let kb = size / 1024;
         figures.push(run_figure(
             engine,
+            &format!("fig12/{kb}kb/d"),
             format!("Figure 12: D$ miss-rate reductions, {kb} kB"),
             &profiles::all(),
             &configs,
@@ -186,6 +195,7 @@ pub fn figure12_with(engine: &Engine, len: RunLength) -> Vec<MissRateFigure> {
         ));
         figures.push(run_figure(
             engine,
+            &format!("fig12/{kb}kb/i"),
             format!("Figure 12: I$ miss-rate reductions, {kb} kB"),
             &profiles::icache_reported(),
             &configs,
@@ -218,6 +228,7 @@ pub fn related_work_with(engine: &Engine, len: RunLength) -> MissRateFigure {
     ];
     run_figure(
         engine,
+        "related",
         "Section 7.1: related-work D$ comparison, 16 kB".into(),
         &profiles::all(),
         &configs,

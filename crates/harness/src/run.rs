@@ -70,6 +70,14 @@ impl RunLength {
     }
 }
 
+/// Converts a record count to `usize`, failing loudly on targets whose
+/// address space cannot hold it instead of silently truncating the
+/// trace (which a bare `as usize` cast would do on 32-bit).
+pub fn record_count(records: u64) -> usize {
+    usize::try_from(records)
+        .unwrap_or_else(|_| panic!("record count {records} does not fit in usize on this target"))
+}
+
 /// Extracts the access stream of one [`Side`] from raw trace records.
 ///
 /// On the instruction side consecutive fetches from the same 32-byte
@@ -298,7 +306,7 @@ pub fn run_miss_rates(
         all.push(baseline.as_mut());
         all.extend(models.iter_mut().map(|m| m.as_mut() as &mut dyn CacheModel));
         let fed = replay_models(
-            Trace::new(profile, len.seed).take(len.records as usize),
+            Trace::new(profile, len.seed).take(record_count(len.records)),
             &mut all,
             side,
             len.warmup,
@@ -479,7 +487,7 @@ pub fn run_bcache_pd_stats(
 ) -> BCachePdOutcome {
     let mut bc = build_bcache(mf, bas, size_bytes);
     replay(
-        Trace::new(profile, len.seed).take(len.records as usize),
+        Trace::new(profile, len.seed).take(record_count(len.records)),
         &mut bc,
         side,
         len.warmup,

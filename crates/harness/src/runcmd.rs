@@ -20,10 +20,10 @@ use cache_sim::{CacheGeometry, CacheModel, PolicyKind};
 use telemetry::{EventRing, Recorder, SpanTimer};
 use trace_gen::profiles;
 
-use crate::config::CacheConfig;
+use crate::config::{validate_len, CacheConfig, EngineSetup};
 use crate::parallel::{default_parallelism, job_seed, Engine};
 use crate::run::{replay_bcache_observed, RunLength, Side, SideTrace};
-use crate::telemetry_io::record_model;
+use crate::telemetry_io::{degraded_summary, record_model};
 
 /// Capacity of the `--trace-events` ring: enough to keep the miss
 /// activity of a default-length replay's tail while bounding memory.
@@ -44,6 +44,8 @@ pub struct RunCmdOptions {
     pub len: RunLength,
     /// Worker threads.
     pub jobs: usize,
+    /// Engine robustness configuration (retries, fault injection, …).
+    pub setup: EngineSetup,
 }
 
 impl Default for RunCmdOptions {
@@ -53,6 +55,7 @@ impl Default for RunCmdOptions {
             side: Side::Data,
             len: RunLength::default(),
             jobs: default_parallelism(),
+            setup: EngineSetup::default(),
         }
     }
 }
@@ -63,6 +66,7 @@ impl RunCmdOptions {
     /// [`TelemetryFlags::extract`](crate::telemetry_io::TelemetryFlags::extract)).
     pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<RunCmdOptions, String> {
         let mut opts = RunCmdOptions::default();
+        let mut warmup_override = None;
         let mut i = 0;
         let value = |args: &[S], i: usize| {
             args.get(i + 1)
@@ -92,12 +96,13 @@ impl RunCmdOptions {
                 }
                 "--records" => {
                     let v = value(args, i)?;
-                    if v == 0 {
-                        return Err("--records must be positive".into());
-                    }
                     let seed = opts.len.seed;
                     opts.len = RunLength::with_records(v);
                     opts.len.seed = seed;
+                    i += 2;
+                }
+                "--warmup" => {
+                    warmup_override = Some(value(args, i)?);
                     i += 2;
                 }
                 "--seed" => {
@@ -112,10 +117,23 @@ impl RunCmdOptions {
                     opts.jobs = v as usize;
                     i += 2;
                 }
-                other => return Err(format!("unknown option: {other}")),
+                other => {
+                    if !opts.setup.try_flag(args, &mut i)? {
+                        return Err(format!("unknown option: {other}"));
+                    }
+                }
             }
         }
+        if let Some(w) = warmup_override {
+            opts.len.warmup = w;
+        }
+        validate_len(opts.len)?;
         Ok(opts)
+    }
+
+    /// Builds the experiment engine these options describe.
+    pub fn engine(&self) -> Engine {
+        self.setup.build_engine(self.jobs)
     }
 }
 
@@ -173,7 +191,7 @@ pub(crate) fn replay_timed(trace: &SideTrace, model: &mut dyn CacheModel, rec: &
 /// it, so only direct library misuse can trip this).
 pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
     let profile = profiles::by_name(&opts.benchmark).expect("validated benchmark name");
-    let engine = Engine::new(opts.jobs);
+    let engine = opts.engine();
     let len = opts.len;
     let side = opts.side;
 
@@ -232,6 +250,9 @@ pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
         bc.observer().clone()
     });
     metrics.merge(&engine.timing_snapshot());
+    // Failure accounting (`engine.*`): empty — hence invisible — for a
+    // clean run, so golden jobs-invariance comparisons stay intact.
+    metrics.merge(&engine.failure_snapshot());
 
     let t = SpanTimer::start("phase.report");
     let pd_reprograms = metrics.counter_value("bcache.pd_reprograms");
@@ -255,6 +276,9 @@ pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
         "\nB-Cache PD reprograms: {pd_reprograms} (one per predetermined miss), \
          PD-forced misses: {pd_forced}\n"
     ));
+    if engine.degraded() {
+        report.push_str(&degraded_summary(&metrics));
+    }
     for prefix in ["dm", "bcache"] {
         if let Some(h) = metrics.histogram(&format!("{prefix}.set_accesses")) {
             report.push_str(&format!(

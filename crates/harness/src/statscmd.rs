@@ -23,7 +23,7 @@ use crate::config::{CacheConfig, RunOptions};
 use crate::parallel::job_seed;
 use crate::run::Side;
 use crate::runcmd::replay_timed;
-use crate::telemetry_io::record_model;
+use crate::telemetry_io::{degraded_summary, record_model};
 
 /// The benchmarks the report covers — the golden-stats regression set.
 pub const GOLDEN_BENCHMARKS: [&str; 8] = [
@@ -112,6 +112,9 @@ pub fn stats_cmd(opts: &RunOptions) -> StatsOutcome {
         rows.push((*bench, row));
     }
     metrics.merge(&engine.timing_snapshot());
+    // Failure accounting (`engine.*`): empty — hence invisible — for a
+    // clean run, so jobs-invariance golden comparisons stay intact.
+    metrics.merge(&engine.failure_snapshot());
 
     let t = SpanTimer::start("phase.report");
     let mut report = format!(
@@ -145,6 +148,9 @@ pub fn stats_cmd(opts: &RunOptions) -> StatsOutcome {
             }
         }
     }
+    if engine.degraded() {
+        report.push_str(&degraded_summary(&metrics));
+    }
     t.stop(&mut metrics);
     StatsOutcome { report, metrics }
 }
@@ -168,8 +174,8 @@ mod tests {
     fn stats_cover_every_golden_benchmark() {
         let opts = RunOptions {
             len: RunLength::with_records(20_000),
-            csv: false,
             jobs: 4,
+            ..RunOptions::default()
         };
         let out = stats_cmd(&opts);
         for bench in GOLDEN_BENCHMARKS {
@@ -203,8 +209,8 @@ mod tests {
         for jobs in [1usize, 3] {
             let opts = RunOptions {
                 len: RunLength::with_records(12_000),
-                csv: false,
                 jobs,
+                ..RunOptions::default()
             };
             let json = stats_cmd(&opts).metrics.to_json(false);
             match &golden {

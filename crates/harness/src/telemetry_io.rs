@@ -27,14 +27,40 @@ impl TelemetryFlags {
     /// argument is left in place (and in order) for the subcommand's
     /// own parser.
     ///
+    /// Scanning stops at a `--` terminator, and a token that is the
+    /// *value* of another path/name-taking option (`--out --metrics`
+    /// names a file literally called `--metrics`) is skipped, not
+    /// stripped — the earlier greedy scan consumed both shapes.
+    ///
     /// # Errors
     ///
     /// Returns a message if either flag is missing its path argument.
     pub fn extract(args: &mut Vec<String>) -> Result<TelemetryFlags, String> {
+        // Options (of any subcommand parser) whose next token is a
+        // value, which must therefore never be interpreted as a
+        // telemetry flag.
+        const VALUE_OPTS: &[&str] = &[
+            "--records",
+            "--warmup",
+            "--seed",
+            "--jobs",
+            "--bench",
+            "--side",
+            "--out",
+            "--baseline",
+            "--iters",
+            "--retries",
+            "--backoff-ms",
+            "--job-timeout-ms",
+            "--inject-fault",
+            "--checkpoint",
+            "--resume",
+        ];
         let mut flags = TelemetryFlags::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--" => break,
                 "--metrics" => {
                     if i + 1 >= args.len() {
                         return Err("--metrics needs a path argument".into());
@@ -49,6 +75,7 @@ impl TelemetryFlags {
                     flags.trace_events = Some(args.remove(i + 1));
                     args.remove(i);
                 }
+                opt if VALUE_OPTS.contains(&opt) => i += 2,
                 _ => i += 1,
             }
         }
@@ -72,6 +99,24 @@ pub fn write_metrics(path: &str, rec: &Recorder, include_timing: bool) -> io::Re
 /// capacity/pushed/dropped, then one event object per line).
 pub fn write_events(path: &str, ring: &EventRing) -> io::Result<()> {
     std::fs::write(path, ring.to_jsonl())
+}
+
+/// Renders the degraded-run summary appended to `run`/`stats`/figure
+/// reports when any job attempt failed: how many failures of each kind,
+/// how many jobs recovered via retry. Results above the line are still
+/// exact — retried jobs are pure, so a recovered run is byte-identical
+/// to a clean one.
+pub fn degraded_summary(metrics: &Recorder) -> String {
+    let v = |k: &str| metrics.counter_value(k);
+    format!(
+        "\nDEGRADED RUN: {} job failure(s) ({} panic, {} timeout, {} corrupt); \
+         {} job(s) recovered via retry. Results are exact (retried jobs are pure).\n",
+        v("engine.job_failures"),
+        v("engine.job_panics"),
+        v("engine.job_timeouts"),
+        v("engine.job_corrupt_results"),
+        v("engine.jobs_recovered"),
+    )
 }
 
 /// Builds the log2 histogram of per-set access counts — the
@@ -141,6 +186,60 @@ mod tests {
     fn extract_rejects_missing_paths() {
         assert!(TelemetryFlags::extract(&mut args(&["--metrics"])).is_err());
         assert!(TelemetryFlags::extract(&mut args(&["--records", "5", "--trace-events"])).is_err());
+    }
+
+    #[test]
+    fn extract_stops_at_double_dash() {
+        // Everything after `--` belongs to the subcommand verbatim.
+        let mut a = args(&["--records", "500", "--", "--metrics", "m.json"]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert!(!f.any());
+        assert_eq!(a, args(&["--records", "500", "--", "--metrics", "m.json"]));
+        // Flags before the terminator are still stripped.
+        let mut a = args(&["--metrics", "m.json", "--", "--trace-events", "e.jsonl"]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert_eq!(f.metrics.as_deref(), Some("m.json"));
+        assert!(f.trace_events.is_none());
+        assert_eq!(a, args(&["--", "--trace-events", "e.jsonl"]));
+    }
+
+    #[test]
+    fn extract_skips_values_of_other_options() {
+        // "--metrics" here is the VALUE of --out (a file named
+        // "--metrics"), not a telemetry flag.
+        let mut a = args(&["--out", "--metrics", "--jobs", "2"]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert!(!f.any());
+        assert_eq!(a, args(&["--out", "--metrics", "--jobs", "2"]));
+        // Same for a benchmark name and a checkpoint path.
+        let mut a = args(&[
+            "--bench",
+            "--trace-events",
+            "--checkpoint",
+            "--metrics",
+            "--metrics",
+            "m.json",
+        ]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert_eq!(f.metrics.as_deref(), Some("m.json"));
+        assert!(f.trace_events.is_none());
+        assert_eq!(
+            a,
+            args(&["--bench", "--trace-events", "--checkpoint", "--metrics"])
+        );
+    }
+
+    #[test]
+    fn degraded_summary_names_every_failure_kind() {
+        let mut rec = Recorder::new();
+        rec.counter("engine.job_failures", 3);
+        rec.counter("engine.job_panics", 1);
+        rec.counter("engine.job_timeouts", 2);
+        rec.counter("engine.jobs_recovered", 3);
+        let s = degraded_summary(&rec);
+        assert!(s.contains("3 job failure(s)"), "{s}");
+        assert!(s.contains("1 panic, 2 timeout, 0 corrupt"), "{s}");
+        assert!(s.contains("3 job(s) recovered"), "{s}");
     }
 
     #[test]

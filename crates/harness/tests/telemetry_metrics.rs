@@ -40,6 +40,7 @@ fn stats_metrics_are_byte_identical_across_job_widths() {
             len: RunLength::with_records(10_000),
             csv: false,
             jobs,
+            ..RunOptions::default()
         };
         let json = stats_cmd(&opts).metrics.to_json(false);
         match &golden {

@@ -43,6 +43,6 @@ pub mod events;
 pub mod log;
 pub mod recorder;
 
-pub use events::{Event, EventCounts, EventRing, MissKind, NullObserver, Observer};
+pub use events::{Event, EventCounts, EventRing, FailureKind, MissKind, NullObserver, Observer};
 pub use log::Level;
 pub use recorder::{Histogram, Recorder, SpanStats, SpanTimer};
