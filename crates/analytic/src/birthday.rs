@@ -1,0 +1,115 @@
+//! Birthday-paradox collision analysis for set mappings.
+//!
+//! Placing `K` blocks into `S` sets is the birthday problem: collisions
+//! (two blocks sharing a set) appear long before `K` reaches `S`. These
+//! closed forms quantify both the *random* placement a hash-like index
+//! achieves and the *adversarial* placement the `birthday` trace family
+//! constructs, where every block is engineered into the same set — and,
+//! for the B-Cache, into the same PI class, defeating the programmable
+//! decoder's remapping entirely.
+
+/// Expected number of distinct sets occupied when `blocks` blocks are
+/// placed independently and uniformly at random into `sets` sets:
+/// `S · (1 − (1 − 1/S)^K)`.
+///
+/// # Panics
+///
+/// Panics if `sets` is zero.
+pub fn expected_occupied_sets(sets: u64, blocks: u64) -> f64 {
+    assert!(sets > 0, "need at least one set");
+    let s = sets as f64;
+    s * (1.0 - (1.0 - 1.0 / s).powi(blocks.min(i32::MAX as u64) as i32))
+}
+
+/// Expected number of blocks that land in an already-occupied set under
+/// uniform random placement: `K − E[occupied sets]`. Each such block is
+/// a conflict the mapping failed to spread.
+///
+/// # Panics
+///
+/// Panics if `sets` is zero.
+pub fn expected_colliding_blocks(sets: u64, blocks: u64) -> f64 {
+    blocks as f64 - expected_occupied_sets(sets, blocks)
+}
+
+/// Probability that `blocks` uniformly random placements into `sets`
+/// sets are all distinct: `Π_{i<K} (1 − i/S)` (zero when `K > S`).
+///
+/// # Panics
+///
+/// Panics if `sets` is zero.
+pub fn collision_free_probability(sets: u64, blocks: u64) -> f64 {
+    assert!(sets > 0, "need at least one set");
+    if blocks > sets {
+        return 0.0;
+    }
+    let s = sets as f64;
+    (0..blocks).map(|i| 1.0 - i as f64 / s).product()
+}
+
+/// Steady-state miss rate of the *aligned* birthday adversary — `k`
+/// equally hot blocks engineered into one competition class chain — on a
+/// cache that keeps `capacity` of them resident: `1 − min(capacity,k)/k`.
+///
+/// For a direct-mapped cache and for the B-Cache (where all `k` blocks
+/// share one PI class and the PD therefore keeps a single set for them)
+/// the effective capacity is 1; an `A`-way set-associative cache keeps
+/// `A`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn aligned_adversary_miss_rate(capacity: u64, k: u64) -> f64 {
+    assert!(k > 0, "need at least one block");
+    1.0 - capacity.min(k) as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_block_occupies_one_set() {
+        assert!((expected_occupied_sets(512, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(expected_occupied_sets(512, 0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for k in 1..2000 {
+            let e = expected_occupied_sets(512, k);
+            assert!(e > prev, "k={k}");
+            assert!(e < 512.0);
+            prev = e;
+        }
+        // Asymptotically all sets fill.
+        assert!(expected_occupied_sets(512, 100_000) > 511.9);
+    }
+
+    #[test]
+    fn colliding_blocks_complement_occupancy() {
+        for k in [0u64, 1, 10, 512, 5000] {
+            let c = expected_colliding_blocks(512, k);
+            assert!((c - (k as f64 - expected_occupied_sets(512, k))).abs() < 1e-9);
+            assert!(c >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_birthday_crossover() {
+        // 23 people, 365 days: P(all distinct) ≈ 0.4927 < 1/2.
+        let p = collision_free_probability(365, 23);
+        assert!(p < 0.5 && p > 0.49, "{p}");
+        assert!(collision_free_probability(365, 22) > 0.5);
+        assert_eq!(collision_free_probability(10, 11), 0.0);
+        assert_eq!(collision_free_probability(10, 0), 1.0);
+    }
+
+    #[test]
+    fn adversary_rates() {
+        assert_eq!(aligned_adversary_miss_rate(1, 64), 1.0 - 1.0 / 64.0);
+        assert_eq!(aligned_adversary_miss_rate(4, 64), 1.0 - 4.0 / 64.0);
+        assert_eq!(aligned_adversary_miss_rate(8, 4), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Block-probability distributions: the IRM input to the analytic models.
+//!
+//! A [`BlockDist`] says "each data access independently lands on block
+//! `b` with probability `q_b`" — the *independent reference model*. The
+//! trace generator's `Hot`-stream mixtures satisfy it exactly (every
+//! data access draws a stream by weight, then a uniform word within the
+//! stream), which is what makes the closed-form predictions of
+//! [`crate::model`] exact rather than approximate.
+
+use std::collections::BTreeMap;
+
+use crate::model::AnalyticError;
+
+/// A normalized probability distribution over block addresses.
+///
+/// Construction validates and normalizes: probabilities must be finite
+/// and non-negative, exact zeros are dropped (they cannot affect any
+/// expectation), duplicate addresses are merged, and the result is
+/// scaled to sum to one. Entries are kept sorted by address so every
+/// downstream computation is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockDist {
+    blocks: Vec<(u64, f64)>,
+}
+
+impl BlockDist {
+    /// Builds a distribution from `(address, weight)` pairs.
+    ///
+    /// Weights need not sum to one; they are normalized. Addresses are
+    /// taken as-is — the model builders round them down to block bases
+    /// under the geometry they model.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalyticError::BadProbability`] if a weight is negative, NaN or
+    /// infinite; [`AnalyticError::EmptyDistribution`] if no entry has
+    /// positive weight.
+    pub fn new(entries: impl IntoIterator<Item = (u64, f64)>) -> Result<Self, AnalyticError> {
+        let mut agg: BTreeMap<u64, f64> = BTreeMap::new();
+        for (index, (addr, weight)) in entries.into_iter().enumerate() {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(AnalyticError::BadProbability {
+                    index,
+                    value: weight,
+                });
+            }
+            if weight > 0.0 {
+                *agg.entry(addr).or_insert(0.0) += weight;
+            }
+        }
+        let total: f64 = agg.values().sum();
+        if agg.is_empty() || total <= 0.0 {
+            return Err(AnalyticError::EmptyDistribution);
+        }
+        Ok(BlockDist {
+            blocks: agg.into_iter().map(|(a, w)| (a, w / total)).collect(),
+        })
+    }
+
+    /// A uniform distribution over the given addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalyticError::EmptyDistribution`] if `addrs` is empty.
+    pub fn uniform(addrs: impl IntoIterator<Item = u64>) -> Result<Self, AnalyticError> {
+        Self::new(addrs.into_iter().map(|a| (a, 1.0)))
+    }
+
+    /// The normalized `(address, probability)` entries, sorted by
+    /// address.
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.blocks
+    }
+
+    /// Number of distinct addresses.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false: construction rejects empty distributions.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_and_merges_duplicates() {
+        let d = BlockDist::new([(0x40, 1.0), (0x80, 2.0), (0x40, 1.0)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.entries()[0], (0x40, 0.5));
+        assert_eq!(d.entries()[1], (0x80, 0.5));
+        let total: f64 = d.entries().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_exact_zeros() {
+        let d = BlockDist::new([(0x40, 0.0), (0x80, 3.0)]).unwrap();
+        assert_eq!(d.entries(), &[(0x80, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(matches!(
+            BlockDist::new([(0x40, -1.0)]),
+            Err(AnalyticError::BadProbability { index: 0, .. })
+        ));
+        assert!(matches!(
+            BlockDist::new([(0x40, 1.0), (0x80, f64::NAN)]),
+            Err(AnalyticError::BadProbability { index: 1, .. })
+        ));
+        assert!(matches!(
+            BlockDist::new([(0x40, f64::INFINITY)]),
+            Err(AnalyticError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_or_all_zero() {
+        assert!(matches!(
+            BlockDist::new([]),
+            Err(AnalyticError::EmptyDistribution)
+        ));
+        assert!(matches!(
+            BlockDist::new([(0x40, 0.0)]),
+            Err(AnalyticError::EmptyDistribution)
+        ));
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let d = BlockDist::uniform([1, 2, 3, 4]).unwrap();
+        for &(_, p) in d.entries() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The statistically justified tolerance band for convergence tests.
+//!
+//! A simulated miss rate over `n` accesses is a mean of `n` Bernoulli
+//! indicators — but *dependent* ones: consecutive accesses share cache
+//! state, so the sequence is a function of an ergodic Markov chain
+//! rather than an i.i.d. sample. The band therefore has three parts:
+//!
+//! 1. the CLT width `z · sqrt(p(1−p)/n)`;
+//! 2. a variance-inflation factor covering the integrated
+//!    autocorrelation time of the chain (how many accesses it takes for
+//!    the cache to "forget" its state — bounded in practice by a small
+//!    multiple of the resident-block count's reference time);
+//! 3. an `O(states/n)` bias term for the initialization transient that
+//!    the warmup split does not perfectly remove.
+//!
+//! With `z = 4` (a one-in-tens-of-thousands two-sided tail even before
+//! inflation) the band is wide enough that a correctly converging
+//! simulator passes deterministically at the pinned seeds, yet tight
+//! enough that a distribution drift of a percent at the largest `N`
+//! fails loudly.
+
+/// Tail multiplier: ±4 sigma.
+const Z: f64 = 4.0;
+
+/// Variance inflation for the Markov-chain dependence of consecutive
+/// accesses (integrated autocorrelation time allowance).
+const INFLATION: f64 = 8.0;
+
+/// Half-width of the acceptance band around an analytic rate `p` when
+/// comparing against a simulated rate over `n` accesses, for a cache
+/// whose distribution occupies `resident_states` blocks.
+///
+/// The variance term is floored at `1/n` so the band never collapses to
+/// the pure bias term when `p` is 0 or 1.
+pub fn convergence_tolerance(p: f64, n: u64, resident_states: u64) -> f64 {
+    let n = n.max(1) as f64;
+    let var = (p * (1.0 - p)).max(1.0 / n);
+    Z * (INFLATION * var / n).sqrt() + resident_states as f64 / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_with_n() {
+        let t1 = convergence_tolerance(0.3, 10_000, 512);
+        let t2 = convergence_tolerance(0.3, 40_000, 512);
+        let t3 = convergence_tolerance(0.3, 160_000, 512);
+        assert!(t1 > t2 && t2 > t3);
+        // With no bias term the sqrt law is exact: quadrupling n halves it.
+        let s1 = convergence_tolerance(0.3, 10_000, 0);
+        let s2 = convergence_tolerance(0.3, 40_000, 0);
+        assert!((s1 / s2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_collapses_at_the_extremes() {
+        for p in [0.0, 1.0] {
+            let t = convergence_tolerance(p, 1_000_000, 0);
+            assert!(t > 0.0);
+            assert!(t >= Z * (INFLATION / 1_000_000.0 / 1_000_000.0).sqrt());
+        }
+    }
+
+    #[test]
+    fn bias_term_matters_for_small_n() {
+        let with_states = convergence_tolerance(0.5, 1000, 512);
+        let without = convergence_tolerance(0.5, 1000, 0);
+        assert!((with_states - without - 0.512).abs() < 1e-12);
+    }
+}

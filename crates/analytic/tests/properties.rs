@@ -1,0 +1,79 @@
+//! Property-based tests for the analytic model invariants.
+
+use analytic::{bcache_model, conventional_model, convergence_tolerance, BlockDist};
+use bcache_core::BCacheParams;
+use cache_sim::{CacheGeometry, PolicyKind};
+use proptest::prelude::*;
+
+/// Weighted block addresses spread over sets and tags of the 16 kB
+/// baseline, compact enough that every group stays tractable.
+fn dist_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..4096, 1u32..100), 1..48).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(block, w)| (0x1000_0000 + block * 7919 * 32, w as f64))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every analytic rate is a probability, and the degenerate
+    /// MF=1/BAS=1 B-Cache agrees exactly with the direct-mapped model.
+    #[test]
+    fn rates_are_probabilities_and_degenerate_bcache_matches_dm(entries in dist_strategy()) {
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let dist = BlockDist::new(entries).unwrap();
+        let dm = conventional_model(&geom, &dist).expected_miss_rate().unwrap();
+        prop_assert!((0.0..=1.0).contains(&dm));
+
+        let degenerate = BCacheParams::new(geom, 1, 1, PolicyKind::Lru).unwrap();
+        let bc = bcache_model(&degenerate, &dist).unwrap().expected_miss_rate().unwrap();
+        prop_assert!((bc - dm).abs() < 1e-9, "bcache {bc} vs dm {dm}");
+    }
+
+    /// With the set mapping held fixed (same set count, growing ways),
+    /// more capacity never analytically hurts — the LRU inclusion
+    /// property — and a capacity holding the whole distribution hits
+    /// always.
+    #[test]
+    fn capacity_is_monotone_at_fixed_set_count(entries in dist_strategy()) {
+        let dist = BlockDist::new(entries).unwrap();
+        let mut prev = 1.0f64;
+        // 512 sets throughout: 16 kB 1-way, 32 kB 2-way, 64 kB 4-way.
+        for assoc in [1usize, 2, 4] {
+            let geom = CacheGeometry::new(assoc * 16 * 1024, 32, assoc).unwrap();
+            let miss = conventional_model(&geom, &dist).expected_miss_rate().unwrap();
+            prop_assert!(miss <= prev + 1e-9, "assoc {assoc}: {miss} > {prev}");
+            prev = miss;
+        }
+        // Fully associative with ≥ 48 ways: every distinct block fits.
+        let fa = CacheGeometry::new(16 * 1024, 32, 512).unwrap();
+        let miss = conventional_model(&fa, &dist).expected_miss_rate().unwrap();
+        prop_assert!(miss.abs() < 1e-12);
+    }
+
+    /// The paper-default B-Cache never predicts a higher miss rate than
+    /// the direct-mapped cache on the same distribution — the paper's
+    /// central claim, here as an analytic theorem over random inputs.
+    #[test]
+    fn bcache_never_worse_than_direct_mapped(entries in dist_strategy()) {
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let dist = BlockDist::new(entries).unwrap();
+        let dm = conventional_model(&geom, &dist).expected_miss_rate().unwrap();
+        let params = BCacheParams::paper_default(geom).unwrap();
+        let bc = bcache_model(&params, &dist).unwrap().expected_miss_rate().unwrap();
+        prop_assert!(bc <= dm + 1e-9, "bcache {bc} vs dm {dm}");
+    }
+
+    /// The tolerance band is positive and decreasing in n.
+    #[test]
+    fn tolerance_is_positive_and_decreasing(p in 0.0f64..1.0, states in 0u64..4096) {
+        let mut prev = f64::INFINITY;
+        for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let t = convergence_tolerance(p, n, states);
+            prop_assert!(t > 0.0);
+            prop_assert!(t < prev);
+            prev = t;
+        }
+    }
+}

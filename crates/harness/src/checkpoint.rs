@@ -294,6 +294,54 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_and_signed_zero_payloads_round_trip_bit_exactly() {
+        // The hex encoding must preserve every IEEE-754 special value a
+        // miss-rate computation can emit (0/0 on an empty cell, ±inf on
+        // a degenerate ratio, a negative zero from a subtraction) —
+        // including NaN payload bits and the sign of zero, both of
+        // which decimal formatting would destroy.
+        let edge_cases = [
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // signalling-NaN pattern
+            f64::from_bits(0xFFF8_DEAD_BEEF_CAFE), // NaN with payload bits
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::MAX,
+        ];
+        for v in edge_cases {
+            let encoded = v.encode();
+            assert_eq!(encoded.len(), 16, "fixed-width hex for {v:?}");
+            let back = f64::decode(&encoded).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "bits drifted for {v:?}");
+        }
+        assert!(
+            (-0.0f64).encode() != 0.0f64.encode(),
+            "the sign of zero must be visible in the encoding"
+        );
+    }
+
+    #[test]
+    fn checkpoint_persists_non_finite_values_across_resume() {
+        let path = tmp_path("nonfinite");
+        let mut ckpt = Checkpoint::create(&path, meta()).unwrap();
+        ckpt.put("edge/nan", &f64::NAN.encode()).unwrap();
+        ckpt.put("edge/inf", &f64::INFINITY.encode()).unwrap();
+        ckpt.put("edge/ninf", &f64::NEG_INFINITY.encode()).unwrap();
+        ckpt.put("edge/nzero", &(-0.0f64).encode()).unwrap();
+        let loaded = Checkpoint::resume(&path, meta()).unwrap();
+        let get = |k: &str| f64::decode(&loaded.get(k).unwrap()).unwrap();
+        assert!(get("edge/nan").is_nan());
+        assert_eq!(get("edge/inf"), f64::INFINITY);
+        assert_eq!(get("edge/ninf"), f64::NEG_INFINITY);
+        assert_eq!(get("edge/nzero").to_bits(), (-0.0f64).to_bits());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
     fn checkpoint_survives_a_write_load_cycle() {
         let path = tmp_path("cycle");
         let mut ckpt = Checkpoint::create(&path, meta()).unwrap();

@@ -33,6 +33,15 @@
 //!     exactly the stats of the per-access loop — guarding the
 //!     monomorphized fast paths of the DM, set-associative and B-Cache
 //!     kernels and the default fallback of everything else.
+//! 11. the birthday adversary: blocks spaced `2^19` apart share the set
+//!     index *and* the NPI/PI fields of the 16 kB paper-default
+//!     B-Cache, so the programmable decoder is defeated and both the
+//!     direct-mapped baseline and the B-Cache must hit exactly when the
+//!     block repeats back-to-back — the pathwise form of the analytic
+//!     `1 − min(capacity, k)/k` miss rate (see `analytic::birthday`).
+//!
+//! `--scenario NAME|INDEX` (see [`SCENARIOS`]) restricts a run to one
+//! scenario, e.g. for a targeted CI smoke.
 //!
 //! On divergence the trace is shrunk to a minimal repro — the failing
 //! prefix is bisected into chunks whose removal is retried at widening
@@ -55,6 +64,40 @@ use crate::parallel::{default_parallelism, Engine};
 /// One access of a fuzz trace: `(address, is_write)`.
 pub type FuzzRecord = (u64, bool);
 
+/// Scenario names, in dispatch order: case `c` runs scenario
+/// `c % SCENARIOS.len()` unless `--scenario` pins one.
+pub const SCENARIOS: &[&str] = &[
+    "dm_vs_oracle",
+    "set_assoc_vs_oracle",
+    "bcache_vs_oracle",
+    "wrapper_vs_oracle",
+    "degenerate_equals_dm",
+    "full_pi_equals_set_assoc",
+    "lru_ways_inclusion",
+    "fa_lru_stack",
+    "demand_fill_sanity",
+    "batch_equivalence",
+    "birthday_adversarial",
+];
+
+/// Resolves a `--scenario` argument: a name from [`SCENARIOS`] or a
+/// numeric index into it.
+pub fn resolve_scenario(arg: &str) -> Result<usize, String> {
+    if let Some(i) = SCENARIOS.iter().position(|s| *s == arg) {
+        return Ok(i);
+    }
+    if let Ok(i) = arg.parse::<usize>() {
+        if i < SCENARIOS.len() {
+            return Ok(i);
+        }
+    }
+    Err(format!(
+        "unknown scenario {arg}; expected an index below {} or one of: {}",
+        SCENARIOS.len(),
+        SCENARIOS.join(", ")
+    ))
+}
+
 /// Options of the `fuzz` subcommand.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FuzzOptions {
@@ -64,6 +107,8 @@ pub struct FuzzOptions {
     pub seed: u64,
     /// Worker threads (output is identical for every value).
     pub jobs: usize,
+    /// Pin every case to one scenario (index into [`SCENARIOS`]).
+    pub scenario: Option<usize>,
 }
 
 impl Default for FuzzOptions {
@@ -72,12 +117,13 @@ impl Default for FuzzOptions {
             iters: 2000,
             seed: 1,
             jobs: default_parallelism(),
+            scenario: None,
         }
     }
 }
 
 impl FuzzOptions {
-    /// Parses `--iters N --seed S --jobs N`.
+    /// Parses `--iters N --seed S --jobs N [--scenario NAME|INDEX]`.
     pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<FuzzOptions, String> {
         let mut opts = FuzzOptions::default();
         let mut i = 0;
@@ -102,6 +148,13 @@ impl FuzzOptions {
                         return Err("--jobs must be at least 1".into());
                     }
                     opts.jobs = v as usize;
+                    i += 2;
+                }
+                "--scenario" => {
+                    let arg = args
+                        .get(i + 1)
+                        .ok_or("--scenario needs a name or index argument")?;
+                    opts.scenario = Some(resolve_scenario(arg.as_ref())?);
                     i += 2;
                 }
                 other => return Err(format!("unknown option: {other}")),
@@ -174,12 +227,13 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
         .step_by(chunk as usize)
         .map(|lo| (lo, (lo + chunk).min(opts.iters)))
         .collect();
+    let scenario = opts.scenario;
     let jobs: Vec<_> = ranges
         .into_iter()
         .map(|(lo, hi)| {
             move || {
                 (lo..hi)
-                    .filter_map(|case| run_case(seed, case))
+                    .filter_map(|case| run_case_in(seed, case, scenario))
                     .collect::<Vec<_>>()
             }
         })
@@ -364,9 +418,10 @@ const PAIR_BODY: &str = "        let a = left.access(cache_sim::Addr::new(addr),
      \x20       let b = right.access(cache_sim::Addr::new(addr), kind);\n\
      \x20       assert_eq!(a.hit, b.hit, \"divergence at {addr:#x}\");\n";
 
-fn run_case(seed: u64, case: u64) -> Option<Divergence> {
+fn run_case_in(seed: u64, case: u64, scenario: Option<usize>) -> Option<Divergence> {
     let mut rng = CaseRng::new(seed, case);
-    match case % 10 {
+    let which = scenario.unwrap_or((case % SCENARIOS.len() as u64) as usize);
+    match which {
         0 => dm_vs_oracle(seed, case, &mut rng),
         1 => set_assoc_vs_oracle(seed, case, &mut rng),
         2 => bcache_vs_oracle(seed, case, &mut rng),
@@ -376,7 +431,8 @@ fn run_case(seed: u64, case: u64) -> Option<Divergence> {
         6 => lru_ways_inclusion(seed, case, &mut rng),
         7 => fa_lru_stack(seed, case, &mut rng),
         8 => demand_fill_sanity(seed, case, &mut rng),
-        _ => batch_equivalence(seed, case, &mut rng),
+        9 => batch_equivalence(seed, case, &mut rng),
+        _ => birthday_adversarial(seed, case, &mut rng),
     }
 }
 
@@ -989,6 +1045,88 @@ fn batch_equivalence(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergen
     )
 }
 
+fn birthday_adversarial(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergence> {
+    // The aligned birthday adversary at the paper's 16 kB baseline:
+    // k blocks spaced 2^19 apart agree on the direct-mapped index bits
+    // [5, 14) *and* the MF8/BAS8 NPI [5, 11) / PI [11, 17) fields, so
+    // both caches collapse to a single resident block. The exact
+    // pathwise oracle is then "hit iff the block repeats back-to-back",
+    // whose expectation over a uniform draw is the closed-form
+    // 1 − 1/k of `analytic::birthday::aligned_adversary_miss_rate`.
+    let size = 16 * 1024usize;
+    let line = 32usize;
+    let k = rng.pick(&[8u64, 16, 32, 64]);
+    let base = 0x1000_0000u64;
+    let spacing = 1u64 << 19;
+    let len = 128 + rng.below(256) as usize;
+    let trace: Vec<FuzzRecord> = (0..len)
+        .map(|_| (base + rng.below(k) * spacing, rng.below(4) == 0))
+        .collect();
+    let check = move |t: &[FuzzRecord]| -> Option<(usize, String)> {
+        let geom = CacheGeometry::new(size, line, 1).unwrap();
+        let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+        let layout = params.layout();
+        let mut dm = DirectMappedCache::new(size, line).unwrap();
+        let mut bc = BalancedCache::new(params);
+        let mut last = None;
+        let mut expected_misses = 0u64;
+        for (i, &(addr, w)) in t.iter().enumerate() {
+            let a = Addr::new(addr);
+            if (geom.set_index(a), layout.npi(a), layout.pi(a))
+                != (
+                    geom.set_index(Addr::new(base)),
+                    layout.npi(Addr::new(base)),
+                    layout.pi(Addr::new(base)),
+                )
+            {
+                return Some((i, format!("adversary block {addr:#x} left the shared set")));
+            }
+            let block = addr / line as u64;
+            let expect_hit = last == Some(block);
+            expected_misses += u64::from(!expect_hit);
+            last = Some(block);
+            let d = dm.access(a, kind(w));
+            let b = bc.access(a, kind(w));
+            if d.hit != expect_hit {
+                return Some((
+                    i,
+                    format!("DM must hit iff the block repeats, at {addr:#x}"),
+                ));
+            }
+            if b.hit != expect_hit {
+                return Some((
+                    i,
+                    format!("the adversary defeats the PD: B-Cache must behave DM at {addr:#x}"),
+                ));
+            }
+        }
+        ((dm.stats().total().misses(), bc.stats().total().misses())
+            != (expected_misses, expected_misses))
+            .then(|| {
+                (
+                    t.len() - 1,
+                    format!(
+                        "adversary miss totals must equal the closed-form count {expected_misses}"
+                    ),
+                )
+            })
+    };
+    let setup = format!(
+        "    let mut right = cache_sim::DirectMappedCache::new({size}, {line}).unwrap();\n\
+         \x20   let geom = cache_sim::CacheGeometry::new({size}, {line}, 1).unwrap();\n\
+         \x20   let mut left = bcache_core::BalancedCache::new(bcache_core::BCacheParams::new(geom, 8, 8, cache_sim::PolicyKind::Lru).unwrap());\n"
+    );
+    diverge(
+        "birthday_adversarial",
+        case,
+        seed,
+        trace,
+        &check,
+        setup,
+        PAIR_BODY,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1003,11 +1141,35 @@ mod tests {
     }
 
     #[test]
+    fn scenario_filter_parses_names_and_indices() {
+        let o = FuzzOptions::parse(&["--scenario", "birthday_adversarial"]).unwrap();
+        assert_eq!(o.scenario, Some(SCENARIOS.len() - 1));
+        let o = FuzzOptions::parse(&["--scenario", "0"]).unwrap();
+        assert_eq!(o.scenario, Some(0));
+        assert!(FuzzOptions::parse(&["--scenario", "nope"]).is_err());
+        assert!(FuzzOptions::parse(&["--scenario", "99"]).is_err());
+        assert!(FuzzOptions::parse(&["--scenario"]).is_err());
+    }
+
+    #[test]
+    fn pinned_birthday_scenario_is_clean() {
+        let opts = FuzzOptions {
+            iters: 40,
+            seed: 7,
+            jobs: 2,
+            scenario: Some(SCENARIOS.len() - 1),
+        };
+        let report = run(&opts);
+        assert!(report.divergences.is_empty(), "{}", report.render());
+    }
+
+    #[test]
     fn small_run_is_clean_and_deterministic() {
         let opts = FuzzOptions {
             iters: 45,
             seed: 3,
             jobs: 2,
+            scenario: None,
         };
         let a = run(&opts);
         assert!(a.divergences.is_empty(), "{}", a.render());

@@ -17,6 +17,7 @@
 //! | §7.1 related work | [`missrate::related_work`] | `related` |
 //! | Telemetry replay report | [`runcmd`] | `run` |
 //! | Set-pressure report | [`statscmd`] | `stats` |
+//! | Analytical oracle sweep | [`oraclecmd`] | `oracle` |
 //!
 //! Experiments default to 2 M trace records with a 10% warm-up prefix
 //! (statistics are reset after warm-up, standing in for the paper's
@@ -51,6 +52,7 @@ pub mod fig3;
 pub mod fuzz;
 pub mod kernels_exp;
 pub mod missrate;
+pub mod oraclecmd;
 pub mod parallel;
 pub mod perf;
 pub mod report;

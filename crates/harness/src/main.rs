@@ -22,9 +22,18 @@
 //!   set-pressure report over the eight golden benchmarks: per-set
 //!   usage histograms (DM vs B-Cache MF8-BAS8) and PD churn rates
 //!
-//! bcache-repro fuzz [--iters N] [--seed S] [--jobs N]
+//! bcache-repro fuzz [--iters N] [--seed S] [--jobs N] [--scenario NAME]
 //!   differential property-fuzz of every cache model against its oracle;
-//!   exits non-zero and prints a shrunk repro on any divergence
+//!   exits non-zero and prints a shrunk repro on any divergence;
+//!   --scenario restricts the run to one scenario by name or index
+//!
+//! bcache-repro oracle [--seed S] [--jobs N] [--smoke] [--csv]
+//!   analytical miss-rate oracle: sweeps the synthetic IRM families
+//!   (uniform64k, zipf8, the adversarial birthday64) over the
+//!   direct-mapped, 4-way and MF8-BAS8 models at 16 kB and checks the
+//!   simulated miss rate against the closed-form expectation within a
+//!   statistically justified band; exits non-zero if any cell drifts.
+//!   --smoke runs one short sweep point with a widened band
 //!
 //! bcache-repro bench [--records N] [--seed S] [--out PATH]
 //!                    [--baseline PATH] [--smoke] [--per-access]
@@ -34,7 +43,7 @@
 //!   throughput drops >20% versus the committed BENCH_baseline.json
 //! ```
 //!
-//! `run`, `stats`, `fig3`, `bench` and `fuzz` additionally accept
+//! `run`, `stats`, `fig3`, `bench`, `fuzz` and `oracle` additionally accept
 //! `--metrics <path>` (merged counters/histograms/timings as JSON) and —
 //! where an event source exists (`run`, `fig3`) — `--trace-events
 //! <path>` (typed B-Cache events as JSON Lines).
@@ -83,9 +92,10 @@ fn usage() -> ExitCode {
          experiments: fig3 fig4 fig5 fig8 fig9 fig12 tab1 tab2 tab3 tab4 tab5 tab6 tab7 related hac drowsy vp kernels sweep all\n\
          \x20      bcache-repro run [--bench NAME] [--side i|d] [--records N] [--seed S] [--jobs N]\n\
          \x20      bcache-repro stats [--records N] [--seed S] [--jobs N]\n\
-         \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N]\n\
+         \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N] [--scenario NAME]\n\
+         \x20      bcache-repro oracle [--seed S] [--jobs N] [--smoke] [--csv]\n\
          \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]\n\
-         telemetry: run/stats/fig3/bench/fuzz take --metrics PATH; run/fig3 take --trace-events PATH\n\
+         telemetry: run/stats/fig3/bench/fuzz/oracle take --metrics PATH; run/fig3 take --trace-events PATH\n\
          robustness: experiments/run/stats take [--retries N] [--backoff-ms MS] [--job-timeout-ms MS]\n\
          \x20          [--inject-fault job=K,mode=panic|hang|corrupt[,times=N]];\n\
          \x20          sweeps (fig3 fig4 fig5 fig12 related all) take [--checkpoint PATH] [--resume PATH]"
@@ -295,6 +305,43 @@ fn main() -> ExitCode {
             }
         }
         return if report.divergences.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if experiment == "oracle" {
+        if tele.trace_events.is_some() {
+            tele_warn!("--trace-events is not supported by oracle; ignoring");
+        }
+        let opts = match harness::oraclecmd::OracleOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        let report = match guarded(None, || harness::oraclecmd::oracle_report(&opts)) {
+            Ok(report) => report,
+            Err(code) => return code,
+        };
+        print!(
+            "{}",
+            if opts.csv {
+                report.render_csv()
+            } else {
+                report.render()
+            }
+        );
+        if let Some(path) = &tele.metrics {
+            let mut rec = Recorder::new();
+            rec.counter("oracle.cells", report.cells.len() as u64);
+            rec.counter("oracle.failures", report.failures() as u64);
+            if !write_metrics_file(path, &rec) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return if report.failures() == 0 {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE

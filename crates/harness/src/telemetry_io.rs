@@ -49,6 +49,7 @@ impl TelemetryFlags {
             "--out",
             "--baseline",
             "--iters",
+            "--scenario",
             "--retries",
             "--backoff-ms",
             "--job-timeout-ms",
@@ -227,6 +228,22 @@ mod tests {
             a,
             args(&["--bench", "--trace-events", "--checkpoint", "--metrics"])
         );
+    }
+
+    #[test]
+    fn extract_leaves_oracle_and_fuzz_flags_for_their_parsers() {
+        // The oracle subcommand's value-free flags pass through
+        // untouched, with telemetry flags interleaved among them.
+        let mut a = args(&["--smoke", "--metrics", "m.json", "--csv", "--seed", "7"]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert_eq!(f.metrics.as_deref(), Some("m.json"));
+        assert_eq!(a, args(&["--smoke", "--csv", "--seed", "7"]));
+        // "--metrics" as the VALUE of fuzz's --scenario names a scenario
+        // literally called "--metrics"; it must be skipped, not stripped.
+        let mut a = args(&["--scenario", "--metrics", "--iters", "50"]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert!(!f.any());
+        assert_eq!(a, args(&["--scenario", "--metrics", "--iters", "50"]));
     }
 
     #[test]

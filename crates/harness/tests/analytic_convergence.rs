@@ -1,0 +1,145 @@
+//! Convergence property tests for the analytical miss-rate oracle.
+//!
+//! The `oracle` sweep claims that simulated post-warm-up miss rates
+//! converge to the closed-form expectations of `crates/analytic` as the
+//! record count grows. These tests pin that claim for every
+//! (model × distribution) cell of the grid — the paper's three
+//! configurations (direct-mapped baseline, conventional 4-way,
+//! MF8/BAS8 B-Cache) over three IRM-exact trace families — plus the
+//! determinism contract (byte-identical reports for any `--jobs`).
+
+use harness::oraclecmd::{
+    analytic_miss, birthday_expected_miss, oracle_configs, oracle_distributions, oracle_report,
+    OracleOptions, OracleReport,
+};
+
+fn full_report() -> OracleReport {
+    // The full (non-smoke) sweep: 50k / 200k / 800k records, slack 1.
+    oracle_report(&OracleOptions {
+        jobs: 4,
+        ..OracleOptions::default()
+    })
+}
+
+#[test]
+fn every_cell_of_the_full_sweep_converges() {
+    let report = full_report();
+    assert_eq!(
+        report.cells.len(),
+        3 * 3 * 3,
+        "3 record counts x 3 distributions x 3 models"
+    );
+    for cell in &report.cells {
+        assert!(
+            cell.pass,
+            "{} x {} at {} records: simulated {:.6} vs analytic {:.6} \
+             exceeds tolerance {:.6}",
+            cell.model, cell.dist, cell.records, cell.simulated, cell.analytic, cell.tolerance
+        );
+    }
+}
+
+#[test]
+fn tolerance_bands_tighten_with_record_count() {
+    // The acceptance band is a function of N alone (given p and the
+    // resident-state count), so each (model, dist) trio must show a
+    // strictly shrinking band across the sweep — convergence is being
+    // tested against an ever-harder target, not a fixed slack.
+    let report = full_report();
+    for config in oracle_configs() {
+        for dist in oracle_distributions() {
+            let bands: Vec<f64> = report
+                .cells
+                .iter()
+                .filter(|c| c.model == config.label() && c.dist == dist)
+                .map(|c| c.tolerance)
+                .collect();
+            assert_eq!(bands.len(), 3, "{} x {dist}", config.label());
+            assert!(
+                bands[0] > bands[1] && bands[1] > bands[2],
+                "{} x {dist}: tolerances {bands:?} must shrink with N",
+                config.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn birthday_simulation_matches_the_closed_form_expectation() {
+    // The adversarial family has a second, independent closed form:
+    // 1 - min(capacity, k)/k for k aligned single-block streams. The
+    // sweep's King-formula cells must land inside tolerance of *that*
+    // expression too, tying the simulation to both derivations.
+    let report = full_report();
+    for config in oracle_configs() {
+        let expected = birthday_expected_miss(&config)
+            .expect("every oracle config has a birthday closed form");
+        let (king, _) = analytic_miss(&config, "birthday64").unwrap();
+        assert!(
+            (king - expected).abs() < 1e-9,
+            "{}: King {king} vs birthday model {expected}",
+            config.label()
+        );
+        let cell = report
+            .cells
+            .iter()
+            .filter(|c| c.model == config.label() && c.dist == "birthday64")
+            .max_by_key(|c| c.records)
+            .unwrap();
+        assert!(
+            (cell.simulated - expected).abs() <= cell.tolerance,
+            "{}: simulated {:.6} vs closed form {expected:.6} at {} records",
+            config.label(),
+            cell.simulated,
+            cell.records
+        );
+    }
+}
+
+#[test]
+fn the_papers_contrast_shows_in_the_simulation() {
+    // zipf8's footprint fits the 16 kB B-Cache exactly but conflicts in
+    // the baseline: the measured rates at the largest record count must
+    // reproduce the paper's headline ordering DM > 4-way >> B-Cache.
+    let report = full_report();
+    let at = |model: &str| {
+        report
+            .cells
+            .iter()
+            .filter(|c| c.model == model && c.dist == "zipf8")
+            .max_by_key(|c| c.records)
+            .unwrap()
+            .simulated
+    };
+    let (dm, four, bc) = (at("baseline"), at("4way"), at("MF8-BAS8"));
+    assert!(dm > 0.5, "baseline must conflict heavily: {dm}");
+    assert!(four < dm, "4-way must beat the baseline: {four} vs {dm}");
+    assert!(bc < 0.01, "the B-Cache holds the whole footprint: {bc}");
+}
+
+#[test]
+fn report_is_byte_identical_across_jobs_1_2_8() {
+    let smoke = OracleOptions {
+        smoke: true,
+        ..OracleOptions::default()
+    };
+    let renders: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&jobs| oracle_report(&OracleOptions { jobs, ..smoke }).render())
+        .collect();
+    assert_eq!(renders[0], renders[1], "jobs 1 vs 2");
+    assert_eq!(renders[1], renders[2], "jobs 2 vs 8");
+    let csvs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&jobs| {
+            oracle_report(&OracleOptions {
+                jobs,
+                csv: true,
+                ..smoke
+            })
+            .render_csv()
+        })
+        .collect();
+    assert_eq!(csvs[0], csvs[1], "csv jobs 1 vs 2");
+    assert_eq!(csvs[1], csvs[2], "csv jobs 2 vs 8");
+}

@@ -76,6 +76,94 @@ fn model_pairs() -> Vec<(Box<dyn CacheModel>, Box<dyn CacheModel>)> {
     build.iter().map(|b| (b(), b())).collect()
 }
 
+/// Two identical instances of every model at its most degenerate legal
+/// geometries: one set, one way, and cache-size == line-size. These
+/// shapes put every "first/last element" branch of the batched kernels
+/// on the hot path — a single frame, a single index bit, BAS equal to
+/// the whole set count — where an off-by-one hides from the 16 kB
+/// suite above.
+fn degenerate_pairs() -> Vec<(&'static str, Box<dyn CacheModel>, Box<dyn CacheModel>)> {
+    let build: Vec<(&'static str, Box<dyn Fn() -> Box<dyn CacheModel>>)> = vec![
+        (
+            "DM, cache == line",
+            Box::new(|| Box::new(DirectMappedCache::new(32, 32).unwrap())),
+        ),
+        (
+            "1-way set-assoc, cache == line",
+            Box::new(|| Box::new(SetAssociativeCache::new(32, 32, 1, PolicyKind::Lru, 0).unwrap())),
+        ),
+        (
+            "1-set fully-associative",
+            Box::new(|| {
+                Box::new(SetAssociativeCache::new(256, 32, 8, PolicyKind::Lru, 0).unwrap())
+            }),
+        ),
+        (
+            "1-way set-assoc, random policy",
+            Box::new(|| {
+                Box::new(SetAssociativeCache::new(1024, 32, 1, PolicyKind::Random, 0xBEEF).unwrap())
+            }),
+        ),
+        (
+            "B-Cache, cache == line (one frame)",
+            Box::new(|| {
+                let geom = CacheGeometry::new(32, 32, 1).unwrap();
+                let params = BCacheParams::new(geom, 8, 1, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+        ),
+        (
+            "B-Cache, BAS == sets (one pseudo-set)",
+            Box::new(|| {
+                let geom = CacheGeometry::new(1024, 32, 1).unwrap();
+                let params = BCacheParams::new(geom, 2, 32, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+        ),
+        (
+            "victim, cache == line, 1-entry buffer",
+            Box::new(|| Box::new(VictimCache::new(32, 32, 1).unwrap())),
+        ),
+        (
+            "column-associative, two lines",
+            Box::new(|| Box::new(ColumnAssociativeCache::new(64, 32).unwrap())),
+        ),
+        (
+            "skewed, one index bit per way",
+            Box::new(|| Box::new(SkewedAssociativeCache::new(128, 32).unwrap())),
+        ),
+        (
+            "AGAC, cache == line, 1-entry directory",
+            Box::new(|| Box::new(AgacCache::new(32, 32, 1).unwrap())),
+        ),
+        (
+            "HAC, one single-line subarray",
+            Box::new(|| Box::new(HighlyAssociativeCache::new(32, 32, 32).unwrap())),
+        ),
+        (
+            "HAC, 1-set (subarray == cache)",
+            Box::new(|| Box::new(HighlyAssociativeCache::new(256, 32, 256).unwrap())),
+        ),
+        (
+            "PAM, 1-set 2-way",
+            Box::new(|| Box::new(PartialMatchCache::new(64, 32, 5).unwrap())),
+        ),
+        (
+            "difference-bit, 1-set 2-way",
+            Box::new(|| Box::new(DifferenceBitCache::new(64, 32).unwrap())),
+        ),
+        (
+            "way-halting, 1-way cache == line",
+            Box::new(|| Box::new(WayHaltingCache::new(32, 32, 1, 4).unwrap())),
+        ),
+        (
+            "way-halting, 1-set",
+            Box::new(|| Box::new(WayHaltingCache::new(128, 32, 4, 4).unwrap())),
+        ),
+    ];
+    build.iter().map(|(name, b)| (*name, b(), b())).collect()
+}
+
 #[test]
 fn access_batch_matches_the_per_access_loop_on_every_model() {
     let accesses = stream(42);
@@ -113,6 +201,49 @@ fn chunked_batches_match_one_big_batch() {
             whole.stats(),
             chunked.stats(),
             "{}: chunked batches diverge from a single batch",
+            whole.label()
+        );
+    }
+}
+
+#[test]
+fn access_batch_matches_the_per_access_loop_on_degenerate_geometries() {
+    let accesses = stream(1234);
+    for (name, mut scalar, mut batched) in degenerate_pairs() {
+        for &(addr, kind) in &accesses {
+            scalar.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(
+            scalar.stats(),
+            batched.stats(),
+            "{name} ({}): batched stats diverge from the per-access loop",
+            scalar.label()
+        );
+        assert_eq!(
+            scalar.set_usage(),
+            batched.set_usage(),
+            "{name} ({}): batched set-usage counters diverge",
+            scalar.label()
+        );
+    }
+}
+
+#[test]
+fn chunked_batches_match_one_big_batch_on_degenerate_geometries() {
+    // Chunk at 1 so every batch boundary coincides with an access —
+    // the degenerate shapes' tally-flush paths get no amortization to
+    // hide behind.
+    let accesses: Vec<(Addr, AccessKind)> = stream(55).into_iter().take(5_000).collect();
+    for (name, mut whole, mut chunked) in degenerate_pairs() {
+        whole.access_batch(&accesses);
+        for chunk in accesses.chunks(1) {
+            chunked.access_batch(chunk);
+        }
+        assert_eq!(
+            whole.stats(),
+            chunked.stats(),
+            "{name} ({}): single-access batches diverge from one big batch",
             whole.label()
         );
     }

@@ -11,6 +11,7 @@ fn ci_smoke_configuration_is_clean() {
         iters: 2000,
         seed: 7,
         jobs: 4,
+        scenario: None,
     });
     assert!(report.divergences.is_empty(), "{}", report.render());
 }
@@ -23,8 +24,26 @@ fn report_is_job_count_invariant() {
         iters: 180,
         seed: 21,
         jobs: 1,
+        scenario: None,
     };
     let one = run(&base);
+    let many = run(&FuzzOptions { jobs: 8, ..base });
+    assert_eq!(one.render(), many.render());
+}
+
+/// The `--scenario` filter composes with job-count invariance: a run
+/// pinned to the birthday adversary is clean and identical for any
+/// worker count.
+#[test]
+fn pinned_scenario_is_clean_and_job_count_invariant() {
+    let base = FuzzOptions {
+        iters: 120,
+        seed: 11,
+        jobs: 1,
+        scenario: Some(harness::fuzz::SCENARIOS.len() - 1),
+    };
+    let one = run(&base);
+    assert!(one.divergences.is_empty(), "{}", one.render());
     let many = run(&FuzzOptions { jobs: 8, ..base });
     assert_eq!(one.render(), many.render());
 }

@@ -1,0 +1,231 @@
+//! Distribution introspection: the exact data-address distribution a
+//! profile induces, in the form the analytical oracle consumes.
+//!
+//! The generator draws a stream by weight on *every* data access and the
+//! [`Hot`](StreamSpec::Hot) primitive draws a uniform word within its
+//! region, so a profile built purely from `Hot` streams is an exact
+//! independent reference model: each data access independently lands on
+//! block `b` with a fixed probability `q_b`. This module computes those
+//! probabilities, word-exactly. Stateful primitives (`Strided`, `Chase`,
+//! `Conflict`) are *not* memoryless, so profiles using them report `None`
+//! rather than a wrong distribution.
+
+use std::collections::BTreeMap;
+
+use crate::profile::BenchmarkProfile;
+use crate::streams::StreamSpec;
+
+impl BenchmarkProfile {
+    /// The exact per-block probability distribution of this profile's
+    /// data accesses, aggregated to `line_bytes` blocks, or `None` if
+    /// any stream is stateful (non-IRM).
+    ///
+    /// Probabilities sum to one (up to rounding) and entries are sorted
+    /// by block base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn block_distribution(&self, line_bytes: u64) -> Option<Vec<(u64, f64)>> {
+        block_distribution(self, line_bytes)
+    }
+}
+
+/// Free-function form of [`BenchmarkProfile::block_distribution`].
+pub fn block_distribution(profile: &BenchmarkProfile, line_bytes: u64) -> Option<Vec<(u64, f64)>> {
+    assert!(line_bytes > 0, "line size must be positive");
+    let total: f64 = profile
+        .data
+        .iter()
+        .map(|(w, _)| *w)
+        .filter(|w| *w > 0.0)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut blocks: BTreeMap<u64, f64> = BTreeMap::new();
+    for (weight, spec) in &profile.data {
+        if *weight <= 0.0 {
+            continue;
+        }
+        match *spec {
+            StreamSpec::Hot { base, bytes } => {
+                // The stream draws word i uniformly from 0..words and
+                // accesses base + 4i (see StreamState::next).
+                let words = (bytes / 4).max(1);
+                let per_word = weight / total / words as f64;
+                let last_word = base + (words - 1) * 4;
+                // Number of stream words strictly below byte address x.
+                let words_below = |x: u64| (x.saturating_sub(base)).div_ceil(4).min(words);
+                let mut block = base - base % line_bytes;
+                while block <= last_word {
+                    let count = words_below(block + line_bytes) - words_below(block.max(base));
+                    if count > 0 {
+                        *blocks.entry(block).or_insert(0.0) += count as f64 * per_word;
+                    }
+                    block += line_bytes;
+                }
+            }
+            // Stateful streams are not memoryless: no IRM distribution.
+            StreamSpec::Strided { .. } | StreamSpec::Chase { .. } | StreamSpec::Conflict { .. } => {
+                return None
+            }
+        }
+    }
+    Some(blocks.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::CodeLayout;
+    use crate::profile::{InstrMix, Suite};
+
+    fn hot_profile(data: Vec<(f64, StreamSpec)>) -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "toy",
+            suite: Suite::Int,
+            code: CodeLayout::tiny(0x40_0000, 2048),
+            data,
+            mix: InstrMix::int(),
+            mispredict_rate: 0.05,
+        }
+    }
+
+    #[test]
+    fn aligned_hot_region_splits_evenly() {
+        let p = hot_profile(vec![(
+            1.0,
+            StreamSpec::Hot {
+                base: 0x1000,
+                bytes: 64,
+            },
+        )]);
+        let d = p.block_distribution(32).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, 0x1000);
+        assert_eq!(d[1].0, 0x1020);
+        for &(_, q) in &d {
+            assert!((q - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unaligned_hot_region_weights_edge_blocks_exactly() {
+        // 16 words starting at 0x1010: 4 words in block 0x1000, 8 in
+        // 0x1020, 4 in 0x1040.
+        let p = hot_profile(vec![(
+            1.0,
+            StreamSpec::Hot {
+                base: 0x1010,
+                bytes: 64,
+            },
+        )]);
+        let d = p.block_distribution(32).unwrap();
+        assert_eq!(d, vec![(0x1000, 0.25), (0x1020, 0.5), (0x1040, 0.25)]);
+    }
+
+    #[test]
+    fn stream_weights_scale_block_probabilities() {
+        let p = hot_profile(vec![
+            (
+                3.0,
+                StreamSpec::Hot {
+                    base: 0x1000,
+                    bytes: 32,
+                },
+            ),
+            (
+                1.0,
+                StreamSpec::Hot {
+                    base: 0x2000,
+                    bytes: 32,
+                },
+            ),
+        ]);
+        let d = p.block_distribution(32).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d[0].1 - 0.75).abs() < 1e-12);
+        assert!((d[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = hot_profile(vec![
+            (
+                2.5,
+                StreamSpec::Hot {
+                    base: 0x1004,
+                    bytes: 1000,
+                },
+            ),
+            (
+                0.5,
+                StreamSpec::Hot {
+                    base: 0x5550,
+                    bytes: 12,
+                },
+            ),
+        ]);
+        let d = p.block_distribution(32).unwrap();
+        let total: f64 = d.iter().map(|(_, q)| q).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn stateful_streams_are_not_irm() {
+        for spec in [
+            StreamSpec::Strided {
+                base: 0,
+                bytes: 1 << 20,
+                stride: 8,
+            },
+            StreamSpec::Chase {
+                base: 0,
+                bytes: 1 << 16,
+            },
+            StreamSpec::Conflict {
+                base: 0,
+                arrays: 4,
+                spacing: 16 * 1024,
+                bytes: 128,
+                stride: 32,
+            },
+        ] {
+            let p = hot_profile(vec![
+                (
+                    1.0,
+                    StreamSpec::Hot {
+                        base: 0x1000,
+                        bytes: 64,
+                    },
+                ),
+                (1.0, spec),
+            ]);
+            assert_eq!(p.block_distribution(32), None);
+        }
+    }
+
+    #[test]
+    fn spec_profiles_mixing_stateful_streams_report_none() {
+        // The SPEC-like profiles all mix in strided/chase/conflict
+        // streams; none of them should claim to be IRM.
+        for name in ["gzip", "mcf", "equake"] {
+            let p = crate::profiles::by_name(name).unwrap();
+            assert_eq!(p.block_distribution(32), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn tiny_region_is_a_single_word() {
+        let p = hot_profile(vec![(
+            1.0,
+            StreamSpec::Hot {
+                base: 0x2000,
+                bytes: 2,
+            },
+        )]);
+        let d = p.block_distribution(32).unwrap();
+        assert_eq!(d, vec![(0x2000, 1.0)]);
+    }
+}

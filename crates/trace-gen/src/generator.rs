@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::code::CodeWalker;
-use crate::profile::BenchmarkProfile;
+use crate::profile::{BenchmarkProfile, ProfileError};
 use crate::record::{Op, TraceBuffer, TraceRecord};
 use crate::streams::StreamState;
 
@@ -42,18 +42,40 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if the profile has no data streams or an invalid mix.
+    /// Panics if [`BenchmarkProfile::validate`] rejects the profile —
+    /// no data streams, non-positive stream weights, empty working
+    /// sets, or an invalid mix. Use [`Trace::try_new`] for a clean
+    /// error instead.
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
-        assert!(
-            !profile.data.is_empty(),
-            "profile must have at least one data stream"
-        );
-        assert!(profile.mix.is_valid(), "invalid instruction mix");
+        match Self::try_new(profile, seed) {
+            Ok(trace) => trace,
+            Err(ProfileError::NoDataStreams) => {
+                panic!("profile must have at least one data stream")
+            }
+            Err(ProfileError::InvalidMix) => panic!("invalid instruction mix"),
+            Err(e @ ProfileError::BadStreamWeight { .. }) => {
+                panic!("stream weights must be positive: {e}")
+            }
+            Err(e) => panic!("invalid profile: {e}"),
+        }
+    }
+
+    /// Creates a generator for `profile` seeded with `seed`, validating
+    /// the profile first.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ProfileError`] found by
+    /// [`BenchmarkProfile::validate`]. Historically zero-weight streams
+    /// and empty working sets were accepted silently (a zero-weight
+    /// stream could even be drawn through floating-point residue in the
+    /// weighted selection); they are rejected here.
+    pub fn try_new(profile: &BenchmarkProfile, seed: u64) -> Result<Self, ProfileError> {
+        profile.validate()?;
         let streams: Vec<StreamState> = profile.data.iter().map(|(_, s)| s.instantiate()).collect();
         let weights: Vec<f64> = profile.data.iter().map(|(w, _)| *w).collect();
         let total_weight: f64 = weights.iter().sum();
-        assert!(total_weight > 0.0, "stream weights must be positive");
-        Trace {
+        Ok(Trace {
             rng: StdRng::seed_from_u64(seed ^ 0xB1A5_CACE),
             code: profile.code.walker(),
             streams,
@@ -61,7 +83,7 @@ impl Trace {
             total_weight,
             mix: profile.mix,
             mispredict_rate: profile.mispredict_rate,
-        }
+        })
     }
 
     /// Packs the first `records` records into a [`TraceBuffer`] — the
@@ -256,5 +278,58 @@ mod tests {
         let mut p = toy_profile();
         p.data.clear();
         Trace::new(&p, 0);
+    }
+
+    #[test]
+    fn try_new_reports_clean_errors() {
+        use crate::profile::ProfileError;
+
+        let mut p = toy_profile();
+        p.data.clear();
+        assert_eq!(
+            Trace::try_new(&p, 0).err(),
+            Some(ProfileError::NoDataStreams)
+        );
+
+        let mut p = toy_profile();
+        p.data[0].0 = 0.0;
+        assert!(matches!(
+            Trace::try_new(&p, 0),
+            Err(ProfileError::BadStreamWeight { index: 0, .. })
+        ));
+
+        let mut p = toy_profile();
+        p.data[1].1 = StreamSpec::Strided {
+            base: 0x2000_0000,
+            bytes: 0,
+            stride: 8,
+        };
+        assert!(matches!(
+            Trace::try_new(&p, 0),
+            Err(ProfileError::EmptyStream {
+                index: 1,
+                what: "bytes"
+            })
+        ));
+
+        assert!(Trace::try_new(&toy_profile(), 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "stream weights must be positive")]
+    fn new_panics_on_zero_weight_streams() {
+        let mut p = toy_profile();
+        p.data[0].0 = 0.0;
+        Trace::new(&p, 0);
+    }
+
+    #[test]
+    fn every_shipped_profile_generates() {
+        for p in crate::profiles::all()
+            .iter()
+            .chain(&crate::synthetic::all())
+        {
+            assert!(Trace::try_new(p, 1).is_ok(), "{}", p.name);
+        }
     }
 }

@@ -12,6 +12,9 @@
 //! * [`code`] — instruction-stream modelling (loops, helper calls,
 //!   conflicting hot functions);
 //! * [`profile`] / [`profiles`] — the 26 benchmark descriptions;
+//! * [`synthetic`] — families with exactly known address distributions
+//!   (uniform, zipf-like tiers, the adversarial `birthday` family);
+//! * [`dist`] — distribution introspection for the analytical oracle;
 //! * [`generator::Trace`] — the deterministic generator.
 //!
 //! ## Quick start
@@ -31,18 +34,20 @@
 #![warn(missing_debug_implementations)]
 
 pub mod code;
+pub mod dist;
 pub mod generator;
 pub mod kernels;
 pub mod profile;
 pub mod profiles;
 pub mod record;
 pub mod streams;
+pub mod synthetic;
 pub mod vm;
 
 pub use code::{CodeLayout, CodeLoop, CodeSegment, CodeWalker};
 pub use generator::Trace;
 pub use kernels::{run_kernel, Kernel};
-pub use profile::{BenchmarkProfile, InstrMix, Suite};
+pub use profile::{BenchmarkProfile, InstrMix, ProfileError, Suite};
 pub use record::{Op, TraceBuffer, TraceIter, TraceRecord};
 pub use streams::{StreamSpec, StreamState};
 pub use vm::{Insn, Machine, Program};

@@ -85,10 +85,113 @@ pub struct BenchmarkProfile {
     pub mispredict_rate: f64,
 }
 
+/// A structural defect found while validating a [`BenchmarkProfile`].
+///
+/// Historically the generator accepted zero-probability streams and
+/// empty working sets silently (a zero-weight stream could even be
+/// drawn through floating-point residue in the weighted selection);
+/// [`BenchmarkProfile::validate`] rejects them with a precise error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileError {
+    /// The profile has no data streams at all.
+    NoDataStreams,
+    /// A stream weight is zero, negative, NaN or infinite.
+    BadStreamWeight {
+        /// Position of the stream in `data`.
+        index: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A stream describes an empty working set.
+    EmptyStream {
+        /// Position of the stream in `data`.
+        index: usize,
+        /// Which parameter is empty (`"bytes"` or `"arrays"`).
+        what: &'static str,
+    },
+    /// The instruction-mix fractions are out of range.
+    InvalidMix,
+    /// The mispredict rate is not a probability.
+    BadMispredictRate {
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::NoDataStreams => {
+                write!(f, "profile must have at least one data stream")
+            }
+            ProfileError::BadStreamWeight { index, weight } => {
+                write!(f, "stream {index} has non-positive weight {weight}")
+            }
+            ProfileError::EmptyStream { index, what } => {
+                write!(f, "stream {index} has an empty working set (zero {what})")
+            }
+            ProfileError::InvalidMix => write!(f, "invalid instruction mix"),
+            ProfileError::BadMispredictRate { rate } => {
+                write!(f, "mispredict rate {rate} is not a probability")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 impl BenchmarkProfile {
     /// Total data footprint in bytes (diagnostics).
     pub fn data_footprint(&self) -> u64 {
         self.data.iter().map(|(_, s)| s.footprint()).sum()
+    }
+
+    /// Checks the profile for structural defects: missing streams,
+    /// non-positive or non-finite weights, empty working sets, and
+    /// out-of-range mix fractions or mispredict rates.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ProfileError`] found, in `data` order.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.data.is_empty() {
+            return Err(ProfileError::NoDataStreams);
+        }
+        for (index, (weight, spec)) in self.data.iter().enumerate() {
+            if !weight.is_finite() || *weight <= 0.0 {
+                return Err(ProfileError::BadStreamWeight {
+                    index,
+                    weight: *weight,
+                });
+            }
+            let empty = |what| ProfileError::EmptyStream { index, what };
+            match *spec {
+                StreamSpec::Hot { bytes, .. }
+                | StreamSpec::Strided { bytes, .. }
+                | StreamSpec::Chase { bytes, .. } => {
+                    if bytes == 0 {
+                        return Err(empty("bytes"));
+                    }
+                }
+                StreamSpec::Conflict { arrays, bytes, .. } => {
+                    if arrays == 0 {
+                        return Err(empty("arrays"));
+                    }
+                    if bytes == 0 {
+                        return Err(empty("bytes"));
+                    }
+                }
+            }
+        }
+        if !self.mix.is_valid() {
+            return Err(ProfileError::InvalidMix);
+        }
+        if !self.mispredict_rate.is_finite() || !(0.0..=1.0).contains(&self.mispredict_rate) {
+            return Err(ProfileError::BadMispredictRate {
+                rate: self.mispredict_rate,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +237,134 @@ mod tests {
     fn suite_display() {
         assert_eq!(Suite::Int.to_string(), "CINT2K");
         assert_eq!(Suite::Fp.to_string(), "CFP2K");
+    }
+
+    fn valid_profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "toy",
+            suite: Suite::Int,
+            code: CodeLayout::tiny(0, 1024),
+            data: vec![(
+                1.0,
+                StreamSpec::Hot {
+                    base: 0x1000,
+                    bytes: 4096,
+                },
+            )],
+            mix: InstrMix::int(),
+            mispredict_rate: 0.05,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_profiles() {
+        assert_eq!(valid_profile().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_missing_streams() {
+        let mut p = valid_profile();
+        p.data.clear();
+        assert_eq!(p.validate(), Err(ProfileError::NoDataStreams));
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_nonfinite_weights() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut p = valid_profile();
+            p.data.push((
+                bad,
+                StreamSpec::Chase {
+                    base: 0,
+                    bytes: 1 << 16,
+                },
+            ));
+            assert!(
+                matches!(
+                    p.validate(),
+                    Err(ProfileError::BadStreamWeight { index: 1, .. })
+                ),
+                "weight {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_working_sets() {
+        let mut p = valid_profile();
+        p.data[0].1 = StreamSpec::Hot { base: 0, bytes: 0 };
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::EmptyStream {
+                index: 0,
+                what: "bytes"
+            })
+        );
+        p.data[0].1 = StreamSpec::Conflict {
+            base: 0,
+            arrays: 0,
+            spacing: 16 * 1024,
+            bytes: 128,
+            stride: 32,
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ProfileError::EmptyStream {
+                index: 0,
+                what: "arrays"
+            })
+        );
+        p.data[0].1 = StreamSpec::Strided {
+            base: 0,
+            bytes: 0,
+            stride: 8,
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::EmptyStream { what: "bytes", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_mix_and_mispredict() {
+        let mut p = valid_profile();
+        p.mix.load = 1.5;
+        assert_eq!(p.validate(), Err(ProfileError::InvalidMix));
+        let mut p = valid_profile();
+        p.mispredict_rate = 1.5;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::BadMispredictRate { .. })
+        ));
+    }
+
+    #[test]
+    fn every_shipped_profile_validates() {
+        for p in crate::profiles::all() {
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+        }
+        for p in crate::synthetic::all() {
+            assert_eq!(p.validate(), Ok(()), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn profile_errors_display() {
+        for e in [
+            ProfileError::NoDataStreams,
+            ProfileError::BadStreamWeight {
+                index: 2,
+                weight: 0.0,
+            },
+            ProfileError::EmptyStream {
+                index: 1,
+                what: "bytes",
+            },
+            ProfileError::InvalidMix,
+            ProfileError::BadMispredictRate { rate: 2.0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

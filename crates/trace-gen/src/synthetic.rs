@@ -1,0 +1,233 @@
+//! Synthetic profile families with *exactly known* address
+//! distributions — the workloads the analytical oracle is checked
+//! against, plus the adversarial `birthday` family.
+//!
+//! Unlike the SPEC-like profiles in [`crate::profiles`], every family
+//! here is built purely from [`StreamSpec::Hot`] primitives, so each
+//! data access is an independent draw from a fixed block distribution
+//! (see [`crate::dist`]) and the closed-form miss-rate models apply
+//! exactly:
+//!
+//! * [`uniform64k`] — uniform over a 64 kB region: 8 equally hot blocks
+//!   per set of the 16 kB baseline;
+//! * [`zipf8`] — eight working-set tiers with harmonically decaying
+//!   weights, a zipf-like popularity skew;
+//! * [`birthday`] — the adversary: `k` equally hot blocks spaced
+//!   [`BIRTHDAY_SPACING`] apart so *every* block shares one set of any
+//!   conventional cache up to [`BIRTHDAY_SPACING`] bytes — and one
+//!   NPI group *and* one PI class of the paper's B-Cache designs,
+//!   defeating the programmable decoder. Expected steady-state miss
+//!   rate is `1 − min(capacity, k)/k` with `capacity = 1` for both the
+//!   direct-mapped cache and the B-Cache (see `analytic::birthday`).
+
+use crate::code::CodeLayout;
+use crate::profile::{BenchmarkProfile, InstrMix, Suite};
+use crate::streams::StreamSpec;
+
+/// Base of the synthetic data region, clear of every SPEC-like
+/// profile's address ranges.
+pub const SYNTH_BASE: u64 = 0x6000_0000;
+
+/// Block spacing of the [`birthday`] adversary: a power of two larger
+/// than the index+PI span of every cache under study, so spaced blocks
+/// agree on all index, NPI and PI bits.
+pub const BIRTHDAY_SPACING: u64 = 1 << 19;
+
+fn synth(name: &'static str, data: Vec<(f64, StreamSpec)>) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        suite: Suite::Int,
+        code: CodeLayout::tiny(0x0040_0000, 2048),
+        data,
+        mix: InstrMix::int(),
+        mispredict_rate: 0.05,
+    }
+}
+
+/// Uniform random words over one 64 kB region (2048 blocks of 32 B —
+/// four times the 16 kB baseline, eight blocks per direct-mapped set).
+pub fn uniform64k() -> BenchmarkProfile {
+    synth(
+        "uniform64k",
+        vec![(
+            1.0,
+            StreamSpec::Hot {
+                base: SYNTH_BASE,
+                bytes: 64 * 1024,
+            },
+        )],
+    )
+}
+
+/// Zipf-like tiered working set: eight 2 kB tiers, tier `t` drawn with
+/// weight `1/(t+1)`. Tier bases are staggered by `2^20 + 2^13` bytes so
+/// consecutive tiers land on shifted direct-mapped set ranges as well
+/// as distinct tags, while each 16 kB MF8/BAS8 NPI group sees exactly
+/// one block per tier in its own PI class — the whole footprint fits a
+/// 16 kB B-Cache (analytic steady-state miss 0) but conflicts in the
+/// direct-mapped and 4-way baselines.
+pub fn zipf8() -> BenchmarkProfile {
+    let data = (0..8u64)
+        .map(|t| {
+            (
+                1.0 / (t + 1) as f64,
+                StreamSpec::Hot {
+                    base: SYNTH_BASE + t * ((1 << 20) | (1 << 13)),
+                    bytes: 2 * 1024,
+                },
+            )
+        })
+        .collect();
+    synth("zipf8", data)
+}
+
+/// The birthday adversary: `k` equally hot single-block working sets
+/// spaced [`BIRTHDAY_SPACING`] apart.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or the blocks would leave the 32-bit address
+/// space.
+pub fn birthday(k: usize) -> BenchmarkProfile {
+    assert!(k > 0, "need at least one block");
+    assert!(
+        SYNTH_BASE + k as u64 * BIRTHDAY_SPACING < (1 << 32),
+        "k={k} leaves the 32-bit address space"
+    );
+    let name = match k {
+        8 => "birthday8",
+        16 => "birthday16",
+        32 => "birthday32",
+        64 => "birthday64",
+        _ => "birthday",
+    };
+    let data = (0..k as u64)
+        .map(|i| {
+            (
+                1.0,
+                StreamSpec::Hot {
+                    base: SYNTH_BASE + i * BIRTHDAY_SPACING,
+                    bytes: 32,
+                },
+            )
+        })
+        .collect();
+    synth(name, data)
+}
+
+/// Every synthetic family at its oracle-default parameters.
+pub fn all() -> Vec<BenchmarkProfile> {
+    vec![uniform64k(), zipf8(), birthday(16), birthday(64)]
+}
+
+/// Looks up a synthetic family by its profile name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    match name {
+        "uniform64k" => Some(uniform64k()),
+        "zipf8" => Some(zipf8()),
+        "birthday8" => Some(birthday(8)),
+        "birthday16" => Some(birthday(16)),
+        "birthday32" => Some(birthday(32)),
+        "birthday64" => Some(birthday(64)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve_and_validate() {
+        for name in [
+            "uniform64k",
+            "zipf8",
+            "birthday8",
+            "birthday16",
+            "birthday32",
+            "birthday64",
+        ] {
+            let p = by_name(name).unwrap();
+            assert_eq!(p.name, name);
+            assert_eq!(p.validate(), Ok(()));
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_family_is_irm() {
+        for p in all() {
+            let d = p.block_distribution(32).unwrap();
+            let total: f64 = d.iter().map(|(_, q)| q).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn uniform64k_is_uniform_over_2048_blocks() {
+        let d = uniform64k().block_distribution(32).unwrap();
+        assert_eq!(d.len(), 2048);
+        for &(_, q) in &d {
+            assert!((q - 1.0 / 2048.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf8_weights_decay_harmonically() {
+        let d = zipf8().block_distribution(32).unwrap();
+        assert_eq!(d.len(), 8 * 64);
+        // First tier's blocks carry 1/H8 of the mass spread over 64
+        // blocks; tier t carries 1/(t+1)/H8.
+        let h8: f64 = (1..=8).map(|t| 1.0 / t as f64).sum();
+        let q_tier0 = d
+            .iter()
+            .filter(|(a, _)| (SYNTH_BASE..SYNTH_BASE + 2 * 1024).contains(a))
+            .map(|(_, q)| q)
+            .sum::<f64>();
+        assert!((q_tier0 - 1.0 / h8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf8_tiers_split_one_pi_class_per_npi_group() {
+        // The 16 kB MF8/BAS8 layout: NPI bits [5, 11), PI bits [11, 17).
+        // Every NPI group must see all eight tiers, each as a distinct
+        // single-block PI class — that is what makes the family's
+        // analytic B-Cache model tractable (8 classes at capacity 8).
+        let d = zipf8().block_distribution(32).unwrap();
+        let npi = |a: u64| (a >> 5) & 0x3F;
+        let pi = |a: u64| (a >> 11) & 0x3F;
+        let mut per_group: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+            std::collections::BTreeMap::new();
+        for &(a, _) in &d {
+            per_group.entry(npi(a)).or_default().insert(pi(a));
+        }
+        assert_eq!(per_group.len(), 64);
+        for (g, pis) in per_group {
+            assert_eq!(pis.len(), 8, "group {g} must hold 8 distinct PI classes");
+        }
+    }
+
+    #[test]
+    fn birthday_blocks_share_index_and_pi() {
+        let d = birthday(64).block_distribution(32).unwrap();
+        assert_eq!(d.len(), 64);
+        // 16 kB direct-mapped index: bits [5, 14).
+        let index = |a: u64| (a >> 5) & 0x1FF;
+        // 16 kB MF=8/BAS=8 B-Cache: NPI bits [5, 11), PI bits [11, 17).
+        let npi = |a: u64| (a >> 5) & 0x3F;
+        let pi = |a: u64| (a >> 11) & 0x3F;
+        let first = d[0].0;
+        for &(a, q) in &d {
+            assert_eq!(index(a), index(first));
+            assert_eq!(npi(a), npi(first));
+            assert_eq!(pi(a), pi(first));
+            assert!((q - 1.0 / 64.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit address space")]
+    fn birthday_rejects_overflowing_k() {
+        birthday(10_000);
+    }
+}
