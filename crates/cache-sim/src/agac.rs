@@ -8,12 +8,18 @@
 //! two extra cycles (the paper: "the AGAC needs three cycles to access
 //! those relocated cache lines", versus one cycle for every B-Cache hit).
 
+use telemetry::{Event, MissKind, NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::stats::{CacheStats, SetUsage};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// The adaptive group-associative cache.
+///
+/// Both access paths run through one shared, always-inlined step, so
+/// per-access and [`CacheModel::access_batch`] are bit-identical —
+/// statistics, directory state, and [`Observer`] events alike.
 ///
 /// # Examples
 ///
@@ -26,16 +32,24 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct AgacCache {
+pub struct AgacCache<O: Observer = NullObserver> {
     geom: CacheGeometry,
     // Per frame: resident block id (addr >> offset), validity, dirtiness,
-    // and a reference bit that decays periodically.
+    // and a reference bit that decays periodically. The reference bits
+    // live in a bitmap so hole scans run a word at a time; bits past
+    // `frames` in the last word stay permanently set so the scan never
+    // reports a frame that does not exist.
     blocks: Vec<u64>,
     valid: Vec<bool>,
     dirty: Vec<bool>,
-    referenced: Vec<bool>,
+    referenced: Vec<u64>,
+    ref_tail_mask: u64,
     // Out-of-position directory: (block id, frame) pairs, FIFO-replaced.
+    // The counting filter over-approximates the directory's id set (256
+    // buckets keyed by low id bits) so the common case — an id nowhere in
+    // the directory — skips the linear probe and the retain sweeps.
     out_dir: Vec<(u64, usize)>,
+    out_filter: Vec<u32>,
     out_capacity: usize,
     out_next: usize,
     // Reference bits are cleared every `decay_period` accesses.
@@ -45,6 +59,7 @@ pub struct AgacCache {
     stats: CacheStats,
     usage: SetUsage,
     relocated_hits: u64,
+    observer: O,
 }
 
 impl AgacCache {
@@ -59,15 +74,42 @@ impl AgacCache {
         line_bytes: usize,
         out_entries: usize,
     ) -> Result<Self, GeometryError> {
+        Self::with_observer(size_bytes, line_bytes, out_entries, NullObserver)
+    }
+}
+
+impl<O: Observer> AgacCache<O> {
+    /// Like [`AgacCache::new`], with an observer wired into both access
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        out_entries: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 1)?;
         let frames = geom.sets();
+        let ref_words = frames.div_ceil(64);
+        let ref_tail_mask = if frames % 64 == 0 {
+            0
+        } else {
+            !0u64 << (frames % 64)
+        };
+        let mut referenced = vec![0u64; ref_words];
+        referenced[ref_words - 1] |= ref_tail_mask;
         Ok(AgacCache {
             geom,
             blocks: vec![0; frames],
             valid: vec![false; frames],
             dirty: vec![false; frames],
-            referenced: vec![false; frames],
+            referenced,
+            ref_tail_mask,
             out_dir: Vec::with_capacity(out_entries),
+            out_filter: vec![0; 256],
             out_capacity: out_entries.max(1),
             out_next: 0,
             decay_period: (frames as u64) * 4,
@@ -76,7 +118,18 @@ impl AgacCache {
             stats: CacheStats::new(),
             usage: SetUsage::new(frames),
             relocated_hits: 0,
+            observer,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     fn block_id(&self, addr: Addr) -> u64 {
@@ -96,43 +149,85 @@ impl AgacCache {
         self.relocated_hits
     }
 
+    #[inline(always)]
+    fn is_referenced(&self, frame: usize) -> bool {
+        self.referenced[frame >> 6] & (1u64 << (frame & 63)) != 0
+    }
+
+    #[inline(always)]
+    fn set_referenced(&mut self, frame: usize) {
+        self.referenced[frame >> 6] |= 1u64 << (frame & 63);
+    }
+
+    #[inline(always)]
+    fn filter_bucket(id: u64) -> usize {
+        id as usize & 0xFF
+    }
+
     fn decay_tick(&mut self) {
         self.accesses_since_decay += 1;
         if self.accesses_since_decay >= self.decay_period {
             self.accesses_since_decay = 0;
-            self.referenced.fill(false);
+            self.referenced.fill(0);
+            let last = self.referenced.len() - 1;
+            self.referenced[last] |= self.ref_tail_mask;
         }
     }
 
-    /// Finds a hole: a valid-or-empty frame whose line is not recently
-    /// referenced and which is not the excluded frame. Scans round-robin
-    /// so holes spread across the cache.
-    fn find_hole(&mut self, exclude: usize) -> Option<usize> {
-        let frames = self.geom.sets();
-        for _ in 0..frames {
-            let f = self.hole_scan;
-            self.hole_scan = (self.hole_scan + 1) % frames;
-            if f != exclude && !self.referenced[f] {
-                return Some(f);
+    /// First unreferenced frame in `[lo, hi)`, skipping `exclude`, found a
+    /// bitmap word at a time.
+    fn scan_holes(&self, lo: usize, hi: usize, exclude: usize) -> Option<usize> {
+        let mut f = lo;
+        while f < hi {
+            let w = f >> 6;
+            let mut bits = !self.referenced[w] & (!0u64 << (f & 63));
+            let word_end = (w + 1) << 6;
+            if hi < word_end {
+                bits &= (1u64 << (hi & 63)) - 1;
             }
+            if exclude >> 6 == w {
+                bits &= !(1u64 << (exclude & 63));
+            }
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            f = word_end.min(hi);
         }
         None
     }
 
-    fn evict_frame(&mut self, frame: usize) -> Option<Eviction> {
+    /// Finds a hole: a valid-or-empty frame whose line is not recently
+    /// referenced and which is not the excluded frame. Scans round-robin
+    /// so holes spread across the cache; the cursor only moves when a
+    /// hole is found, exactly like the one-frame-at-a-time scan it
+    /// replaces.
+    fn find_hole(&mut self, exclude: usize) -> Option<usize> {
+        let frames = self.geom.sets();
+        let found = self
+            .scan_holes(self.hole_scan, frames, exclude)
+            .or_else(|| self.scan_holes(0, self.hole_scan, exclude));
+        if let Some(f) = found {
+            self.hole_scan = (f + 1) % frames;
+        }
+        found
+    }
+
+    fn evict_frame(&mut self, tally: &mut BatchTally, frame: usize) -> Option<Eviction> {
         if !self.valid[frame] {
             return None;
         }
         let id = self.blocks[frame];
         // Drop any out-of-position mapping for the evicted line.
-        self.out_dir.retain(|&(b, f)| !(b == id && f == frame));
+        if self.out_filter[Self::filter_bucket(id)] > 0 {
+            let before = self.out_dir.len();
+            self.out_dir.retain(|&(b, f)| !(b == id && f == frame));
+            self.out_filter[Self::filter_bucket(id)] -= (before - self.out_dir.len()) as u32;
+        }
         let ev = Eviction {
             block: self.block_addr(id),
             dirty: self.dirty[frame],
         };
-        if ev.dirty {
-            self.stats.record_writeback();
-        }
+        tally.record_writeback_if(ev.dirty);
         self.valid[frame] = false;
         Some(ev)
     }
@@ -141,68 +236,101 @@ impl AgacCache {
         self.blocks[frame] = id;
         self.valid[frame] = true;
         self.dirty[frame] = dirty;
-        self.referenced[frame] = true;
+        self.set_referenced(frame);
     }
 
     fn record_out_of_position(&mut self, id: u64, frame: usize) {
+        self.out_filter[Self::filter_bucket(id)] += 1;
         if self.out_dir.len() < self.out_capacity {
             self.out_dir.push((id, frame));
         } else {
             self.out_next %= self.out_capacity;
+            let (old, _) = self.out_dir[self.out_next];
+            self.out_filter[Self::filter_bucket(old)] -= 1;
             self.out_dir[self.out_next] = (id, frame);
             self.out_next += 1;
         }
     }
-}
 
-impl CacheModel for AgacCache {
-    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+    /// One access. Shared verbatim by both paths, so their statistics,
+    /// directory state and event sequences agree by construction.
+    #[inline(always)]
+    fn step(&mut self, tally: &mut BatchTally, addr: Addr, kind: AccessKind) -> AccessResult {
         self.decay_tick();
         let id = self.block_id(addr);
         let home = self.home_frame(id);
 
         // In-position hit: one cycle.
         if self.valid[home] && self.blocks[home] == id {
-            self.stats.record(kind, true);
+            tally.record(kind, true);
             self.usage.record(home, true);
-            self.referenced[home] = true;
+            if O::ENABLED {
+                self.observer.event(Event::SetTouch {
+                    set: home as u64,
+                    hit: true,
+                });
+            }
+            self.set_referenced(home);
             if kind.is_write() {
                 self.dirty[home] = true;
             }
             return AccessResult::hit();
         }
 
-        // Out-of-position hit: the directory names the hole frame.
-        if let Some(pos) = self
-            .out_dir
-            .iter()
-            .position(|&(b, f)| b == id && self.valid[f] && self.blocks[f] == id)
-        {
-            let (_, frame) = self.out_dir[pos];
-            self.stats.record(kind, true);
-            self.usage.record(frame, true);
-            self.relocated_hits += 1;
-            self.referenced[frame] = true;
-            if kind.is_write() {
-                self.dirty[frame] = true;
+        // Out-of-position hit: the directory names the hole frame. The
+        // filter rules out most ids without touching the directory.
+        if self.out_filter[Self::filter_bucket(id)] > 0 {
+            if let Some(pos) = self
+                .out_dir
+                .iter()
+                .position(|&(b, f)| b == id && self.valid[f] && self.blocks[f] == id)
+            {
+                let (_, frame) = self.out_dir[pos];
+                tally.record(kind, true);
+                self.usage.record(frame, true);
+                if O::ENABLED {
+                    self.observer.event(Event::SetTouch {
+                        set: frame as u64,
+                        hit: true,
+                    });
+                }
+                self.relocated_hits += 1;
+                self.set_referenced(frame);
+                if kind.is_write() {
+                    self.dirty[frame] = true;
+                }
+                return AccessResult::slow_hit(2);
             }
-            return AccessResult::slow_hit(2);
         }
 
         // Miss. The incoming line takes its home frame; a recently used
         // resident is relocated into a hole instead of dying.
-        self.stats.record(kind, false);
+        tally.record(kind, false);
         self.usage.record(home, false);
+        if O::ENABLED {
+            self.observer.event(Event::Miss {
+                kind: MissKind::Tag,
+            });
+            self.observer.event(Event::SetTouch {
+                set: home as u64,
+                hit: false,
+            });
+        }
         let mut evicted = None;
         if self.valid[home] {
-            if self.referenced[home] {
+            if self.is_referenced(home) {
                 if let Some(hole) = self.find_hole(home) {
-                    let displaced_ev = self.evict_frame(hole);
+                    let displaced_ev = self.evict_frame(tally, hole);
                     let moved_id = self.blocks[home];
                     let moved_dirty = self.dirty[home];
                     // Remove a stale out-dir entry for the moved line (it
                     // may itself have been out of position) and re-record.
-                    self.out_dir.retain(|&(b, _)| b != moved_id);
+                    if self.out_filter[Self::filter_bucket(moved_id)] > 0 {
+                        let before = self.out_dir.len();
+                        self.out_dir.retain(|&(b, _)| b != moved_id);
+                        self.out_filter[Self::filter_bucket(moved_id)] -=
+                            (before - self.out_dir.len()) as u32;
+                    }
                     self.install(hole, moved_id, moved_dirty);
                     if self.home_frame(moved_id) != hole {
                         self.record_out_of_position(moved_id, hole);
@@ -210,14 +338,34 @@ impl CacheModel for AgacCache {
                     self.valid[home] = false;
                     evicted = displaced_ev;
                 } else {
-                    evicted = self.evict_frame(home);
+                    evicted = self.evict_frame(tally, home);
                 }
             } else {
-                evicted = self.evict_frame(home);
+                evicted = self.evict_frame(tally, home);
             }
         }
         self.install(home, id, kind.is_write());
         AccessResult::miss(evicted)
+    }
+}
+
+impl<O: Observer> CacheModel for AgacCache<O> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let mut tally = BatchTally::new();
+        let result = self.step(&mut tally, addr, kind);
+        tally.flush(&mut self.stats);
+        result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Shared-step replay with register-tallied stats. Bit-identical
+        // to the `access` loop (the batch-equivalence suite enforces it,
+        // events included).
+        let mut tally = BatchTally::new();
+        for &(addr, kind) in accesses {
+            self.step(&mut tally, addr, kind);
+        }
+        tally.flush(&mut self.stats);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -364,5 +512,59 @@ mod tests {
             seen.insert(addr);
         }
         assert!(c.stats().total().misses() >= seen.len() as u64);
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x0F1E_2D3Cu64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = AgacCache::new(1024, 32, 8).unwrap();
+        let mut batched = AgacCache::new(1024, 32, 8).unwrap();
+        let accesses = fuzz_accesses(6_000, 13);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.usage, batched.usage, "usage counters");
+        assert_eq!(looped.blocks, batched.blocks, "block ids");
+        assert_eq!(looped.valid, batched.valid, "valid bits");
+        assert_eq!(looped.dirty, batched.dirty, "dirty bits");
+        assert_eq!(looped.referenced, batched.referenced, "reference bits");
+        assert_eq!(looped.out_dir, batched.out_dir, "out-of-position dir");
+        assert_eq!(looped.out_next, batched.out_next, "FIFO cursors");
+        assert_eq!(looped.hole_scan, batched.hole_scan, "hole scan cursors");
+        assert_eq!(looped.relocated_hits, batched.relocated_hits);
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 29);
+        let mut looped = AgacCache::with_observer(1024, 32, 8, EventRing::new(64 * 1024)).unwrap();
+        let mut batched = AgacCache::with_observer(1024, 32, 8, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 }

@@ -1,0 +1,125 @@
+//! Monomorphized CAM-search primitives over packed line words.
+//!
+//! The B-Cache kernel's fused programmable-decoder probe showed the
+//! pattern: a fully-associative search over a const-width array of
+//! packed `u64` words compiles to straight-line, branch-free compares
+//! that the backend vectorizes. This module generalizes that trick so
+//! every model with a CAM-style structure — the victim buffer's
+//! 16-entry FA search, AGAC's out-of-position directory, the HAC
+//! subarrays — shares one implementation.
+//!
+//! Each helper takes a const generic width `N`; `N == 0` selects a
+//! runtime-width fallback with identical semantics (first match /
+//! first invalid / first minimum), so callers dispatch on the common
+//! power-of-two widths and fall back for exotic shapes.
+
+use crate::packed;
+
+/// Index of the first word whose packed tag matches `tag`, if any.
+///
+/// With `N > 0` the scan unrolls into a branchless match-mask followed
+/// by a single `trailing_zeros`; `N == 0` degrades to a linear scan.
+#[inline(always)]
+pub(crate) fn find_match<const N: usize>(words: &[u64], tag: u64) -> Option<usize> {
+    if N == 0 {
+        return words.iter().position(|&w| packed::matches(w, tag));
+    }
+    debug_assert_eq!(
+        words.len(),
+        N,
+        "const-width CAM called on a mismatched slice"
+    );
+    let mut mask = 0u64;
+    for (i, &w) in words[..N].iter().enumerate() {
+        mask |= (packed::matches(w, tag) as u64) << i;
+    }
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// Index of the first invalid (empty) word, if any.
+#[inline(always)]
+pub(crate) fn find_invalid<const N: usize>(words: &[u64]) -> Option<usize> {
+    if N == 0 {
+        return words.iter().position(|&w| !packed::is_valid(w));
+    }
+    debug_assert_eq!(
+        words.len(),
+        N,
+        "const-width CAM called on a mismatched slice"
+    );
+    let mut mask = 0u64;
+    for (i, &w) in words[..N].iter().enumerate() {
+        mask |= (!packed::is_valid(w) as u64) << i;
+    }
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// Index of the minimum stamp (ties break to the lowest index), i.e.
+/// exactly the victim [`crate::replacement::Lru`] would choose.
+#[inline(always)]
+pub(crate) fn min_stamp<const N: usize>(stamps: &[u64]) -> usize {
+    if N == 0 {
+        return stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+    }
+    debug_assert_eq!(
+        stamps.len(),
+        N,
+        "const-width CAM called on a mismatched slice"
+    );
+    let mut best = 0usize;
+    for (i, &s) in stamps.iter().enumerate().take(N).skip(1) {
+        if s < stamps[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_and_runtime_widths_agree() {
+        let words = [
+            packed::fill(7, false),
+            packed::EMPTY,
+            packed::fill(7, true),
+            packed::fill(9, false),
+        ];
+        assert_eq!(find_match::<4>(&words, 7), Some(0));
+        assert_eq!(find_match::<0>(&words, 7), Some(0));
+        assert_eq!(find_match::<4>(&words, 9), Some(3));
+        assert_eq!(find_match::<0>(&words, 9), Some(3));
+        assert_eq!(find_match::<4>(&words, 11), None);
+        assert_eq!(find_match::<0>(&words, 11), None);
+        assert_eq!(find_invalid::<4>(&words), Some(1));
+        assert_eq!(find_invalid::<0>(&words), Some(1));
+        let full = [packed::fill(1, false); 4];
+        assert_eq!(find_invalid::<4>(&full), None);
+        assert_eq!(find_invalid::<0>(&full), None);
+    }
+
+    #[test]
+    fn min_stamp_breaks_ties_like_lru() {
+        // Lru::victim uses min_by_key, which keeps the first minimum.
+        assert_eq!(min_stamp::<4>(&[5, 2, 2, 9]), 1);
+        assert_eq!(min_stamp::<0>(&[5, 2, 2, 9]), 1);
+        assert_eq!(min_stamp::<1>(&[3]), 0);
+        assert_eq!(min_stamp::<0>(&[3]), 0);
+        assert_eq!(min_stamp::<4>(&[0, 0, 0, 0]), 0);
+    }
+}

@@ -8,12 +8,21 @@
 //! cost an extra cycle and swap the two blocks so the MRU block sits in
 //! its primary slot.
 
+use telemetry::{Event, MissKind, NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::stats::{CacheStats, SetUsage};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A column-associative cache.
+///
+/// Both access paths — per-access and [`CacheModel::access_batch`] — run
+/// through one shared, always-inlined step covering the primary probe,
+/// the rehash probe, and the swap/displace bookkeeping, so they are
+/// bit-identical: statistics, rehash counters, and [`Observer`] events
+/// alike. The batched path hoists the geometry split and tallies stats
+/// in registers.
 ///
 /// # Examples
 ///
@@ -27,7 +36,7 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct ColumnAssociativeCache {
+pub struct ColumnAssociativeCache<O: Observer = NullObserver> {
     geom: CacheGeometry,
     // Full block-identifying tags: tag | index, so a block can sit in
     // either of its two slots without ambiguity.
@@ -38,6 +47,7 @@ pub struct ColumnAssociativeCache {
     stats: CacheStats,
     usage: SetUsage,
     rehash_hits: u64,
+    observer: O,
 }
 
 impl ColumnAssociativeCache {
@@ -50,6 +60,22 @@ impl ColumnAssociativeCache {
     /// with a single set (the rehash function needs at least one index
     /// bit).
     pub fn new(size_bytes: usize, line_bytes: usize) -> Result<Self, GeometryError> {
+        Self::with_observer(size_bytes, line_bytes, NullObserver)
+    }
+}
+
+impl<O: Observer> ColumnAssociativeCache<O> {
+    /// Like [`ColumnAssociativeCache::new`], with an observer wired into
+    /// both access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 1)?;
         if geom.index_bits() == 0 {
             return Err(GeometryError::AssocLargerThanLines { assoc: 1, lines: 1 });
@@ -64,7 +90,18 @@ impl ColumnAssociativeCache {
             stats: CacheStats::new(),
             usage: SetUsage::new(sets),
             rehash_hits: 0,
+            observer,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The block identifier stored per line: tag and index bits together.
@@ -91,7 +128,7 @@ impl ColumnAssociativeCache {
         self.rehash_hits
     }
 
-    fn evict(&mut self, slot: usize) -> Option<Eviction> {
+    fn evict(&mut self, tally: &mut BatchTally, slot: usize) -> Option<Eviction> {
         if !self.valid[slot] {
             return None;
         }
@@ -99,9 +136,7 @@ impl ColumnAssociativeCache {
             block: self.block_addr(self.blocks[slot]),
             dirty: self.dirty[slot],
         };
-        if ev.dirty {
-            self.stats.record_writeback();
-        }
+        tally.record_writeback_if(ev.dirty);
         self.valid[slot] = false;
         Some(ev)
     }
@@ -112,18 +147,25 @@ impl ColumnAssociativeCache {
         self.dirty[slot] = dirty;
         self.rehash[slot] = rehashed;
     }
-}
 
-impl CacheModel for ColumnAssociativeCache {
-    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+    /// One access. Shared verbatim by both paths, so their statistics,
+    /// usage counters and event sequences agree by construction.
+    #[inline(always)]
+    fn step(&mut self, tally: &mut BatchTally, addr: Addr, kind: AccessKind) -> AccessResult {
         let id = self.block_id(addr);
         let i1 = self.h1(addr);
         let i2 = self.h2(addr);
 
         // First probe: the primary location.
         if self.valid[i1] && self.blocks[i1] == id {
-            self.stats.record(kind, true);
+            tally.record(kind, true);
             self.usage.record(i1, true);
+            if O::ENABLED {
+                self.observer.event(Event::SetTouch {
+                    set: i1 as u64,
+                    hit: true,
+                });
+            }
             if kind.is_write() {
                 self.dirty[i1] = true;
             }
@@ -134,17 +176,32 @@ impl CacheModel for ColumnAssociativeCache {
         // per the column-associative algorithm, do not probe further —
         // claim the primary slot immediately (the rehashed occupant loses).
         if self.valid[i1] && self.rehash[i1] {
-            self.stats.record(kind, false);
+            tally.record(kind, false);
             self.usage.record(i1, false);
-            let ev = self.evict(i1);
+            if O::ENABLED {
+                self.observer.event(Event::Miss {
+                    kind: MissKind::Tag,
+                });
+                self.observer.event(Event::SetTouch {
+                    set: i1 as u64,
+                    hit: false,
+                });
+            }
+            let ev = self.evict(tally, i1);
             self.fill(i1, id, kind.is_write(), false);
             return AccessResult::miss(ev);
         }
 
         // Second probe: the rehash location.
         if self.valid[i2] && self.blocks[i2] == id {
-            self.stats.record(kind, true);
+            tally.record(kind, true);
             self.usage.record(i2, true);
+            if O::ENABLED {
+                self.observer.event(Event::SetTouch {
+                    set: i2 as u64,
+                    hit: true,
+                });
+            }
             self.rehash_hits += 1;
             // Swap so the MRU block sits in its primary slot.
             self.blocks.swap(i1, i2);
@@ -160,9 +217,18 @@ impl CacheModel for ColumnAssociativeCache {
 
         // Full miss: the old primary resident moves to the rehash slot
         // (evicting its occupant), and the new block takes the primary.
-        self.stats.record(kind, false);
+        tally.record(kind, false);
         self.usage.record(i1, false);
-        let ev = self.evict(i2);
+        if O::ENABLED {
+            self.observer.event(Event::Miss {
+                kind: MissKind::Tag,
+            });
+            self.observer.event(Event::SetTouch {
+                set: i1 as u64,
+                hit: false,
+            });
+        }
+        let ev = self.evict(tally, i2);
         if self.valid[i1] {
             let moved_id = self.blocks[i1];
             let moved_dirty = self.dirty[i1];
@@ -170,6 +236,26 @@ impl CacheModel for ColumnAssociativeCache {
         }
         self.fill(i1, id, kind.is_write(), false);
         AccessResult::miss(ev)
+    }
+}
+
+impl<O: Observer> CacheModel for ColumnAssociativeCache<O> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let mut tally = BatchTally::new();
+        let result = self.step(&mut tally, addr, kind);
+        tally.flush(&mut self.stats);
+        result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Shared-step replay with register-tallied stats. Bit-identical
+        // to the `access` loop (the batch-equivalence suite enforces it,
+        // events included).
+        let mut tally = BatchTally::new();
+        for &(addr, kind) in accesses {
+            self.step(&mut tally, addr, kind);
+        }
+        tally.flush(&mut self.stats);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -305,5 +391,58 @@ mod tests {
             seen.insert(addr);
         }
         assert!(c.stats().total().misses() >= seen.len() as u64);
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x0F1E_2D3Cu64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = ColumnAssociativeCache::new(1024, 32).unwrap();
+        let mut batched = ColumnAssociativeCache::new(1024, 32).unwrap();
+        let accesses = fuzz_accesses(6_000, 4);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.usage, batched.usage, "usage counters");
+        assert_eq!(looped.blocks, batched.blocks, "block ids");
+        assert_eq!(looped.valid, batched.valid, "valid bits");
+        assert_eq!(looped.dirty, batched.dirty, "dirty bits");
+        assert_eq!(looped.rehash, batched.rehash, "rehash bits");
+        assert_eq!(looped.rehash_hits, batched.rehash_hits, "rehash hits");
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 41);
+        let mut looped =
+            ColumnAssociativeCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            ColumnAssociativeCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 }

@@ -10,12 +10,14 @@
 //! access path is still slower than the B-Cache's and a 2-way miss rate
 //! is the ceiling.
 
+use telemetry::{NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel};
-use crate::replacement::PolicyKind;
-use crate::set_assoc::SetAssociativeCache;
-use crate::stats::{CacheStats, SetUsage};
+use crate::replacement::{Lru, PolicyKind};
+use crate::set_assoc::{step_one, SetAssociativeCache};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A 2-way difference-bit cache.
 ///
@@ -23,6 +25,10 @@ use crate::stats::{CacheStats, SetUsage};
 /// additionally maintains the per-set difference-bit metadata and counts
 /// how often a fill forces it to be recomputed — the bookkeeping the
 /// special decoder performs in hardware.
+///
+/// [`CacheModel::access_batch`] fuses the decoder bookkeeping around the
+/// shared set-associative step kernel and is bit-identical to the
+/// per-access path, [`Observer`] events included.
 ///
 /// # Examples
 ///
@@ -35,8 +41,8 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct DifferenceBitCache {
-    inner: SetAssociativeCache,
+pub struct DifferenceBitCache<O: Observer = NullObserver> {
+    inner: SetAssociativeCache<O>,
     // Shadow of the stored tags per (set, way).
     tags: Vec<Option<u64>>,
     // The difference-bit position per set (valid when both ways full).
@@ -51,7 +57,30 @@ impl DifferenceBitCache {
     ///
     /// Returns a [`GeometryError`] for invalid shapes.
     pub fn new(size_bytes: usize, line_bytes: usize) -> Result<Self, GeometryError> {
-        let inner = SetAssociativeCache::new(size_bytes, line_bytes, 2, PolicyKind::Lru, 0)?;
+        Self::with_observer(size_bytes, line_bytes, NullObserver)
+    }
+}
+
+impl<O: Observer> DifferenceBitCache<O> {
+    /// Like [`DifferenceBitCache::new`], with an observer wired into
+    /// both access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
+        let inner = SetAssociativeCache::with_observer(
+            size_bytes,
+            line_bytes,
+            2,
+            PolicyKind::Lru,
+            0,
+            observer,
+        )?;
         let sets = inner.geometry().sets();
         Ok(DifferenceBitCache {
             inner,
@@ -59,6 +88,16 @@ impl DifferenceBitCache {
             diff_bit: vec![None; sets],
             diff_bit_updates: 0,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        self.inner.observer()
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.inner.observer_mut()
     }
 
     /// How many fills recomputed a set's difference bit.
@@ -92,7 +131,7 @@ impl DifferenceBitCache {
     }
 }
 
-impl CacheModel for DifferenceBitCache {
+impl<O: Observer> CacheModel for DifferenceBitCache<O> {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
         let geom = self.inner.geometry();
         let set = geom.set_index(addr);
@@ -127,6 +166,71 @@ impl CacheModel for DifferenceBitCache {
             self.recompute_diff_bit(set);
         }
         result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Fused kernel: decoder invariant + shared step + tag-shadow and
+        // difference-bit maintenance. Bit-identical to the `access` loop
+        // (the batch-equivalence suite enforces it, events included).
+        let tags = &mut self.tags;
+        let diff_bit = &mut self.diff_bit;
+        let mut updates = 0u64;
+        let (split, _assoc, lines, usage, policy, stats, observer) = self.inner.batch_parts();
+        let mut tally = BatchTally::new();
+        macro_rules! kernel {
+            ($policy:expr) => {{
+                let p = $policy;
+                for &(addr, kind) in accesses {
+                    let set = split.set_index(addr);
+                    let tag = split.tag(addr);
+                    if let (Some(bit), Some(tag0)) = (diff_bit[set], tags[set * 2]) {
+                        let way = usize::from((tag0 >> bit) & 1 != (tag >> bit) & 1);
+                        let selected_tag = tags[set * 2 + way];
+                        let other_tag = tags[set * 2 + (1 - way)];
+                        debug_assert!(
+                            other_tag != Some(tag) || selected_tag == Some(tag),
+                            "difference bit must never route a hit to the wrong way"
+                        );
+                        let _ = (selected_tag, other_tag);
+                    }
+                    let out = step_one::<_, _, 2>(
+                        &split, 2, lines, usage, p, &mut tally, observer, addr, kind,
+                    );
+                    if !out.hit {
+                        if let Some((ev_tag, _)) = out.evicted {
+                            for slot in tags[set * 2..set * 2 + 2].iter_mut() {
+                                if *slot == Some(ev_tag) {
+                                    *slot = None;
+                                }
+                            }
+                        }
+                        let empty = (0..2)
+                            .find(|w| tags[set * 2 + w].is_none())
+                            .expect("eviction freed a way");
+                        tags[set * 2 + empty] = Some(tag);
+                        let (a, b) = (tags[set * 2], tags[set * 2 + 1]);
+                        diff_bit[set] = match (a, b) {
+                            (Some(x), Some(y)) => {
+                                debug_assert_ne!(
+                                    x, y,
+                                    "two ways of a set can never hold equal tags"
+                                );
+                                Some((x ^ y).trailing_zeros())
+                            }
+                            _ => None,
+                        };
+                        updates += 1;
+                    }
+                }
+            }};
+        }
+        if let Some(lru) = policy.as_any_mut().downcast_mut::<Lru>() {
+            kernel!(lru)
+        } else {
+            kernel!(policy.as_mut())
+        }
+        tally.flush(stats);
+        self.diff_bit_updates += updates;
     }
 
     fn stats(&self) -> &CacheStats {
@@ -233,6 +337,59 @@ mod tests {
             DifferenceBitCache::new(16 * 1024, 32).unwrap().label(),
             "16k-diffbit"
         );
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x2468_ACE0u64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = DifferenceBitCache::new(1024, 32).unwrap();
+        let mut batched = DifferenceBitCache::new(1024, 32).unwrap();
+        let accesses = fuzz_accesses(6_000, 3);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.tags, batched.tags, "tag shadows");
+        assert_eq!(looped.diff_bit, batched.diff_bit, "difference bits");
+        assert_eq!(
+            looped.diff_bit_updates, batched.diff_bit_updates,
+            "update counters"
+        );
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 17);
+        let mut looped =
+            DifferenceBitCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            DifferenceBitCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 
     /// Differential hook: this cache is contractually an n-way LRU array

@@ -10,6 +10,8 @@
 //! its CAM cost, which [`HighlyAssociativeCache::cam_bits_per_line`]
 //! exposes for the area/energy comparison.
 
+use telemetry::{NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel};
@@ -18,6 +20,11 @@ use crate::set_assoc::SetAssociativeCache;
 use crate::stats::{CacheStats, SetUsage};
 
 /// A CAM-tag highly-associative cache partitioned into subarrays.
+///
+/// Both access paths delegate to the wrapped set-associative array, so
+/// [`CacheModel::access_batch`] runs the monomorphized set-associative
+/// kernel (with the subarray-wide CAM search as its way scan) and is
+/// bit-identical to the per-access path, [`Observer`] events included.
 ///
 /// # Examples
 ///
@@ -33,8 +40,8 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct HighlyAssociativeCache {
-    inner: SetAssociativeCache,
+pub struct HighlyAssociativeCache<O: Observer = NullObserver> {
+    inner: SetAssociativeCache<O>,
     subarray_bytes: usize,
 }
 
@@ -50,6 +57,23 @@ impl HighlyAssociativeCache {
         line_bytes: usize,
         subarray_bytes: usize,
     ) -> Result<Self, GeometryError> {
+        Self::with_observer(size_bytes, line_bytes, subarray_bytes, NullObserver)
+    }
+}
+
+impl<O: Observer> HighlyAssociativeCache<O> {
+    /// Like [`HighlyAssociativeCache::new`], with an observer wired into
+    /// both access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        subarray_bytes: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
         if subarray_bytes == 0 || !subarray_bytes.is_power_of_two() {
             return Err(GeometryError::NotPowerOfTwo {
                 what: "associativity",
@@ -57,11 +81,28 @@ impl HighlyAssociativeCache {
             });
         }
         let assoc = subarray_bytes / line_bytes;
-        let inner = SetAssociativeCache::new(size_bytes, line_bytes, assoc, PolicyKind::Lru, 0)?;
+        let inner = SetAssociativeCache::with_observer(
+            size_bytes,
+            line_bytes,
+            assoc,
+            PolicyKind::Lru,
+            0,
+            observer,
+        )?;
         Ok(HighlyAssociativeCache {
             inner,
             subarray_bytes,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        self.inner.observer()
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.inner.observer_mut()
     }
 
     /// Size of each fully-associative subarray in bytes.
@@ -84,9 +125,13 @@ impl HighlyAssociativeCache {
     }
 }
 
-impl CacheModel for HighlyAssociativeCache {
+impl<O: Observer> CacheModel for HighlyAssociativeCache<O> {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
         self.inner.access(addr, kind)
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        self.inner.access_batch(accesses)
     }
 
     fn stats(&self) -> &CacheStats {

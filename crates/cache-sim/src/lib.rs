@@ -43,6 +43,7 @@
 
 pub mod addr;
 pub mod agac;
+mod cam;
 pub mod column;
 pub mod difference_bit;
 pub mod direct;

@@ -9,12 +9,14 @@
 //! — a second cycle is needed. The B-Cache's counterargument: every
 //! B-Cache hit is one cycle, with a miss rate a 2-way cache cannot reach.
 
+use telemetry::{NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel};
-use crate::replacement::PolicyKind;
-use crate::set_assoc::SetAssociativeCache;
-use crate::stats::{CacheStats, SetUsage};
+use crate::replacement::{Lru, PolicyKind};
+use crate::set_assoc::{step_one, SetAssociativeCache};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A 2-way cache with PAD-based way prediction.
 ///
@@ -22,6 +24,10 @@ use crate::stats::{CacheStats, SetUsage};
 /// added value is the latency model: a hit whose way was mispredicted by
 /// the partial-tag comparison costs one extra cycle
 /// ([`AccessResult::extra_latency`]).
+///
+/// [`CacheModel::access_batch`] fuses the PAD prediction and the shadow
+/// bookkeeping around the shared set-associative step kernel and is
+/// bit-identical to the per-access path, [`Observer`] events included.
 ///
 /// # Examples
 ///
@@ -34,8 +40,8 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct PartialMatchCache {
-    inner: SetAssociativeCache,
+pub struct PartialMatchCache<O: Observer = NullObserver> {
+    inner: SetAssociativeCache<O>,
     pad_bits: u32,
     // Shadow of the inner cache's contents: block ids per (set, way),
     // kept in sync so PAD predictions can be evaluated.
@@ -51,7 +57,31 @@ impl PartialMatchCache {
     ///
     /// Returns a [`GeometryError`] for invalid shapes.
     pub fn new(size_bytes: usize, line_bytes: usize, pad_bits: u32) -> Result<Self, GeometryError> {
-        let inner = SetAssociativeCache::new(size_bytes, line_bytes, 2, PolicyKind::Lru, 0)?;
+        Self::with_observer(size_bytes, line_bytes, pad_bits, NullObserver)
+    }
+}
+
+impl<O: Observer> PartialMatchCache<O> {
+    /// Like [`PartialMatchCache::new`], with an observer wired into both
+    /// access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        pad_bits: u32,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
+        let inner = SetAssociativeCache::with_observer(
+            size_bytes,
+            line_bytes,
+            2,
+            PolicyKind::Lru,
+            0,
+            observer,
+        )?;
         let sets = inner.geometry().sets();
         Ok(PartialMatchCache {
             inner,
@@ -59,6 +89,16 @@ impl PartialMatchCache {
             shadow: vec![None; sets * 2],
             second_cycle_hits: 0,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        self.inner.observer()
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.inner.observer_mut()
     }
 
     fn partial_tag(&self, tag: u64) -> u64 {
@@ -81,7 +121,7 @@ impl PartialMatchCache {
     }
 }
 
-impl CacheModel for PartialMatchCache {
+impl<O: Observer> CacheModel for PartialMatchCache<O> {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
         let geom = self.inner.geometry();
         let set = geom.set_index(addr);
@@ -121,6 +161,62 @@ impl CacheModel for PartialMatchCache {
             self.shadow[set * 2 + empty] = Some(id);
         }
         result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Fused kernel: PAD prediction + shared step + shadow mirror.
+        // Bit-identical to the `access` loop (the batch-equivalence
+        // suite enforces it, events included).
+        let index_bits = self.inner.geometry().index_bits();
+        let pad_mask = (1u64 << self.pad_bits) - 1;
+        let shadow = &mut self.shadow;
+        let mut second_cycle = 0u64;
+        let (split, _assoc, lines, usage, policy, stats, observer) = self.inner.batch_parts();
+        let mut tally = BatchTally::new();
+        macro_rules! kernel {
+            ($policy:expr) => {{
+                let p = $policy;
+                for &(addr, kind) in accesses {
+                    let set = split.set_index(addr);
+                    let tag = split.tag(addr);
+                    let id = (tag << index_bits) | set as u64;
+                    let predicted = (0..2).find(|w| {
+                        shadow[set * 2 + w]
+                            .map(|b| (b >> index_bits) & pad_mask == tag & pad_mask)
+                            .unwrap_or(false)
+                    });
+                    let actual = (0..2).find(|w| shadow[set * 2 + w] == Some(id));
+                    let out = step_one::<_, _, 2>(
+                        &split, 2, lines, usage, p, &mut tally, observer, addr, kind,
+                    );
+                    if out.hit {
+                        if predicted != actual {
+                            second_cycle += 1;
+                        }
+                    } else {
+                        if let Some((ev_tag, _)) = out.evicted {
+                            let ev_id = (ev_tag << index_bits) | set as u64;
+                            for slot in shadow[set * 2..set * 2 + 2].iter_mut() {
+                                if *slot == Some(ev_id) {
+                                    *slot = None;
+                                }
+                            }
+                        }
+                        let empty = (0..2)
+                            .find(|w| shadow[set * 2 + w].is_none())
+                            .expect("eviction freed a way");
+                        shadow[set * 2 + empty] = Some(id);
+                    }
+                }
+            }};
+        }
+        if let Some(lru) = policy.as_any_mut().downcast_mut::<Lru>() {
+            kernel!(lru)
+        } else {
+            kernel!(policy.as_mut())
+        }
+        tally.flush(stats);
+        self.second_cycle_hits += second_cycle;
     }
 
     fn stats(&self) -> &CacheStats {
@@ -230,6 +326,58 @@ mod tests {
             PartialMatchCache::new(16 * 1024, 32, 5).unwrap().label(),
             "16k-pam5"
         );
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x2468_ACE0u64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = PartialMatchCache::new(1024, 32, 3).unwrap();
+        let mut batched = PartialMatchCache::new(1024, 32, 3).unwrap();
+        let accesses = fuzz_accesses(6_000, 2);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.shadow, batched.shadow, "shadow directories");
+        assert_eq!(
+            looped.second_cycle_hits, batched.second_cycle_hits,
+            "second-cycle hit counters"
+        );
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 23);
+        let mut looped =
+            PartialMatchCache::with_observer(1024, 32, 3, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            PartialMatchCache::with_observer(1024, 32, 3, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 
     /// Differential hook: this cache is contractually an n-way LRU array

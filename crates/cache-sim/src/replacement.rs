@@ -127,12 +127,16 @@ impl ReplacementPolicy for Lru {
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
         let slice = &self.stamps[base..base + self.assoc];
-        slice
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, stamp)| *stamp)
-            .map(|(way, _)| way)
-            .expect("associativity is nonzero")
+        // First minimal stamp, written as a branch-predictable scan (the
+        // iterator min_by_key compiles to a serial compare chain that
+        // dominates wide-associativity miss paths).
+        let mut best = 0;
+        for (way, &stamp) in slice.iter().enumerate().skip(1) {
+            if stamp < slice[best] {
+                best = way;
+            }
+        }
+        best
     }
 
     fn kind(&self) -> PolicyKind {

@@ -1,6 +1,9 @@
 //! Conventional set-associative caches (2-way … fully associative).
 
+use telemetry::{Event, MissKind, NullObserver, Observer};
+
 use crate::addr::Addr;
+use crate::cam;
 use crate::geometry::TagIndexSplit;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
@@ -14,6 +17,12 @@ use crate::stats::{BatchTally, CacheStats, SetUsage};
 /// The paper compares the B-Cache against 2-, 4-, 8- and 32-way instances
 /// of this model (all LRU), and the unified L2 is a 4-way instance.
 ///
+/// Both access paths run through one shared step function
+/// ([`step_one`]), so per-access and batched replay are bit-identical —
+/// statistics, replacement state, and [`Observer`] events alike. The
+/// wrapper models (way-halting, PAM, difference-bit) fuse their shadow
+/// bookkeeping around the same step via [`SetAssociativeCache::batch_parts`].
+///
 /// # Examples
 ///
 /// ```
@@ -25,7 +34,7 @@ use crate::stats::{BatchTally, CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct SetAssociativeCache {
+pub struct SetAssociativeCache<O: Observer = NullObserver> {
     geom: CacheGeometry,
     // One packed tag|dirty|valid word per line, way-major within each
     // set: slot = set * assoc + way.
@@ -33,6 +42,7 @@ pub struct SetAssociativeCache {
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
     usage: SetUsage,
+    observer: O,
 }
 
 impl SetAssociativeCache {
@@ -52,11 +62,7 @@ impl SetAssociativeCache {
         policy: PolicyKind,
         seed: u64,
     ) -> Result<Self, GeometryError> {
-        Self::from_geometry(
-            CacheGeometry::new(size_bytes, line_bytes, assoc)?,
-            policy,
-            seed,
-        )
+        Self::with_observer(size_bytes, line_bytes, assoc, policy, seed, NullObserver)
     }
 
     /// Creates a cache from an explicit geometry.
@@ -70,19 +76,7 @@ impl SetAssociativeCache {
         policy: PolicyKind,
         seed: u64,
     ) -> Result<Self, GeometryError> {
-        assert!(
-            geom.tag_bits() <= packed::MAX_TAG_BITS,
-            "tag field of {geom} does not fit a packed line word"
-        );
-        let sets = geom.sets();
-        let ways = geom.assoc();
-        Ok(SetAssociativeCache {
-            geom,
-            lines: vec![packed::EMPTY; sets * ways],
-            policy: make_policy(policy, sets, ways, seed),
-            stats: CacheStats::new(),
-            usage: SetUsage::new(sets),
-        })
+        Self::from_geometry_with_observer(geom, policy, seed, NullObserver)
     }
 
     /// Creates a fully-associative cache with `lines` blocks.
@@ -97,6 +91,69 @@ impl SetAssociativeCache {
         seed: u64,
     ) -> Result<Self, GeometryError> {
         Self::new(lines * line_bytes, line_bytes, lines, policy, seed)
+    }
+}
+
+impl<O: Observer> SetAssociativeCache<O> {
+    /// Like [`SetAssociativeCache::new`], but wiring `observer` into
+    /// both access paths. With the default [`NullObserver`] every
+    /// emission site compiles out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        assoc: usize,
+        policy: PolicyKind,
+        seed: u64,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
+        Self::from_geometry_with_observer(
+            CacheGeometry::new(size_bytes, line_bytes, assoc)?,
+            policy,
+            seed,
+            observer,
+        )
+    }
+
+    /// Like [`SetAssociativeCache::from_geometry`], with an observer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid geometry; the `Result` mirrors
+    /// [`SetAssociativeCache::new`].
+    pub fn from_geometry_with_observer(
+        geom: CacheGeometry,
+        policy: PolicyKind,
+        seed: u64,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
+        assert!(
+            geom.tag_bits() <= packed::MAX_TAG_BITS,
+            "tag field of {geom} does not fit a packed line word"
+        );
+        let sets = geom.sets();
+        let ways = geom.assoc();
+        Ok(SetAssociativeCache {
+            geom,
+            lines: vec![packed::EMPTY; sets * ways],
+            policy: make_policy(policy, sets, ways, seed),
+            stats: CacheStats::new(),
+            usage: SetUsage::new(sets),
+            observer,
+        })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     fn slot(&self, set: usize, way: usize) -> usize {
@@ -125,8 +182,8 @@ impl SetAssociativeCache {
 
     /// Removes the block containing `addr` (if resident) and returns it.
     ///
-    /// Used by wrappers such as the victim buffer to migrate blocks
-    /// between arrays. Does not touch hit/miss statistics.
+    /// Used by wrappers to migrate blocks between arrays. Does not touch
+    /// hit/miss statistics.
     pub fn extract(&mut self, addr: Addr) -> Option<Eviction> {
         let set = self.geom.set_index(addr);
         let tag = self.geom.tag(addr);
@@ -180,73 +237,194 @@ impl SetAssociativeCache {
         }
         (way, Some(Eviction { block, dirty }))
     }
+
+    /// The packed line words of `set`, in way order (wrapper models scan
+    /// these for halt-tag and way-prediction decisions).
+    pub(crate) fn set_words(&self, set: usize) -> &[u64] {
+        let assoc = self.geom.assoc();
+        &self.lines[set * assoc..(set + 1) * assoc]
+    }
+
+    /// Destructures the cache into the pieces the batched kernels need,
+    /// with disjoint borrows so wrapper models can keep their own shadow
+    /// state mutable alongside. The caller drives [`step_one`] and
+    /// flushes the tally into the returned [`CacheStats`].
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn batch_parts(
+        &mut self,
+    ) -> (
+        TagIndexSplit,
+        usize,
+        &mut [u64],
+        &mut SetUsage,
+        &mut Box<dyn ReplacementPolicy>,
+        &mut CacheStats,
+        &mut O,
+    ) {
+        (
+            self.geom.split(),
+            self.geom.assoc(),
+            &mut self.lines,
+            &mut self.usage,
+            &mut self.policy,
+            &mut self.stats,
+            &mut self.observer,
+        )
+    }
 }
 
-/// The hot loop of [`SetAssociativeCache::access_batch`], generic over
-/// the replacement policy so the caller can pass either a concrete
-/// [`Lru`] (updates inlined, no virtual dispatch) or the boxed `dyn`
-/// policy. Returns the batch tally; bit-identical to the `access` path.
-fn replay_batch<P: ReplacementPolicy + ?Sized>(
+/// What [`step_one`] did, in kernel-friendly form: the evicted block is
+/// reported as a raw `(tag, dirty)` pair so hot loops that do not need
+/// the reconstructed address pay nothing for it.
+pub(crate) struct StepOutcome {
+    pub(crate) hit: bool,
+    pub(crate) set: usize,
+    pub(crate) evicted: Option<(u64, bool)>,
+}
+
+/// One access against a destructured set-associative array. Shared by
+/// the per-access path, the batched kernel, and the wrapper models'
+/// fused kernels, so every path is bit-identical by construction —
+/// statistics, replacement state, and [`Observer`] events alike.
+///
+/// Generic over the replacement policy so callers can pass either a
+/// concrete [`Lru`] (updates inlined, no virtual dispatch) or the boxed
+/// `dyn` policy, and over the associativity: `A > 0` monomorphizes the
+/// way scans into the fused branchless CAM probe (`A` must equal
+/// `assoc`), `A == 0` falls back to runtime-width scans with identical
+/// first-match semantics.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn step_one<P: ReplacementPolicy + ?Sized, O: Observer, const A: usize>(
+    split: &TagIndexSplit,
+    assoc: usize,
+    lines: &mut [u64],
+    usage: &mut SetUsage,
+    policy: &mut P,
+    tally: &mut BatchTally,
+    observer: &mut O,
+    addr: Addr,
+    kind: AccessKind,
+) -> StepOutcome {
+    debug_assert!(A == 0 || A == assoc, "const width must match the geometry");
+    let set = split.set_index(addr);
+    let tag = split.tag(addr);
+    let base = set * assoc;
+    let ways = &mut lines[base..base + assoc];
+    if let Some(way) = cam::find_match::<A>(ways, tag) {
+        tally.record(kind, true);
+        usage.record(set, true);
+        if O::ENABLED {
+            observer.event(Event::SetTouch {
+                set: set as u64,
+                hit: true,
+            });
+        }
+        policy.on_access(set, way);
+        if kind.is_write() {
+            ways[way] = packed::set_dirty(ways[way]);
+        }
+        return StepOutcome {
+            hit: true,
+            set,
+            evicted: None,
+        };
+    }
+    tally.record(kind, false);
+    usage.record(set, false);
+    if O::ENABLED {
+        observer.event(Event::Miss {
+            kind: MissKind::Tag,
+        });
+        observer.event(Event::SetTouch {
+            set: set as u64,
+            hit: false,
+        });
+    }
+    let (way, evicted) = match cam::find_invalid::<A>(ways) {
+        Some(w) => (w, None),
+        None => {
+            let w = policy.victim(set);
+            debug_assert!(w < assoc, "policy returned out-of-range way");
+            let word = ways[w];
+            let dirty = packed::is_dirty(word);
+            tally.record_writeback_if(dirty);
+            (w, Some((packed::tag(word), dirty)))
+        }
+    };
+    ways[way] = packed::fill(tag, kind.is_write());
+    policy.on_fill(set, way);
+    StepOutcome {
+        hit: false,
+        set,
+        evicted,
+    }
+}
+
+/// The hot loop of [`SetAssociativeCache::access_batch`]: [`step_one`]
+/// over the whole batch with register-tallied stats, monomorphized per
+/// associativity (`A == 0` is the runtime-width fallback).
+#[allow(clippy::too_many_arguments)]
+fn replay_batch<P: ReplacementPolicy + ?Sized, O: Observer, const A: usize>(
     split: TagIndexSplit,
     assoc: usize,
     lines: &mut [u64],
     usage: &mut SetUsage,
     policy: &mut P,
+    observer: &mut O,
     accesses: &[(Addr, AccessKind)],
 ) -> BatchTally {
     let mut tally = BatchTally::new();
     for &(addr, kind) in accesses {
-        let set = split.set_index(addr);
-        let tag = split.tag(addr);
-        let base = set * assoc;
-        let ways = &mut lines[base..base + assoc];
-        if let Some(way) = ways.iter().position(|&w| packed::matches(w, tag)) {
-            tally.record(kind, true);
-            usage.record(set, true);
-            policy.on_access(set, way);
-            if kind.is_write() {
-                ways[way] = packed::set_dirty(ways[way]);
-            }
-            continue;
-        }
-        tally.record(kind, false);
-        usage.record(set, false);
-        let way = match ways.iter().position(|&w| !packed::is_valid(w)) {
-            Some(w) => w,
-            None => {
-                let w = policy.victim(set);
-                debug_assert!(w < assoc, "policy returned out-of-range way");
-                tally.record_writeback_if(packed::is_dirty(ways[w]));
-                w
-            }
-        };
-        ways[way] = packed::fill(tag, kind.is_write());
-        policy.on_fill(set, way);
+        step_one::<P, O, A>(
+            &split, assoc, lines, usage, policy, &mut tally, observer, addr, kind,
+        );
     }
     tally
 }
 
-impl CacheModel for SetAssociativeCache {
-    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
-        let set = self.geom.set_index(addr);
-        let tag = self.geom.tag(addr);
-        if let Some(way) = self.find_way(set, tag) {
-            self.stats.record(kind, true);
-            self.usage.record(set, true);
-            self.policy.on_access(set, way);
-            if kind.is_write() {
-                let s = self.slot(set, way);
-                self.lines[s] = packed::set_dirty(self.lines[s]);
-            }
-            return AccessResult::hit();
+/// Dispatches a kernel macro over the common associativity widths: the
+/// matched width becomes a const generic (`$kernel!(8)` etc.), anything
+/// else takes the runtime fallback (`$kernel!(0)`).
+macro_rules! dispatch_assoc {
+    ($assoc:expr, $kernel:ident) => {
+        match $assoc {
+            1 => $kernel!(1),
+            2 => $kernel!(2),
+            4 => $kernel!(4),
+            8 => $kernel!(8),
+            16 => $kernel!(16),
+            32 => $kernel!(32),
+            _ => $kernel!(0),
         }
-        self.stats.record(kind, false);
-        self.usage.record(set, false);
-        let (way, evicted) = self.choose_fill_slot(set);
-        let s = self.slot(set, way);
-        self.lines[s] = packed::fill(tag, kind.is_write());
-        self.policy.on_fill(set, way);
-        AccessResult::miss(evicted)
+    };
+}
+
+impl<O: Observer> CacheModel for SetAssociativeCache<O> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let split = self.geom.split();
+        let assoc = self.geom.assoc();
+        let mut tally = BatchTally::new();
+        let out = step_one::<_, _, 0>(
+            &split,
+            assoc,
+            &mut self.lines,
+            &mut self.usage,
+            self.policy.as_mut(),
+            &mut tally,
+            &mut self.observer,
+            addr,
+            kind,
+        );
+        tally.flush(&mut self.stats);
+        if out.hit {
+            AccessResult::hit()
+        } else {
+            AccessResult::miss(out.evicted.map(|(tag, dirty)| Eviction {
+                block: self.geom.reconstruct(tag, out.set),
+                dirty,
+            }))
+        }
     }
 
     fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
@@ -254,27 +432,39 @@ impl CacheModel for SetAssociativeCache {
         // paper's default — runs the kernel with its stamp updates
         // inlined; other policies take the same kernel through dynamic
         // dispatch. Bit-identical to the `access` loop (the
-        // batch-equivalence suite enforces it).
+        // batch-equivalence suite enforces it, events included).
         let split = self.geom.split();
         let assoc = self.geom.assoc();
         let tally = if let Some(lru) = self.policy.as_any_mut().downcast_mut::<Lru>() {
-            replay_batch(
-                split,
-                assoc,
-                &mut self.lines,
-                &mut self.usage,
-                lru,
-                accesses,
-            )
+            macro_rules! kernel {
+                ($a:literal) => {
+                    replay_batch::<_, _, $a>(
+                        split,
+                        assoc,
+                        &mut self.lines,
+                        &mut self.usage,
+                        lru,
+                        &mut self.observer,
+                        accesses,
+                    )
+                };
+            }
+            dispatch_assoc!(assoc, kernel)
         } else {
-            replay_batch(
-                split,
-                assoc,
-                &mut self.lines,
-                &mut self.usage,
-                self.policy.as_mut(),
-                accesses,
-            )
+            macro_rules! kernel {
+                ($a:literal) => {
+                    replay_batch::<_, _, $a>(
+                        split,
+                        assoc,
+                        &mut self.lines,
+                        &mut self.usage,
+                        self.policy.as_mut(),
+                        &mut self.observer,
+                        accesses,
+                    )
+                };
+            }
+            dispatch_assoc!(assoc, kernel)
         };
         tally.flush(&mut self.stats);
     }
@@ -433,6 +623,23 @@ mod tests {
         );
     }
 
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x0F1E_2D3Cu64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 512) * 32), kind)
+            })
+            .collect()
+    }
+
     #[test]
     fn access_batch_is_bit_identical_to_the_loop() {
         for policy in [
@@ -443,20 +650,7 @@ mod tests {
         ] {
             let mut looped = SetAssociativeCache::new(2048, 32, 4, policy, 99).unwrap();
             let mut batched = SetAssociativeCache::new(2048, 32, 4, policy, 99).unwrap();
-            let mut x = 0x0F1E_2D3Cu64;
-            let accesses: Vec<(Addr, AccessKind)> = (0..5_000)
-                .map(|_| {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let kind = if x & 4 == 0 {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    (Addr::new(((x >> 16) % 512) * 32), kind)
-                })
-                .collect();
+            let accesses = fuzz_accesses(5_000, 0);
             for &(addr, kind) in &accesses {
                 looped.access(addr, kind);
             }
@@ -465,6 +659,38 @@ mod tests {
             assert_eq!(looped.usage, batched.usage, "{policy:?}");
             assert_eq!(looped.lines, batched.lines, "{policy:?} contents");
         }
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 31);
+        let mut looped = SetAssociativeCache::with_observer(
+            2048,
+            32,
+            4,
+            PolicyKind::Lru,
+            0,
+            EventRing::new(64 * 1024),
+        )
+        .unwrap();
+        let mut batched = SetAssociativeCache::with_observer(
+            2048,
+            32,
+            4,
+            PolicyKind::Lru,
+            0,
+            EventRing::new(64 * 1024),
+        )
+        .unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 
     /// Differential hook: every replacement policy must track the

@@ -6,10 +6,13 @@
 //! way are usually not conflicts in the other, which gives a 2-way skewed
 //! cache the miss rate of roughly a conventional 4-way cache.
 
+use telemetry::{Event, MissKind, NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::stats::{CacheStats, SetUsage};
+use crate::packed;
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A 2-way skewed-associative, write-back, write-allocate cache.
 ///
@@ -17,6 +20,14 @@ use crate::stats::{CacheStats, SetUsage};
 /// coarse access timestamp and the older of the two candidate lines is
 /// replaced (true LRU across ways is ill-defined in a skewed cache
 /// because the ways index different sets).
+///
+/// Storage is the packed tag-array layout shared with the direct-mapped
+/// and set-associative models: one word per line holding tag, dirty and
+/// valid bits. A line's block address is recoverable from its way, set
+/// and tag because the skewing functions are XOR-invertible. Both access
+/// paths run through one shared, always-inlined step, so per-access and
+/// [`CacheModel::access_batch`] are bit-identical — statistics,
+/// timestamps, and [`Observer`] events alike.
 ///
 /// # Examples
 ///
@@ -29,17 +40,16 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct SkewedAssociativeCache {
+pub struct SkewedAssociativeCache<O: Observer = NullObserver> {
     geom: CacheGeometry,
     sets_per_way: usize,
-    // Full block identifiers (tag|index), per way.
-    blocks: [Vec<u64>; 2],
-    valid: [Vec<bool>; 2],
-    dirty: [Vec<bool>; 2],
+    // Packed `tag | dirty | valid` words and access stamps, per way.
+    words: [Vec<u64>; 2],
     stamps: [Vec<u64>; 2],
     clock: u64,
     stats: CacheStats,
     usage: SetUsage,
+    observer: O,
 }
 
 impl SkewedAssociativeCache {
@@ -51,6 +61,22 @@ impl SkewedAssociativeCache {
     /// Returns a [`GeometryError`] for invalid shapes (the cache must hold
     /// at least two lines).
     pub fn new(size_bytes: usize, line_bytes: usize) -> Result<Self, GeometryError> {
+        Self::with_observer(size_bytes, line_bytes, NullObserver)
+    }
+}
+
+impl<O: Observer> SkewedAssociativeCache<O> {
+    /// Like [`SkewedAssociativeCache::new`], with an observer wired into
+    /// both access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 2)?;
         if geom.index_bits() == 0 {
             // The skewing functions need at least one index bit per way.
@@ -59,72 +85,115 @@ impl SkewedAssociativeCache {
                 lines: geom.lines(),
             });
         }
+        assert!(
+            geom.tag_bits() <= packed::MAX_TAG_BITS,
+            "tag width {} exceeds the packed-line limit",
+            geom.tag_bits()
+        );
         let sets_per_way = geom.sets();
         Ok(SkewedAssociativeCache {
             geom,
             sets_per_way,
-            blocks: [vec![0; sets_per_way], vec![0; sets_per_way]],
-            valid: [vec![false; sets_per_way], vec![false; sets_per_way]],
-            dirty: [vec![false; sets_per_way], vec![false; sets_per_way]],
+            words: [
+                vec![packed::EMPTY; sets_per_way],
+                vec![packed::EMPTY; sets_per_way],
+            ],
             stamps: [vec![0; sets_per_way], vec![0; sets_per_way]],
             clock: 0,
             stats: CacheStats::new(),
             usage: SetUsage::new(sets_per_way),
+            observer,
         })
     }
 
-    fn block_id(&self, addr: Addr) -> u64 {
-        addr.raw() >> self.geom.offset_bits()
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
     }
 
-    fn block_addr(&self, id: u64) -> Addr {
-        Addr::new(id << self.geom.offset_bits())
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// The way-specific tag mix: the identity for way 0, a one-bit rotate
+    /// within the index width for way 1.
+    #[inline(always)]
+    fn mix(tag: u64, way: usize, idx_bits: u32) -> u64 {
+        match way {
+            0 => tag,
+            _ => (tag >> 1) ^ (tag << (idx_bits - 1)),
+        }
     }
 
     /// The skewing function for `way`: index XOR a way-specific mix of the
-    /// tag bits.
+    /// tag bits. The hot step inlines this computation; the tests pin it.
+    #[cfg(test)]
     fn index(&self, addr: Addr, way: usize) -> usize {
         let idx_bits = self.geom.index_bits();
         let idx = addr.bits(self.geom.offset_bits(), idx_bits);
         let tag = self.geom.tag(addr);
         let mask = (self.sets_per_way - 1) as u64;
-        let mix = match way {
-            0 => tag,
-            _ => (tag >> 1) ^ (tag << (idx_bits - 1)),
-        };
-        ((idx ^ mix) & mask) as usize
+        ((idx ^ Self::mix(tag, way, idx_bits)) & mask) as usize
     }
 
-    fn lookup(&self, addr: Addr) -> Option<(usize, usize)> {
-        let id = self.block_id(addr);
-        (0..2).find_map(|w| {
-            let s = self.index(addr, w);
-            (self.valid[w][s] && self.blocks[w][s] == id).then_some((w, s))
-        })
+    /// Reconstructs the block address of the line at `(way, set)` from
+    /// its stored tag by inverting the skew: `index = set XOR mix(tag)`.
+    fn block_addr(&self, way: usize, set: usize, tag: u64) -> Addr {
+        let idx_bits = self.geom.index_bits();
+        let mask = (self.sets_per_way - 1) as u64;
+        let idx = (set as u64 ^ Self::mix(tag, way, idx_bits)) & mask;
+        Addr::new(((tag << idx_bits) | idx) << self.geom.offset_bits())
     }
-}
 
-impl CacheModel for SkewedAssociativeCache {
-    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
-        let id = self.block_id(addr);
+    /// One access. Shared verbatim by both paths, so their statistics,
+    /// usage counters and event sequences agree by construction.
+    #[inline(always)]
+    fn step(&mut self, tally: &mut BatchTally, addr: Addr, kind: AccessKind) -> AccessResult {
+        let idx_bits = self.geom.index_bits();
+        let mask = (self.sets_per_way - 1) as u64;
+        let idx = addr.bits(self.geom.offset_bits(), idx_bits);
+        let tag = self.geom.tag(addr);
+        let s0 = ((idx ^ tag) & mask) as usize;
+        let s1 = ((idx ^ Self::mix(tag, 1, idx_bits)) & mask) as usize;
         self.clock += 1;
-        if let Some((w, s)) = self.lookup(addr) {
-            self.stats.record(kind, true);
-            self.usage.record(s, true);
-            self.stamps[w][s] = self.clock;
+        // Way 0 is probed first, matching the original lookup order.
+        let w0 = self.words[0][s0];
+        let w1 = self.words[1][s1];
+        let (hit_way, hit_set) = if packed::matches(w0, tag) {
+            (0usize, s0)
+        } else if packed::matches(w1, tag) {
+            (1usize, s1)
+        } else {
+            (2usize, 0)
+        };
+        if hit_way < 2 {
+            tally.record(kind, true);
+            self.usage.record(hit_set, true);
+            if O::ENABLED {
+                self.observer.event(Event::SetTouch {
+                    set: hit_set as u64,
+                    hit: true,
+                });
+            }
+            self.stamps[hit_way][hit_set] = self.clock;
             if kind.is_write() {
-                self.dirty[w][s] = true;
+                let w = self.words[hit_way][hit_set];
+                self.words[hit_way][hit_set] = packed::set_dirty(w);
             }
             return AccessResult::hit();
         }
-        self.stats.record(kind, false);
+        tally.record(kind, false);
+        if O::ENABLED {
+            self.observer.event(Event::Miss {
+                kind: MissKind::Tag,
+            });
+        }
         // Prefer an invalid slot in either way; otherwise replace the
         // older of the two candidate lines.
-        let s0 = self.index(addr, 0);
-        let s1 = self.index(addr, 1);
-        let way = if !self.valid[0][s0] {
+        let way = if !packed::is_valid(w0) {
             0
-        } else if !self.valid[1][s1] {
+        } else if !packed::is_valid(w1) {
             1
         } else if self.stamps[0][s0] <= self.stamps[1][s1] {
             0
@@ -133,23 +202,46 @@ impl CacheModel for SkewedAssociativeCache {
         };
         let s = if way == 0 { s0 } else { s1 };
         self.usage.record(s, false);
-        let evicted = if self.valid[way][s] {
+        if O::ENABLED {
+            self.observer.event(Event::SetTouch {
+                set: s as u64,
+                hit: false,
+            });
+        }
+        let old = if way == 0 { w0 } else { w1 };
+        let evicted = if packed::is_valid(old) {
             let ev = Eviction {
-                block: self.block_addr(self.blocks[way][s]),
-                dirty: self.dirty[way][s],
+                block: self.block_addr(way, s, packed::tag(old)),
+                dirty: packed::is_dirty(old),
             };
-            if ev.dirty {
-                self.stats.record_writeback();
-            }
+            tally.record_writeback_if(ev.dirty);
             Some(ev)
         } else {
             None
         };
-        self.blocks[way][s] = id;
-        self.valid[way][s] = true;
-        self.dirty[way][s] = kind.is_write();
+        self.words[way][s] = packed::fill(tag, kind.is_write());
         self.stamps[way][s] = self.clock;
         AccessResult::miss(evicted)
+    }
+}
+
+impl<O: Observer> CacheModel for SkewedAssociativeCache<O> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let mut tally = BatchTally::new();
+        let result = self.step(&mut tally, addr, kind);
+        tally.flush(&mut self.stats);
+        result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Shared-step replay with register-tallied stats. Bit-identical
+        // to the `access` loop (the batch-equivalence suite enforces it,
+        // events included).
+        let mut tally = BatchTally::new();
+        for &(addr, kind) in accesses {
+            self.step(&mut tally, addr, kind);
+        }
+        tally.flush(&mut self.stats);
     }
 
     fn stats(&self) -> &CacheStats {
@@ -217,8 +309,8 @@ mod tests {
         for k in 0..64u64 {
             c.access(Addr::new(k * 32), AccessKind::Read);
         }
-        let used0 = c.valid[0].iter().filter(|v| **v).count();
-        let used1 = c.valid[1].iter().filter(|v| **v).count();
+        let used0 = c.words[0].iter().filter(|w| packed::is_valid(**w)).count();
+        let used1 = c.words[1].iter().filter(|w| packed::is_valid(**w)).count();
         assert!(used0 > 0 && used1 > 0);
     }
 
@@ -234,6 +326,27 @@ mod tests {
             c.access(Addr::new(k * 32), AccessKind::Read);
         }
         assert!(c.stats().writebacks() > 0);
+    }
+
+    #[test]
+    fn evicted_blocks_reconstruct_their_address() {
+        // Force a resident block out with conflicting fills and check the
+        // eviction names the original block base (the skew inversion).
+        let mut c = tiny();
+        c.access(Addr::new(0x100), AccessKind::Read);
+        let mut seen = Vec::new();
+        for k in 1..64u64 {
+            if let Some(ev) = c
+                .access(Addr::new(k * 512 + 0x100), AccessKind::Read)
+                .evicted
+            {
+                seen.push(ev.block.raw());
+            }
+        }
+        assert!(
+            seen.contains(&0x100),
+            "block 0x100 must eventually be evicted under its own address, saw {seen:x?}"
+        );
     }
 
     #[test]
@@ -294,5 +407,56 @@ mod tests {
             seen.insert(addr);
         }
         assert!(c.stats().total().misses() >= seen.len() as u64);
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x0F1E_2D3Cu64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 256) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = SkewedAssociativeCache::new(1024, 32).unwrap();
+        let mut batched = SkewedAssociativeCache::new(1024, 32).unwrap();
+        let accesses = fuzz_accesses(6_000, 5);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(looped.usage, batched.usage, "usage counters");
+        assert_eq!(looped.words, batched.words, "packed line words");
+        assert_eq!(looped.stamps, batched.stamps, "timestamps");
+        assert_eq!(looped.clock, batched.clock, "clocks");
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 47);
+        let mut looped =
+            SkewedAssociativeCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            SkewedAssociativeCache::with_observer(1024, 32, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 }

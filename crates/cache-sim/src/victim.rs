@@ -1,12 +1,14 @@
 //! A direct-mapped cache backed by a small fully-associative victim
 //! buffer (Jouppi), the paper's main prior-art comparator (Section 6.6).
 
+use telemetry::{Event, MissKind, NullObserver, Observer};
+
 use crate::addr::Addr;
-use crate::geometry::{CacheGeometry, GeometryError};
+use crate::cam;
+use crate::geometry::{CacheGeometry, GeometryError, TagIndexSplit};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
-use crate::replacement::PolicyKind;
-use crate::set_assoc::SetAssociativeCache;
-use crate::stats::{CacheStats, SetUsage};
+use crate::packed;
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// Direct-mapped cache plus an `N`-entry fully-associative victim buffer.
 ///
@@ -15,6 +17,14 @@ use crate::stats::{CacheStats, SetUsage};
 /// the buffer swaps the two blocks and counts as a (one-cycle-slower) hit.
 /// The paper evaluates a 16-entry buffer and charges the extra cycle when
 /// the buffer is probed sequentially after the main array.
+///
+/// Both the main array and the buffer live in packed `u64` SoA arrays
+/// (`tag|dirty|valid` words plus LRU stamps for the buffer), and
+/// [`CacheModel::access_batch`] replays through a kernel monomorphized
+/// on the buffer width, so the 16-entry FA search unrolls into the same
+/// branch-free CAM probe the B-Cache kernel uses. The per-access and
+/// batched paths share one step function and are bit-identical,
+/// including the [`Observer`] event sequence.
 ///
 /// # Examples
 ///
@@ -30,16 +40,20 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct VictimCache {
+pub struct VictimCache<O: Observer = NullObserver> {
     geom: CacheGeometry,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    buffer: SetAssociativeCache,
+    // Packed main array, one word per set (the cache is direct-mapped).
+    lines: Vec<u64>,
+    // The FA buffer: packed words whose tag field is the block id
+    // (`addr >> offset_bits`), plus exact-LRU stamps.
+    buf_words: Vec<u64>,
+    buf_stamps: Vec<u64>,
+    buf_clock: u64,
     stats: CacheStats,
     usage: SetUsage,
     buffer_hits: u64,
     buffer_probes: u64,
+    observer: O,
 }
 
 impl VictimCache {
@@ -54,26 +68,62 @@ impl VictimCache {
         line_bytes: usize,
         entries: usize,
     ) -> Result<Self, GeometryError> {
+        Self::with_observer(size_bytes, line_bytes, entries, NullObserver)
+    }
+}
+
+impl<O: Observer> VictimCache<O> {
+    /// Like [`VictimCache::new`], but wiring `observer` into both access
+    /// paths. With the default [`NullObserver`] every emission site
+    /// compiles out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        entries: usize,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
         let geom = CacheGeometry::new(size_bytes, line_bytes, 1)?;
-        let buffer =
-            SetAssociativeCache::fully_associative(entries, line_bytes, PolicyKind::Lru, 0)?;
+        // The buffer keeps the shape rules of its former incarnation as
+        // a fully-associative SetAssociativeCache: entries must form a
+        // valid (power-of-two) single-set geometry.
+        CacheGeometry::new(entries * line_bytes, line_bytes, entries)?;
+        assert!(
+            geom.tag_bits() <= packed::MAX_TAG_BITS
+                && (geom.addr_bits() - geom.offset_bits()) <= packed::MAX_TAG_BITS,
+            "tag field of {geom} does not fit a packed line word"
+        );
         let sets = geom.sets();
         Ok(VictimCache {
             geom,
-            tags: vec![0; sets],
-            valid: vec![false; sets],
-            dirty: vec![false; sets],
-            buffer,
+            lines: vec![packed::EMPTY; sets],
+            buf_words: vec![packed::EMPTY; entries],
+            buf_stamps: vec![0; entries],
+            buf_clock: 0,
             stats: CacheStats::new(),
             usage: SetUsage::new(sets),
             buffer_hits: 0,
             buffer_probes: 0,
+            observer,
         })
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// Number of buffer entries.
     pub fn buffer_entries(&self) -> usize {
-        self.buffer.geometry().lines()
+        self.buf_words.len()
     }
 
     /// How many main-array misses were recovered by the buffer.
@@ -86,59 +136,246 @@ impl VictimCache {
         self.buffer_probes
     }
 
-    /// Replaces the block in `set` with `addr`'s block, demoting the old
-    /// resident into the buffer. Returns the block pushed out of the
-    /// buffer, if any.
-    fn fill_main(&mut self, set: usize, addr: Addr, dirty: bool) -> Option<Eviction> {
-        let mut out = None;
-        if self.valid[set] {
-            let old = Eviction {
-                block: self.geom.reconstruct(self.tags[set], set),
-                dirty: self.dirty[set],
-            };
-            out = self.buffer.insert(old.block, old.dirty);
+    /// Mask selecting the block-id field (`addr >> offset_bits` within
+    /// the geometry's address width).
+    fn id_mask(&self) -> u64 {
+        let bits = self.geom.addr_bits() - self.geom.offset_bits();
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
         }
-        self.tags[set] = self.geom.tag(addr);
-        self.valid[set] = true;
-        self.dirty[set] = dirty;
-        out
     }
 }
 
-impl CacheModel for VictimCache {
-    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
-        let set = self.geom.set_index(addr);
-        let tag = self.geom.tag(addr);
-        if self.valid[set] && self.tags[set] == tag {
-            self.stats.record(kind, true);
-            self.usage.record(set, true);
-            if kind.is_write() {
-                self.dirty[set] = true;
-            }
-            return AccessResult::hit();
+/// Inserts a freshly demoted block `id` into the buffer with exact
+/// FA-LRU semantics: the first invalid slot (or the LRU victim) is
+/// filled. Returns the displaced `(block id, dirty)`, if any.
+///
+/// The caller only ever demotes the main array's old resident, which
+/// cannot also live in the buffer (a block is in exactly one of the
+/// two structures), so no merge scan is needed.
+#[inline(always)]
+fn buf_insert<const N: usize>(
+    words: &mut [u64],
+    stamps: &mut [u64],
+    clock: &mut u64,
+    id: u64,
+    dirty: bool,
+) -> Option<(u64, bool)> {
+    debug_assert!(
+        cam::find_match::<N>(words, id).is_none(),
+        "main array and victim buffer must stay exclusive"
+    );
+    let (slot, displaced) = match cam::find_invalid::<N>(words) {
+        Some(i) => (i, None),
+        None => {
+            let v = cam::min_stamp::<N>(stamps);
+            let w = words[v];
+            (v, Some((packed::tag(w), packed::is_dirty(w))))
         }
-        // Main-array miss: probe the buffer.
-        self.buffer_probes += 1;
-        if let Some(from_buffer) = self.buffer.extract(addr) {
-            // Swap: promoted block enters the main array, the resident
-            // block is demoted into the slot just vacated.
-            self.buffer_hits += 1;
-            self.stats.record(kind, true);
-            self.usage.record(set, true);
-            let displaced = self.fill_main(set, addr, from_buffer.dirty || kind.is_write());
+    };
+    words[slot] = packed::fill(id, dirty);
+    *clock += 1;
+    stamps[slot] = *clock;
+    displaced
+}
+
+/// One access against the destructured cache state. Shared verbatim by
+/// the per-access and batched paths, so their statistics, set-usage
+/// counters and [`Observer`] event sequences agree by construction.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn step<O: Observer, const N: usize>(
+    split: &TagIndexSplit,
+    index_bits: u32,
+    offset_bits: u32,
+    id_mask: u64,
+    lines: &mut [u64],
+    buf_words: &mut [u64],
+    buf_stamps: &mut [u64],
+    buf_clock: &mut u64,
+    usage: &mut SetUsage,
+    tally: &mut BatchTally,
+    buffer_hits: &mut u64,
+    buffer_probes: &mut u64,
+    observer: &mut O,
+    addr: Addr,
+    kind: AccessKind,
+) -> AccessResult {
+    let set = split.set_index(addr);
+    let tag = split.tag(addr);
+    let word = lines[set];
+    if packed::matches(word, tag) {
+        tally.record(kind, true);
+        usage.record(set, true);
+        if O::ENABLED {
+            observer.event(Event::SetTouch {
+                set: set as u64,
+                hit: true,
+            });
+        }
+        if kind.is_write() {
+            lines[set] = packed::set_dirty(word);
+        }
+        return AccessResult::hit();
+    }
+    // Main-array miss: probe the buffer with the fused CAM search.
+    *buffer_probes += 1;
+    let id = (addr.raw() >> offset_bits) & id_mask;
+    if let Some(i) = cam::find_match::<N>(buf_words, id) {
+        // Swap: promoted block enters the main array, the resident
+        // block is demoted into the slot just vacated.
+        *buffer_hits += 1;
+        tally.record(kind, true);
+        usage.record(set, true);
+        if O::ENABLED {
+            observer.event(Event::SetTouch {
+                set: set as u64,
+                hit: true,
+            });
+        }
+        let promoted_dirty = packed::is_dirty(buf_words[i]);
+        buf_words[i] = packed::EMPTY;
+        if packed::is_valid(word) {
+            let old_id = (packed::tag(word) << index_bits) | set as u64;
+            let displaced = buf_insert::<N>(
+                buf_words,
+                buf_stamps,
+                buf_clock,
+                old_id,
+                packed::is_dirty(word),
+            );
             debug_assert!(displaced.is_none(), "buffer cannot overflow during a swap");
-            return AccessResult::slow_hit(1);
         }
-        // Full miss: fill the main array, demote the old resident.
-        self.stats.record(kind, false);
-        self.usage.record(set, false);
-        let evicted = self.fill_main(set, addr, kind.is_write());
-        if let Some(ev) = &evicted {
-            if ev.dirty {
-                self.stats.record_writeback();
-            }
+        lines[set] = packed::fill(tag, promoted_dirty || kind.is_write());
+        return AccessResult::slow_hit(1);
+    }
+    // Full miss: fill the main array, demote the old resident.
+    tally.record(kind, false);
+    usage.record(set, false);
+    if O::ENABLED {
+        observer.event(Event::Miss {
+            kind: MissKind::Tag,
+        });
+        observer.event(Event::SetTouch {
+            set: set as u64,
+            hit: false,
+        });
+    }
+    let mut evicted = None;
+    if packed::is_valid(word) {
+        let old_id = (packed::tag(word) << index_bits) | set as u64;
+        if let Some((out_id, out_dirty)) = buf_insert::<N>(
+            buf_words,
+            buf_stamps,
+            buf_clock,
+            old_id,
+            packed::is_dirty(word),
+        ) {
+            tally.record_writeback_if(out_dirty);
+            evicted = Some(Eviction {
+                block: Addr::new(out_id << offset_bits),
+                dirty: out_dirty,
+            });
         }
-        AccessResult::miss(evicted)
+    }
+    lines[set] = packed::fill(tag, kind.is_write());
+    AccessResult::miss(evicted)
+}
+
+/// Expands to a `match` dispatching `$entries` to a monomorphized
+/// invocation of `$kernel!(N)` for the buffer widths worth specializing
+/// (powers of two up to 32; the paper evaluates 16). `0` selects the
+/// runtime-width fallback.
+macro_rules! dispatch_entries {
+    ($entries:expr, $kernel:ident) => {
+        match $entries {
+            1 => $kernel!(1),
+            2 => $kernel!(2),
+            4 => $kernel!(4),
+            8 => $kernel!(8),
+            16 => $kernel!(16),
+            32 => $kernel!(32),
+            _ => $kernel!(0),
+        }
+    };
+}
+
+impl<O: Observer> CacheModel for VictimCache<O> {
+    fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        let split = self.geom.split();
+        let index_bits = self.geom.index_bits();
+        let offset_bits = self.geom.offset_bits();
+        let id_mask = self.id_mask();
+        let mut tally = BatchTally::new();
+        let (mut hits, mut probes) = (0u64, 0u64);
+        macro_rules! kernel {
+            ($n:literal) => {
+                step::<O, $n>(
+                    &split,
+                    index_bits,
+                    offset_bits,
+                    id_mask,
+                    &mut self.lines,
+                    &mut self.buf_words,
+                    &mut self.buf_stamps,
+                    &mut self.buf_clock,
+                    &mut self.usage,
+                    &mut tally,
+                    &mut hits,
+                    &mut probes,
+                    &mut self.observer,
+                    addr,
+                    kind,
+                )
+            };
+        }
+        let result = dispatch_entries!(self.buf_words.len(), kernel);
+        tally.flush(&mut self.stats);
+        self.buffer_hits += hits;
+        self.buffer_probes += probes;
+        result
+    }
+
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Monomorphized replay: state is hoisted into locals once, the
+        // buffer scan unrolls for the common widths, and statistics are
+        // tallied in registers. Bit-identical to the `access` loop (the
+        // batch-equivalence suite enforces it, events included).
+        let split = self.geom.split();
+        let index_bits = self.geom.index_bits();
+        let offset_bits = self.geom.offset_bits();
+        let id_mask = self.id_mask();
+        let mut tally = BatchTally::new();
+        let (mut hits, mut probes) = (0u64, 0u64);
+        macro_rules! kernel {
+            ($n:literal) => {
+                for &(addr, kind) in accesses {
+                    step::<O, $n>(
+                        &split,
+                        index_bits,
+                        offset_bits,
+                        id_mask,
+                        &mut self.lines,
+                        &mut self.buf_words,
+                        &mut self.buf_stamps,
+                        &mut self.buf_clock,
+                        &mut self.usage,
+                        &mut tally,
+                        &mut hits,
+                        &mut probes,
+                        &mut self.observer,
+                        addr,
+                        kind,
+                    );
+                }
+            };
+        }
+        dispatch_entries!(self.buf_words.len(), kernel);
+        tally.flush(&mut self.stats);
+        self.buffer_hits += hits;
+        self.buffer_probes += probes;
     }
 
     fn stats(&self) -> &CacheStats {
@@ -305,5 +542,83 @@ mod tests {
             seen.insert(addr);
         }
         assert!(vc.stats().total().misses() >= seen.len() as u64);
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 1024) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        // Covers a monomorphized width (4) and the runtime fallback is
+        // exercised indirectly by min_stamp/find_match tests in `cam`.
+        for entries in [1usize, 2, 4, 16] {
+            let mut looped = VictimCache::new(512, 32, entries).unwrap();
+            let mut batched = VictimCache::new(512, 32, entries).unwrap();
+            let accesses = fuzz_accesses(8_000, entries as u64);
+            for &(addr, kind) in &accesses {
+                looped.access(addr, kind);
+            }
+            batched.access_batch(&accesses);
+            assert_eq!(looped.stats(), batched.stats(), "victim{entries}");
+            assert_eq!(looped.usage, batched.usage, "victim{entries} usage");
+            assert_eq!(looped.lines, batched.lines, "victim{entries} main array");
+            assert_eq!(
+                looped.buf_words, batched.buf_words,
+                "victim{entries} buffer"
+            );
+            assert_eq!(
+                looped.buf_stamps, batched.buf_stamps,
+                "victim{entries} LRU stamps"
+            );
+            assert_eq!(
+                (looped.buffer_hits, looped.buffer_probes),
+                (batched.buffer_hits, batched.buffer_probes),
+                "victim{entries} side counters"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(6_000, 77);
+        let mut looped = VictimCache::with_observer(512, 32, 4, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            VictimCache::with_observer(512, 32, 4, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
+    }
+
+    #[test]
+    fn observer_event_counts_agree_with_stats() {
+        use telemetry::EventCounts;
+        let accesses = fuzz_accesses(6_000, 99);
+        let mut c = VictimCache::with_observer(512, 32, 4, EventCounts::default()).unwrap();
+        c.access_batch(&accesses);
+        let counts = *c.observer();
+        let total = c.stats().total();
+        assert_eq!(counts.tag_misses, total.misses());
+        assert_eq!(counts.set_hits, total.hits());
+        assert_eq!(counts.set_misses, total.misses());
     }
 }

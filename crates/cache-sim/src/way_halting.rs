@@ -9,18 +9,26 @@
 //! address bits before translation completes, which is why the paper
 //! discusses the two designs together.
 
+use telemetry::{NullObserver, Observer};
+
 use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel};
-use crate::replacement::PolicyKind;
-use crate::set_assoc::SetAssociativeCache;
-use crate::stats::{CacheStats, SetUsage};
+use crate::packed;
+use crate::replacement::{Lru, PolicyKind};
+use crate::set_assoc::{step_one, SetAssociativeCache};
+use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A set-associative cache with way halting.
 ///
 /// Functionally identical to the wrapped LRU cache; the added value is
 /// the energy-relevant statistic: how many way accesses the halt tags
 /// suppressed ([`WayHaltingCache::halted_fraction`]).
+///
+/// [`CacheModel::access_batch`] fuses the halt-tag pre-scan and the
+/// shadow-directory bookkeeping around the shared set-associative step
+/// kernel, so the batched path is bit-identical to the per-access one —
+/// statistics, halt counters, and [`Observer`] events alike.
 ///
 /// # Examples
 ///
@@ -34,11 +42,9 @@ use crate::stats::{CacheStats, SetUsage};
 /// # Ok::<(), cache_sim::GeometryError>(())
 /// ```
 #[derive(Debug)]
-pub struct WayHaltingCache {
-    inner: SetAssociativeCache,
+pub struct WayHaltingCache<O: Observer = NullObserver> {
+    inner: SetAssociativeCache<O>,
     halt_bits: u32,
-    // Shadow block ids per (set, way) to evaluate halt decisions.
-    shadow: Vec<Option<u64>>,
     ways_examined: u64,
     ways_halted: u64,
 }
@@ -56,19 +62,48 @@ impl WayHaltingCache {
         assoc: usize,
         halt_bits: u32,
     ) -> Result<Self, GeometryError> {
-        let inner = SetAssociativeCache::new(size_bytes, line_bytes, assoc, PolicyKind::Lru, 0)?;
-        let slots = inner.geometry().sets() * assoc;
+        Self::with_observer(size_bytes, line_bytes, assoc, halt_bits, NullObserver)
+    }
+}
+
+impl<O: Observer> WayHaltingCache<O> {
+    /// Like [`WayHaltingCache::new`], with an observer wired into both
+    /// access paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] for invalid shapes.
+    pub fn with_observer(
+        size_bytes: usize,
+        line_bytes: usize,
+        assoc: usize,
+        halt_bits: u32,
+        observer: O,
+    ) -> Result<Self, GeometryError> {
+        let inner = SetAssociativeCache::with_observer(
+            size_bytes,
+            line_bytes,
+            assoc,
+            PolicyKind::Lru,
+            0,
+            observer,
+        )?;
         Ok(WayHaltingCache {
             inner,
             halt_bits,
-            shadow: vec![None; slots],
             ways_examined: 0,
             ways_halted: 0,
         })
     }
 
-    fn halt_tag(&self, tag: u64) -> u64 {
-        tag & ((1u64 << self.halt_bits) - 1)
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        self.inner.observer()
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.inner.observer_mut()
     }
 
     /// Fraction of way lookups suppressed by the halt tags; the original
@@ -87,43 +122,64 @@ impl WayHaltingCache {
     }
 }
 
-impl CacheModel for WayHaltingCache {
+impl<O: Observer> CacheModel for WayHaltingCache<O> {
     fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessResult {
+        // The halt decision needs exactly what the packed tag array
+        // already holds: a way halts when it is empty or its stored
+        // tag's low bits mismatch the incoming address's.
         let geom = self.inner.geometry();
-        let assoc = geom.assoc();
         let set = geom.set_index(addr);
         let tag = geom.tag(addr);
-        let id = (tag << geom.index_bits()) | set as u64;
-        let want = self.halt_tag(tag);
-
-        for w in 0..assoc {
+        let halt_mask = (1u64 << self.halt_bits) - 1;
+        for &w in self.inner.set_words(set) {
             self.ways_examined += 1;
-            let halted = match self.shadow[set * assoc + w] {
-                Some(block) => self.halt_tag(block >> geom.index_bits()) != want,
-                None => true, // empty ways halt trivially
-            };
-            if halted {
-                self.ways_halted += 1;
-            }
+            let halted = !packed::is_valid(w) || (packed::tag(w) ^ tag) & halt_mask != 0;
+            self.ways_halted += halted as u64;
         }
+        self.inner.access(addr, kind)
+    }
 
-        let result = self.inner.access(addr, kind);
-        if !result.hit {
-            // Mirror the fill into the shadow.
-            if let Some(ev) = result.evicted {
-                let ev_id = ev.block.raw() >> geom.offset_bits();
-                for slot in self.shadow[set * assoc..(set + 1) * assoc].iter_mut() {
-                    if *slot == Some(ev_id) {
-                        *slot = None;
+    fn access_batch(&mut self, accesses: &[(Addr, AccessKind)]) {
+        // Fused kernel: halt-tag pre-scan over the packed words + shared
+        // step, with register-tallied stats, the inner LRU devirtualized,
+        // and the way scans monomorphized for the common associativities.
+        // Bit-identical to the `access` loop (the batch-equivalence
+        // suite enforces it, events included).
+        let halt_mask = (1u64 << self.halt_bits) - 1;
+        let (mut examined, mut halted_n) = (0u64, 0u64);
+        let (split, assoc, lines, usage, policy, stats, observer) = self.inner.batch_parts();
+        let mut tally = BatchTally::new();
+        macro_rules! kernel {
+            ($policy:expr, $a:literal) => {{
+                let p = $policy;
+                for &(addr, kind) in accesses {
+                    let set = split.set_index(addr);
+                    let tag = split.tag(addr);
+                    for &w in &lines[set * assoc..(set + 1) * assoc] {
+                        let halted =
+                            !packed::is_valid(w) || (packed::tag(w) ^ tag) & halt_mask != 0;
+                        halted_n += halted as u64;
                     }
+                    examined += assoc as u64;
+                    step_one::<_, _, $a>(
+                        &split, assoc, lines, usage, p, &mut tally, observer, addr, kind,
+                    );
                 }
-            }
-            let empty = (0..assoc)
-                .find(|w| self.shadow[set * assoc + w].is_none())
-                .expect("eviction freed a way");
-            self.shadow[set * assoc + empty] = Some(id);
+            }};
         }
-        result
+        if let Some(lru) = policy.as_any_mut().downcast_mut::<Lru>() {
+            match assoc {
+                2 => kernel!(lru, 2),
+                4 => kernel!(lru, 4),
+                8 => kernel!(lru, 8),
+                _ => kernel!(lru, 0),
+            }
+        } else {
+            kernel!(policy.as_mut(), 0)
+        }
+        tally.flush(stats);
+        self.ways_examined += examined;
+        self.ways_halted += halted_n;
     }
 
     fn stats(&self) -> &CacheStats {
@@ -229,6 +285,58 @@ mod tests {
             WayHaltingCache::new(16 * 1024, 32, 4, 4).unwrap().label(),
             "16k4way-halt4"
         );
+    }
+
+    fn fuzz_accesses(records: usize, seed: u64) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x2468_ACE0u64;
+        (0..records)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 512) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_the_loop() {
+        let mut looped = WayHaltingCache::new(2048, 32, 4, 4).unwrap();
+        let mut batched = WayHaltingCache::new(2048, 32, 4, 4).unwrap();
+        let accesses = fuzz_accesses(6_000, 1);
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(
+            (looped.ways_examined, looped.ways_halted),
+            (batched.ways_examined, batched.ways_halted),
+            "halt counters"
+        );
+    }
+
+    #[test]
+    fn observer_sees_identical_events_from_loop_and_batch() {
+        use telemetry::EventRing;
+        let accesses = fuzz_accesses(5_000, 13);
+        let mut looped =
+            WayHaltingCache::with_observer(2048, 32, 4, 4, EventRing::new(64 * 1024)).unwrap();
+        let mut batched =
+            WayHaltingCache::with_observer(2048, 32, 4, 4, EventRing::new(64 * 1024)).unwrap();
+        for &(addr, kind) in &accesses {
+            looped.access(addr, kind);
+        }
+        batched.access_batch(&accesses);
+        let a: Vec<_> = looped.observer().iter().map(|(_, e)| e.clone()).collect();
+        let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+        assert!(!a.is_empty(), "the fuzz stream must generate events");
+        assert_eq!(a, b, "per-access and batched event sequences diverge");
     }
 
     /// Differential hook: this cache is contractually an n-way LRU array

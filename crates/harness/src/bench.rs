@@ -16,8 +16,8 @@
 //!
 //! `BENCH_baseline.json` (committed) holds the pre-optimization numbers;
 //! `bench --smoke` re-measures at a reduced record count and fails if
-//! direct-mapped throughput drops below the regression threshold
-//! relative to that file, which is what CI runs.
+//! any model's throughput drops below the regression threshold relative
+//! to that file, which is what CI runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -39,7 +39,8 @@ pub const DEFAULT_SEED: u64 = 42;
 /// which `--smoke` fails (the ">20% drop" CI gate).
 pub const SMOKE_MIN_RATIO: f64 = 0.8;
 
-/// The benchmarked models, mirroring the Criterion `simulator` group.
+/// The benchmarked models: the whole fleet, one row per model, so
+/// `BENCH_repro.json` tracks every batched kernel.
 pub fn model_set() -> Vec<(&'static str, CacheConfig)> {
     vec![
         ("direct-mapped", CacheConfig::DirectMapped),
@@ -48,6 +49,11 @@ pub fn model_set() -> Vec<(&'static str, CacheConfig)> {
         ("bcache-mf8-bas8", CacheConfig::BCache { mf: 8, bas: 8 }),
         ("column-assoc", CacheConfig::ColumnAssoc),
         ("skewed-2way", CacheConfig::SkewedAssoc),
+        ("way-halting4", CacheConfig::WayHalting),
+        ("hac32", CacheConfig::Hac),
+        ("agac", CacheConfig::Agac),
+        ("pam5", CacheConfig::Pam),
+        ("diff-bit", CacheConfig::DiffBit),
     ]
 }
 
@@ -389,30 +395,55 @@ fn parse_row(fields: &str) -> Result<BenchRow, String> {
     })
 }
 
-/// The `--smoke` regression gate: direct-mapped throughput must stay
-/// above [`SMOKE_MIN_RATIO`] of the committed baseline's. Returns a
-/// human-readable verdict on success.
+/// The `--smoke` regression gate: every model present in both this run
+/// and the committed baseline must stay above [`SMOKE_MIN_RATIO`] of its
+/// baseline throughput. Models the baseline has never measured pass
+/// (they gain a baseline row on the next refresh). Returns a
+/// human-readable per-model verdict on success.
 pub fn check_against_baseline(rows: &[BenchRow], baseline_text: &str) -> Result<String, String> {
     let baseline = parse_rows(baseline_text)?;
-    let dm = |rows: &[BenchRow], what: &str| {
-        rows.iter()
-            .find(|r| r.model == "direct-mapped")
-            .map(|r| r.maccesses_per_sec)
-            .ok_or_else(|| format!("{what} has no direct-mapped row"))
-    };
-    let now = dm(rows, "this run")?;
-    let then = dm(&baseline, "the baseline file")?;
-    if now < SMOKE_MIN_RATIO * then {
-        return Err(format!(
-            "direct-mapped throughput regressed: {now:.1} MAcc/s vs baseline {then:.1} \
-             (floor {:.1})",
-            SMOKE_MIN_RATIO * then
-        ));
+    if !rows.iter().any(|r| r.model == "direct-mapped") {
+        return Err("this run has no direct-mapped row".into());
     }
-    Ok(format!(
-        "direct-mapped throughput {now:.1} MAcc/s vs committed baseline {then:.1} ({:+.1}%)",
-        (now / then - 1.0) * 100.0
-    ))
+    if !baseline.iter().any(|r| r.model == "direct-mapped") {
+        return Err("the baseline file has no direct-mapped row".into());
+    }
+    let mut verdict = String::new();
+    let mut failures = String::new();
+    let mut gated = 0usize;
+    for r in rows {
+        let Some(then) = baseline
+            .iter()
+            .find(|b| b.model == r.model)
+            .map(|b| b.maccesses_per_sec)
+        else {
+            continue; // new model: no baseline to regress against yet
+        };
+        gated += 1;
+        let now = r.maccesses_per_sec;
+        if now < SMOKE_MIN_RATIO * then {
+            let _ = writeln!(
+                failures,
+                "{} throughput regressed: {now:.1} MAcc/s vs baseline {then:.1} (floor {:.1})",
+                r.model,
+                SMOKE_MIN_RATIO * then
+            );
+        } else {
+            let _ = writeln!(
+                verdict,
+                "{} throughput {now:.1} MAcc/s vs committed baseline {then:.1} ({:+.1}%)",
+                r.model,
+                (now / then - 1.0) * 100.0
+            );
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.trim_end().to_string());
+    }
+    if gated == 0 {
+        return Err("no model appears in both this run and the baseline file".into());
+    }
+    Ok(verdict.trim_end().to_string())
 }
 
 /// Renders the human-readable result table printed alongside the JSON.
@@ -575,5 +606,31 @@ mod tests {
         let mut dip = sample_rows();
         dip[0].maccesses_per_sec = 120.5 * 0.85;
         assert!(check_against_baseline(&dip, &baseline).is_ok());
+    }
+
+    #[test]
+    fn baseline_gate_covers_every_model() {
+        // A regression in any model fails the gate, not just direct-mapped.
+        let baseline = render_json(&sample_rows());
+        let mut slow = sample_rows();
+        slow[1].maccesses_per_sec = 80.25 * 0.5;
+        let err = check_against_baseline(&slow, &baseline).unwrap_err();
+        assert!(err.contains("bcache-mf8-bas8"), "{err}");
+        assert!(err.contains("regressed"), "{err}");
+        // Models absent from the baseline pass (no number to regress from).
+        let mut extra = sample_rows();
+        extra.push(BenchRow {
+            model: "brand-new".into(),
+            maccesses_per_sec: 0.001,
+            records: 1_000_000,
+            seed: 42,
+            git_rev: "abc1234".into(),
+        });
+        let ok = check_against_baseline(&extra, &baseline).unwrap();
+        assert!(!ok.contains("brand-new"), "{ok}");
+        assert!(ok.contains("direct-mapped"), "{ok}");
+        // But both sides still need the direct-mapped anchor row.
+        let headless: Vec<BenchRow> = sample_rows().into_iter().skip(1).collect();
+        assert!(check_against_baseline(&headless, &baseline).is_err());
     }
 }

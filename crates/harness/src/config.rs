@@ -4,7 +4,7 @@ use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::{
     AgacCache, CacheGeometry, CacheModel, ColumnAssociativeCache, DifferenceBitCache,
     DirectMappedCache, GeometryError, HighlyAssociativeCache, PartialMatchCache, PolicyKind,
-    SetAssociativeCache, SkewedAssociativeCache, VictimCache,
+    SetAssociativeCache, SkewedAssociativeCache, VictimCache, WayHaltingCache,
 };
 
 /// A named L1 configuration from the paper's figures.
@@ -36,6 +36,8 @@ pub enum CacheConfig {
     SkewedAssoc,
     /// Highly-associative CAM-tag cache (Section 6.7).
     Hac,
+    /// Way-halting 4-way cache (related work, Section 7.2).
+    WayHalting,
     /// Adaptive group-associative cache (related work, Section 7.1).
     Agac,
     /// Partial-address-matching 2-way cache (related work, Section 7.2).
@@ -132,6 +134,7 @@ impl CacheConfig {
             CacheConfig::ColumnAssoc => Box::new(ColumnAssociativeCache::new(size_bytes, LINE)?),
             CacheConfig::SkewedAssoc => Box::new(SkewedAssociativeCache::new(size_bytes, LINE)?),
             CacheConfig::Hac => Box::new(HighlyAssociativeCache::new(size_bytes, LINE, 1024)?),
+            CacheConfig::WayHalting => Box::new(WayHaltingCache::new(size_bytes, LINE, 4, 4)?),
             CacheConfig::Agac => Box::new(AgacCache::new(size_bytes, LINE, 64)?),
             CacheConfig::Pam => Box::new(PartialMatchCache::new(size_bytes, LINE, 5)?),
             CacheConfig::DiffBit => Box::new(DifferenceBitCache::new(size_bytes, LINE)?),
@@ -149,6 +152,7 @@ impl CacheConfig {
             CacheConfig::ColumnAssoc => "column".into(),
             CacheConfig::SkewedAssoc => "skew2".into(),
             CacheConfig::Hac => "hac32".into(),
+            CacheConfig::WayHalting => "halt4".into(),
             CacheConfig::Agac => "agac".into(),
             CacheConfig::Pam => "pam5".into(),
             CacheConfig::DiffBit => "diffbit".into(),
@@ -388,6 +392,7 @@ mod tests {
             CacheConfig::ColumnAssoc,
             CacheConfig::SkewedAssoc,
             CacheConfig::Hac,
+            CacheConfig::WayHalting,
             CacheConfig::BCacheRandom { mf: 8, bas: 8 },
             CacheConfig::Agac,
             CacheConfig::Pam,

@@ -32,8 +32,15 @@
 //!     replaying the trace through [`CacheModel::access_batch`] yields
 //!     exactly the stats of the per-access loop — guarding the
 //!     monomorphized fast paths of the DM, set-associative and B-Cache
-//!     kernels and the default fallback of everything else.
-//! 11. the birthday adversary: blocks spaced `2^19` apart share the set
+//!     kernels and the default fallback of everything else;
+//! 11. batched vs oracle: an oracle-equivalent model (direct-mapped,
+//!     set-associative at a random const-dispatched width and policy,
+//!     or one of the n-way-LRU wrappers) is driven purely through
+//!     [`CacheModel::access_batch`] at a random chunk size and its
+//!     final hit/miss/writeback counters must equal the per-access
+//!     [`OracleCache`] — the differential form of the proptest suite in
+//!     `tests/proptest_differential.rs`;
+//! 12. the birthday adversary: blocks spaced `2^19` apart share the set
 //!     index *and* the NPI/PI fields of the 16 kB paper-default
 //!     B-Cache, so the programmable decoder is defeated and both the
 //!     direct-mapped baseline and the B-Cache must hit exactly when the
@@ -77,6 +84,7 @@ pub const SCENARIOS: &[&str] = &[
     "fa_lru_stack",
     "demand_fill_sanity",
     "batch_equivalence",
+    "batched_vs_oracle",
     "birthday_adversarial",
 ];
 
@@ -432,6 +440,7 @@ fn run_case_in(seed: u64, case: u64, scenario: Option<usize>) -> Option<Divergen
         7 => fa_lru_stack(seed, case, &mut rng),
         8 => demand_fill_sanity(seed, case, &mut rng),
         9 => batch_equivalence(seed, case, &mut rng),
+        10 => batched_vs_oracle(seed, case, &mut rng),
         _ => birthday_adversarial(seed, case, &mut rng),
     }
 }
@@ -1045,6 +1054,109 @@ fn batch_equivalence(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergen
     )
 }
 
+fn batched_vs_oracle(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergence> {
+    let line = 32usize;
+    let sets = rng.pick(&[4usize, 8, 16]);
+    let which = rng.below(6);
+    let assoc = match which {
+        0 => 1,                                // direct-mapped
+        1 => rng.pick(&[1usize, 2, 4, 8, 16]), // const-dispatched widths
+        2 => rng.pick(&[2usize, 4, 8]),        // HAC subarrays
+        3 | 4 => 2,                            // PAM / difference-bit
+        _ => rng.pick(&[2usize, 4]),           // way-halting
+    };
+    let size = sets * assoc * line;
+    let policy = if which == 1 {
+        rng.pick(&[
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+        ])
+    } else {
+        PolicyKind::Lru
+    };
+    let pseed = if which == 1 { rng.next() } else { 0 };
+    let pad_bits = 1 + rng.below(5) as u32;
+    let chunk = 1 + rng.below(64) as usize;
+    let trace = gen_trace(rng, line as u64, 3 * sets as u64, 32 * size as u64);
+    let (name, model_setup): (&'static str, String) = match which {
+        0 => (
+            "batched_dm_vs_oracle",
+            format!("    let mut model = cache_sim::DirectMappedCache::new({size}, {line}).unwrap();\n"),
+        ),
+        1 => (
+            "batched_set_assoc_vs_oracle",
+            format!(
+                "    let mut model = cache_sim::SetAssociativeCache::new({size}, {line}, {assoc}, cache_sim::PolicyKind::{policy:?}, {pseed}).unwrap();\n"
+            ),
+        ),
+        2 => (
+            "batched_hac_vs_oracle",
+            format!(
+                "    let mut model = cache_sim::HighlyAssociativeCache::new({size}, {line}, {}).unwrap();\n",
+                assoc * line
+            ),
+        ),
+        3 => (
+            "batched_pam_vs_oracle",
+            format!(
+                "    let mut model = cache_sim::PartialMatchCache::new({size}, {line}, {pad_bits}).unwrap();\n"
+            ),
+        ),
+        4 => (
+            "batched_diffbit_vs_oracle",
+            format!(
+                "    let mut model = cache_sim::DifferenceBitCache::new({size}, {line}).unwrap();\n"
+            ),
+        ),
+        _ => (
+            "batched_way_halting_vs_oracle",
+            format!(
+                "    let mut model = cache_sim::WayHaltingCache::new({size}, {line}, {assoc}, {pad_bits}).unwrap();\n"
+            ),
+        ),
+    };
+    let check = move |t: &[FuzzRecord]| -> Option<(usize, String)> {
+        let mut model: Box<dyn CacheModel> = match which {
+            0 => Box::new(DirectMappedCache::new(size, line).unwrap()),
+            1 => Box::new(SetAssociativeCache::new(size, line, assoc, policy, pseed).unwrap()),
+            2 => Box::new(HighlyAssociativeCache::new(size, line, assoc * line).unwrap()),
+            3 => Box::new(PartialMatchCache::new(size, line, pad_bits).unwrap()),
+            4 => Box::new(DifferenceBitCache::new(size, line).unwrap()),
+            _ => Box::new(WayHaltingCache::new(size, line, assoc, pad_bits).unwrap()),
+        };
+        let mut oracle = OracleCache::new(size, line, assoc, policy, pseed, 32);
+        let accesses: Vec<(Addr, AccessKind)> =
+            t.iter().map(|&(a, w)| (Addr::new(a), kind(w))).collect();
+        for slice in accesses.chunks(chunk) {
+            model.access_batch(slice);
+        }
+        for &(addr, w) in t {
+            oracle.access(Addr::new(addr), kind(w));
+        }
+        let total = model.stats().total();
+        let got = (total.hits(), total.misses(), model.stats().writebacks());
+        let want = (oracle.hits(), oracle.misses(), oracle.writebacks());
+        (got != want).then(|| {
+            (
+                t.len() - 1,
+                format!(
+                    "{} batched in {chunk}-chunks: (hits, misses, writebacks) {got:?} vs oracle {want:?}",
+                    model.label()
+                ),
+            )
+        })
+    };
+    let body = format!(
+        "        let _ = model.access(cache_sim::Addr::new(addr), kind);\n\
+         \x20       // Replay this trace through `access_batch` in {chunk}-sized chunks on an\n\
+         \x20       // identical model and compare final counters to the oracle (see\n\
+         \x20       // harness::fuzz, batched_vs_oracle).\n"
+    );
+    diverge(name, case, seed, trace, &check, model_setup, &body)
+}
+
 fn birthday_adversarial(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergence> {
     // The aligned birthday adversary at the paper's 16 kB baseline:
     // k blocks spaced 2^19 apart agree on the direct-mapped index bits
@@ -1158,6 +1270,18 @@ mod tests {
             seed: 7,
             jobs: 2,
             scenario: Some(SCENARIOS.len() - 1),
+        };
+        let report = run(&opts);
+        assert!(report.divergences.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn pinned_batched_oracle_scenario_is_clean() {
+        let opts = FuzzOptions {
+            iters: 60,
+            seed: 11,
+            jobs: 2,
+            scenario: Some(resolve_scenario("batched_vs_oracle").unwrap()),
         };
         let report = run(&opts);
         assert!(report.divergences.is_empty(), "{}", report.render());

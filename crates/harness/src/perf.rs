@@ -96,6 +96,9 @@ fn l1_energy_pj(config: &CacheConfig, l1_miss_rate: f64) -> f64 {
         | CacheConfig::Agac
         | CacheConfig::Pam
         | CacheConfig::DiffBit => conventional_access_pj(&geom(2)).total_pj(),
+        // Way halting skips most non-matching ways; its upper bound is
+        // its full associativity.
+        CacheConfig::WayHalting => conventional_access_pj(&geom(4)).total_pj(),
         CacheConfig::Hac => conventional_access_pj(&geom(32)).total_pj(),
     }
 }

@@ -26,17 +26,31 @@ fn len() -> RunLength {
 
 fn main() {
     let traces = TraceCache::new();
-    let configs = [
+    let core = [
         ("DM", CacheConfig::DirectMapped),
         ("W8", CacheConfig::SetAssoc(8)),
         ("BC", CacheConfig::BCache { mf: 8, bas: 8 }),
+    ];
+    // The remaining batched-kernel models, pinned on the data side only:
+    // their instruction-side rows are near-duplicates of the core
+    // configs' and add bulk without discriminating power.
+    let models = [
+        ("V16", CacheConfig::Victim(16)),
+        ("CA", CacheConfig::ColumnAssoc),
+        ("SK2", CacheConfig::SkewedAssoc),
+        ("HAC", CacheConfig::Hac),
+        ("WH4", CacheConfig::WayHalting),
+        ("AGC", CacheConfig::Agac),
+        ("PAM", CacheConfig::Pam),
+        ("DFB", CacheConfig::DiffBit),
     ];
     println!("// (benchmark, config, side, accesses, misses)");
     for &benchmark in BENCHMARKS {
         let p = profiles::by_name(benchmark).expect("known benchmark");
         let records = traces.get(&p, len());
         for side in [Side::Data, Side::Instruction] {
-            for (name, config) in &configs {
+            let extra = if side == Side::Data { &models[..] } else { &[] };
+            for (name, config) in core.iter().chain(extra) {
                 let c = replay_config_counts(benchmark, &records, config, 16 * 1024, side, len());
                 println!(
                     "    (\"{benchmark}\", {name}, Side::{side:?}, {}, {}),",
