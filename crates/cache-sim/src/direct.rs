@@ -6,6 +6,7 @@ use crate::addr::Addr;
 use crate::geometry::{CacheGeometry, GeometryError};
 use crate::model::{AccessKind, AccessResult, CacheModel, Eviction};
 use crate::packed;
+use crate::simd;
 use crate::stats::{BatchTally, CacheStats, SetUsage};
 
 /// A direct-mapped, write-back, write-allocate cache.
@@ -164,36 +165,66 @@ impl<O: Observer> CacheModel for DirectMappedCache<O> {
         // Monomorphized replay: precomputed field split, packed lines,
         // statistics tallied in registers — bit-identical outcome to the
         // `access` loop above (the batch-equivalence suite enforces it).
+        //
+        // The address decode (set/tag split) is the pure, state-
+        // independent half of an access, so it runs a whole lane group
+        // ahead of the serial hit/miss resolution: eight addresses are
+        // swizzled through `simd::shr_and` per iteration, then resolved
+        // in order against the line array.
         let split = self.geom.split();
         let lines = &mut self.lines[..];
         let usage = &mut self.usage;
         let observer = &mut self.observer;
         let mut tally = BatchTally::new();
-        for &(addr, kind) in accesses {
-            let set = split.set_index(addr);
-            let tag = split.tag(addr);
-            let word = lines[set];
-            let hit = packed::matches(word, tag);
-            tally.record(kind, hit);
-            usage.record(set, hit);
-            if O::ENABLED {
-                if !hit {
-                    observer.event(Event::Miss {
-                        kind: MissKind::Tag,
+        let be = simd::backend();
+        let mut raw = [0u64; simd::LANES];
+        let mut sets = [0u64; simd::LANES];
+        let mut tags = [0u64; simd::LANES];
+        for group in accesses.chunks(simd::LANES) {
+            let n = group.len();
+            for (i, &(addr, _)) in group.iter().enumerate() {
+                raw[i] = addr.raw();
+            }
+            simd::shr_and_with(
+                be,
+                &raw[..n],
+                split.index_shift,
+                split.index_mask,
+                &mut sets[..n],
+            );
+            simd::shr_and_with(
+                be,
+                &raw[..n],
+                split.tag_shift,
+                split.tag_mask,
+                &mut tags[..n],
+            );
+            for (i, &(_, kind)) in group.iter().enumerate() {
+                let set = sets[i] as usize;
+                let tag = tags[i];
+                let word = lines[set];
+                let hit = packed::matches(word, tag);
+                tally.record(kind, hit);
+                usage.record(set, hit);
+                if O::ENABLED {
+                    if !hit {
+                        observer.event(Event::Miss {
+                            kind: MissKind::Tag,
+                        });
+                    }
+                    observer.event(Event::SetTouch {
+                        set: set as u64,
+                        hit,
                     });
                 }
-                observer.event(Event::SetTouch {
-                    set: set as u64,
-                    hit,
-                });
-            }
-            if hit {
-                if kind.is_write() {
-                    lines[set] = packed::set_dirty(word);
+                if hit {
+                    if kind.is_write() {
+                        lines[set] = packed::set_dirty(word);
+                    }
+                } else {
+                    tally.record_writeback_if(packed::is_dirty(word));
+                    lines[set] = packed::fill(tag, kind.is_write());
                 }
-            } else {
-                tally.record_writeback_if(packed::is_dirty(word));
-                lines[set] = packed::fill(tag, kind.is_write());
             }
         }
         tally.flush(&mut self.stats);

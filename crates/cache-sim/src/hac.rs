@@ -23,8 +23,10 @@ use crate::stats::{CacheStats, SetUsage};
 ///
 /// Both access paths delegate to the wrapped set-associative array, so
 /// [`CacheModel::access_batch`] runs the monomorphized set-associative
-/// kernel (with the subarray-wide CAM search as its way scan) and is
-/// bit-identical to the per-access path, [`Observer`] events included.
+/// kernel (with the subarray-wide CAM search as its way scan — the
+/// 32-entry sweep of the paper's instance is four [`crate::simd`]
+/// AVX2 compare vectors per probe) and is bit-identical to the
+/// per-access path, [`Observer`] events included.
 ///
 /// # Examples
 ///

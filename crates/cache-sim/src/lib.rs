@@ -56,6 +56,7 @@ pub mod packed;
 pub mod pam;
 pub mod replacement;
 pub mod set_assoc;
+pub mod simd;
 pub mod skewed;
 pub mod stats;
 pub mod victim;

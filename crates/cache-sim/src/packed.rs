@@ -44,7 +44,23 @@ pub const fn tag(word: u64) -> u64 {
 /// test (the dirty bit is masked out).
 #[inline(always)]
 pub const fn matches(word: u64, tag: u64) -> bool {
-    word & !2 == (tag << 2) | 1
+    word & MATCH_MASK == search_key(tag)
+}
+
+/// The AND-mask of the [`matches`] compare: everything but the dirty
+/// bit. Paired with [`search_key`] it turns the hit test into the
+/// generic `(word & mask) == key` form the SIMD lane compares consume.
+pub const MATCH_MASK: u64 = !2;
+
+/// The valid bit alone; `(word & VALID_MASK) == 0` is "invalid" in the
+/// same generic compare form.
+pub const VALID_MASK: u64 = 1;
+
+/// The search key [`matches`] compares against: `tag` shifted into
+/// place with the valid bit set.
+#[inline(always)]
+pub const fn search_key(tag: u64) -> u64 {
+    (tag << 2) | 1
 }
 
 /// The line with its dirty bit set.

@@ -126,17 +126,12 @@ impl ReplacementPolicy for Lru {
     #[inline]
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.assoc;
-        let slice = &self.stamps[base..base + self.assoc];
-        // First minimal stamp, written as a branch-predictable scan (the
+        // First minimal stamp via the lane-sliced min reduction: the
         // iterator min_by_key compiles to a serial compare chain that
-        // dominates wide-associativity miss paths).
-        let mut best = 0;
-        for (way, &stamp) in slice.iter().enumerate().skip(1) {
-            if stamp < slice[best] {
-                best = way;
-            }
-        }
-        best
+        // dominates wide-associativity miss paths, while `min_index`
+        // runs four stamps per compare on the AVX2 backend (identical
+        // lowest-index tie-break either way).
+        crate::simd::min_index(&self.stamps[base..base + self.assoc])
     }
 
     fn kind(&self) -> PolicyKind {

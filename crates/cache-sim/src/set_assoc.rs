@@ -290,9 +290,10 @@ pub(crate) struct StepOutcome {
 /// Generic over the replacement policy so callers can pass either a
 /// concrete [`Lru`] (updates inlined, no virtual dispatch) or the boxed
 /// `dyn` policy, and over the associativity: `A > 0` monomorphizes the
-/// way scans into the fused branchless CAM probe (`A` must equal
-/// `assoc`), `A == 0` falls back to runtime-width scans with identical
-/// first-match semantics.
+/// way scans into the fused CAM probe — a [`crate::simd`] compare-mask
+/// over whole lane groups, AVX2 or portable per the process backend
+/// (`A` must equal `assoc`) — while `A == 0` falls back to
+/// runtime-width scans with identical first-match semantics.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 pub(crate) fn step_one<P: ReplacementPolicy + ?Sized, O: Observer, const A: usize>(

@@ -21,8 +21,10 @@ use crate::stats::{BatchTally, CacheStats, SetUsage};
 /// Both the main array and the buffer live in packed `u64` SoA arrays
 /// (`tag|dirty|valid` words plus LRU stamps for the buffer), and
 /// [`CacheModel::access_batch`] replays through a kernel monomorphized
-/// on the buffer width, so the 16-entry FA search unrolls into the same
-/// branch-free CAM probe the B-Cache kernel uses. The per-access and
+/// on the buffer width, so the 16-entry FA search runs as one
+/// [`crate::simd`] compare-mask probe per lane group (AVX2 when the
+/// CPU has it, the unrolled portable loop otherwise) — the same CAM
+/// primitive the B-Cache kernel uses. The per-access and
 /// batched paths share one step function and are bit-identical,
 /// including the [`Observer`] event sequence.
 ///

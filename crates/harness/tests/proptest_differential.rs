@@ -8,11 +8,13 @@
 
 use bcache_core::{BCacheParams, BalancedCache};
 use cache_sim::oracle::{BCacheOracle, OracleCache};
+use cache_sim::simd;
 use cache_sim::{
     AccessKind, Addr, AgacCache, CacheGeometry, CacheModel, ColumnAssociativeCache,
     DifferenceBitCache, DirectMappedCache, HighlyAssociativeCache, PartialMatchCache, PolicyKind,
     SetAssociativeCache, SkewedAssociativeCache, VictimCache, WayHaltingCache,
 };
+use harness::interleave::{replay_interleaved, split_round_robin};
 use proptest::prelude::*;
 
 /// Block numbers in a bounded region plus a write flag: conflicts are
@@ -208,6 +210,90 @@ proptest! {
                 "{} (chunk {}): batched set-usage diverges",
                 scalar.label(),
                 chunk
+            );
+        }
+    }
+
+    /// Every model handles every lane-boundary batch length: empty,
+    /// one access, one short of a lane group, exactly one group, one
+    /// past it, and a multi-group run with a ragged tail (0, 1, L−1, L,
+    /// L+1, 3·L+2 for L = [`simd::LANES`]). These are precisely the
+    /// prefixes where the SIMD kernels switch between full-group and
+    /// tail handling.
+    #[test]
+    fn access_batch_matches_scalar_at_lane_boundary_lengths(
+        trace in prop::collection::vec(
+            (0u64..4096, any::<bool>()),
+            (3 * simd::LANES + 2)..(3 * simd::LANES + 3),
+        ),
+    ) {
+        let full = accesses(&trace);
+        let lane = simd::LANES;
+        let builders: Vec<Box<dyn Fn() -> Box<dyn CacheModel>>> = vec![
+            Box::new(|| Box::new(DirectMappedCache::new(1024, 32).unwrap())),
+            Box::new(|| {
+                Box::new(SetAssociativeCache::new(1024, 32, 4, PolicyKind::Lru, 0).unwrap())
+            }),
+            Box::new(|| {
+                let geom = CacheGeometry::with_addr_bits(1024, 32, 1, 16).unwrap();
+                let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+            Box::new(|| Box::new(VictimCache::new(512, 32, 4).unwrap())),
+            Box::new(|| Box::new(ColumnAssociativeCache::new(512, 32).unwrap())),
+            Box::new(|| Box::new(SkewedAssociativeCache::new(512, 32).unwrap())),
+            Box::new(|| Box::new(AgacCache::new(512, 32, 4).unwrap())),
+            Box::new(|| Box::new(HighlyAssociativeCache::new(1024, 32, 256).unwrap())),
+            Box::new(|| Box::new(PartialMatchCache::new(1024, 32, 5).unwrap())),
+            Box::new(|| Box::new(DifferenceBitCache::new(1024, 32).unwrap())),
+            Box::new(|| Box::new(WayHaltingCache::new(1024, 32, 4, 4).unwrap())),
+        ];
+        for len in [0, 1, lane - 1, lane, lane + 1, 3 * lane + 2] {
+            let prefix = &full[..len];
+            for build in &builders {
+                let mut scalar = build();
+                let mut batched = build();
+                for &(addr, kind) in prefix {
+                    scalar.access(addr, kind);
+                }
+                batched.access_batch(prefix);
+                prop_assert_eq!(
+                    scalar.stats(),
+                    batched.stats(),
+                    "{} at batch length {}: batched stats diverge",
+                    scalar.label(),
+                    len
+                );
+            }
+        }
+    }
+
+    /// The interleaved kernel is pure scheduling: at any lane count and
+    /// granule, every lane of [`replay_interleaved`] ends bit-identical
+    /// to solo replay of its round-robin share.
+    #[test]
+    fn interleaved_replay_matches_solo_at_random_lane_counts(
+        trace in trace_strategy(300),
+        lanes in 1usize..9,
+        granule in 1usize..100,
+    ) {
+        let full = accesses(&trace);
+        let parts = split_round_robin(&full, lanes);
+        let views: Vec<&[(Addr, AccessKind)]> = parts.iter().map(|p| p.as_slice()).collect();
+        let mut models: Vec<DirectMappedCache> = (0..lanes)
+            .map(|_| DirectMappedCache::new(1024, 32).unwrap())
+            .collect();
+        replay_interleaved(&mut models, &views, granule);
+        for (lane, part) in parts.iter().enumerate() {
+            let mut solo = DirectMappedCache::new(1024, 32).unwrap();
+            solo.access_batch(part);
+            prop_assert_eq!(
+                models[lane].stats(),
+                solo.stats(),
+                "lane {}/{} at granule {}: interleaved replay diverged from solo",
+                lane,
+                lanes,
+                granule
             );
         }
     }

@@ -1,0 +1,498 @@
+//! Lane-equivalence matrix for the SIMD replay kernels: on **every**
+//! dispatch backend of `cache_sim::simd`, every model must produce
+//! bit-identical statistics, set-usage counters and telemetry event
+//! order whether a stream is replayed per-access, through
+//! [`CacheModel::access_batch`], or through the multi-trace interleaved
+//! kernel. The matrix spans all ten models, the degenerate geometries,
+//! every const-dispatched CAM width and the birthday-adversarial
+//! traces.
+//!
+//! The backend is process-global ([`simd::force_backend`]), so every
+//! test in this file funnels through [`for_each_backend`], which holds
+//! a file-wide mutex while a backend is forced and restores the
+//! detected one afterwards. CI runs this whole binary twice — once as
+//! is and once under `BCACHE_NO_SIMD=1` — so the *initial* dispatch
+//! decision is also exercised both ways, not just the forced one.
+
+use std::sync::Mutex;
+
+use bcache_core::{BCacheParams, BalancedCache};
+use cache_sim::simd::{self, Backend};
+use cache_sim::{
+    AccessKind, Addr, AgacCache, CacheGeometry, CacheModel, ColumnAssociativeCache,
+    DifferenceBitCache, DirectMappedCache, HighlyAssociativeCache, PartialMatchCache, PolicyKind,
+    SetAssociativeCache, SkewedAssociativeCache, VictimCache, WayHaltingCache,
+};
+use harness::interleave::{replay_interleaved, split_round_robin};
+
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per backend this machine supports (portable always;
+/// AVX2 when detected), serialized against every other test in this
+/// binary and with the detected backend restored on the way out.
+fn for_each_backend(mut f: impl FnMut(Backend)) {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = simd::backend();
+    for be in simd::available_backends() {
+        simd::force_backend(be);
+        f(be);
+    }
+    simd::force_backend(saved);
+}
+
+/// The adversarial mixed stream of the batch-equivalence suite.
+fn stream(seed: u64, len: usize) -> Vec<(Addr, AccessKind)> {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let line = 32u64;
+    let blocks = 1u64 << 14;
+    (0..len)
+        .map(|i| {
+            let r = next();
+            let block = match (r >> 60) % 4 {
+                0 => (r >> 16) % 64,
+                1 => (i as u64 * 5) % blocks,
+                2 => (((r >> 16) % 8) * 512) % blocks,
+                _ => (r >> 16) % blocks,
+            };
+            let kind = if (r >> 8) % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (Addr::new(block * line), kind)
+        })
+        .collect()
+}
+
+/// `k` blocks spaced `2^19` apart: shared set index and shared B-Cache
+/// NPI/PI fields at the 16 kB baseline (the birthday adversary).
+fn birthday_stream(k: u64, seed: u64, len: usize) -> Vec<(Addr, AccessKind)> {
+    let base = 0x1000_0000u64;
+    let spacing = 1u64 << 19;
+    let mut x = seed ^ 0xD1B5_4A32_D192_ED03;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let kind = if (x >> 8) % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            (Addr::new(base + ((x >> 16) % k) * spacing), kind)
+        })
+        .collect()
+}
+
+type Builder = Box<dyn Fn() -> Box<dyn CacheModel>>;
+
+/// One builder per model at the paper's 16 kB working geometry.
+fn builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        (
+            "direct-mapped",
+            Box::new(|| Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap())),
+        ),
+        (
+            "8-way-lru",
+            Box::new(|| {
+                Box::new(SetAssociativeCache::new(16 * 1024, 32, 8, PolicyKind::Lru, 0).unwrap())
+            }),
+        ),
+        (
+            "4-way-random",
+            Box::new(|| {
+                Box::new(
+                    SetAssociativeCache::new(16 * 1024, 32, 4, PolicyKind::Random, 0xBEEF).unwrap(),
+                )
+            }),
+        ),
+        (
+            "bcache-mf8-bas8",
+            Box::new(|| {
+                let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+                let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+        ),
+        (
+            "victim16",
+            Box::new(|| Box::new(VictimCache::new(16 * 1024, 32, 16).unwrap())),
+        ),
+        (
+            "column-assoc",
+            Box::new(|| Box::new(ColumnAssociativeCache::new(16 * 1024, 32).unwrap())),
+        ),
+        (
+            "skewed-2way",
+            Box::new(|| Box::new(SkewedAssociativeCache::new(16 * 1024, 32).unwrap())),
+        ),
+        (
+            "agac8",
+            Box::new(|| Box::new(AgacCache::new(16 * 1024, 32, 8).unwrap())),
+        ),
+        (
+            "hac32",
+            Box::new(|| Box::new(HighlyAssociativeCache::new(16 * 1024, 32, 1024).unwrap())),
+        ),
+        (
+            "pam4",
+            Box::new(|| Box::new(PartialMatchCache::new(16 * 1024, 32, 4).unwrap())),
+        ),
+        (
+            "diff-bit",
+            Box::new(|| Box::new(DifferenceBitCache::new(16 * 1024, 32).unwrap())),
+        ),
+        (
+            "way-halting4",
+            Box::new(|| Box::new(WayHaltingCache::new(16 * 1024, 32, 4, 4).unwrap())),
+        ),
+    ]
+}
+
+/// The degenerate legal geometries of the batch-equivalence suite: one
+/// set, one way, cache == line — every "first/last lane" branch of the
+/// SIMD kernels lands on the hot path.
+fn degenerate_builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        (
+            "DM, cache == line",
+            Box::new(|| Box::new(DirectMappedCache::new(32, 32).unwrap())),
+        ),
+        (
+            "1-way set-assoc, cache == line",
+            Box::new(|| Box::new(SetAssociativeCache::new(32, 32, 1, PolicyKind::Lru, 0).unwrap())),
+        ),
+        (
+            "1-set fully-associative",
+            Box::new(|| {
+                Box::new(SetAssociativeCache::new(256, 32, 8, PolicyKind::Lru, 0).unwrap())
+            }),
+        ),
+        (
+            "B-Cache, one frame",
+            Box::new(|| {
+                let geom = CacheGeometry::new(32, 32, 1).unwrap();
+                let params = BCacheParams::new(geom, 8, 1, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+        ),
+        (
+            "B-Cache, BAS == sets",
+            Box::new(|| {
+                let geom = CacheGeometry::new(1024, 32, 1).unwrap();
+                let params = BCacheParams::new(geom, 2, 32, PolicyKind::Lru).unwrap();
+                Box::new(BalancedCache::new(params))
+            }),
+        ),
+        (
+            "victim, 1-entry buffer",
+            Box::new(|| Box::new(VictimCache::new(32, 32, 1).unwrap())),
+        ),
+        (
+            "column, two lines",
+            Box::new(|| Box::new(ColumnAssociativeCache::new(64, 32).unwrap())),
+        ),
+        (
+            "skewed, one index bit",
+            Box::new(|| Box::new(SkewedAssociativeCache::new(128, 32).unwrap())),
+        ),
+        (
+            "AGAC, 1-entry directory",
+            Box::new(|| Box::new(AgacCache::new(32, 32, 1).unwrap())),
+        ),
+        (
+            "HAC, 1-set",
+            Box::new(|| Box::new(HighlyAssociativeCache::new(256, 32, 256).unwrap())),
+        ),
+        (
+            "PAM, 1-set 2-way",
+            Box::new(|| Box::new(PartialMatchCache::new(64, 32, 5).unwrap())),
+        ),
+        (
+            "difference-bit, 1-set 2-way",
+            Box::new(|| Box::new(DifferenceBitCache::new(64, 32).unwrap())),
+        ),
+        (
+            "way-halting, 1-set",
+            Box::new(|| Box::new(WayHaltingCache::new(128, 32, 4, 4).unwrap())),
+        ),
+    ]
+}
+
+/// Per-access vs batched on one backend, asserting stats and set-usage.
+fn assert_scalar_batched_agree(
+    name: &str,
+    be: Backend,
+    build: &Builder,
+    accesses: &[(Addr, AccessKind)],
+) {
+    let mut scalar = build();
+    let mut batched = build();
+    for &(addr, kind) in accesses {
+        scalar.access(addr, kind);
+    }
+    batched.access_batch(accesses);
+    assert_eq!(
+        scalar.stats(),
+        batched.stats(),
+        "{name} on {be:?}: batched stats diverge from the per-access loop"
+    );
+    assert_eq!(
+        scalar.set_usage(),
+        batched.set_usage(),
+        "{name} on {be:?}: batched set-usage counters diverge"
+    );
+}
+
+#[test]
+fn every_model_matches_per_access_on_every_backend() {
+    let accesses = stream(42, 30_000);
+    for_each_backend(|be| {
+        for (name, build) in &builders() {
+            assert_scalar_batched_agree(name, be, build, &accesses);
+        }
+    });
+}
+
+#[test]
+fn degenerate_geometries_match_per_access_on_every_backend() {
+    let accesses = stream(1234, 20_000);
+    for_each_backend(|be| {
+        for (name, build) in &degenerate_builders() {
+            assert_scalar_batched_agree(name, be, build, &accesses);
+        }
+    });
+}
+
+#[test]
+fn birthday_adversaries_match_per_access_on_every_backend() {
+    for_each_backend(|be| {
+        for k in [8u64, 16, 32, 64] {
+            let accesses = birthday_stream(k, 0xB1DA + k, 10_000);
+            for (name, build) in &builders() {
+                assert_scalar_batched_agree(&format!("{name} birthday{k}"), be, build, &accesses);
+            }
+        }
+    });
+}
+
+#[test]
+fn backends_agree_with_each_other_on_final_state() {
+    // Portable and AVX2 must not merely each match their own scalar
+    // replay: a full batched run must land on identical stats across
+    // backends (the cross-backend diagonal of the matrix).
+    let accesses = stream(77, 30_000);
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = simd::backend();
+    for (name, build) in &builders() {
+        let mut per_backend = Vec::new();
+        for be in simd::available_backends() {
+            simd::force_backend(be);
+            let mut model = build();
+            model.access_batch(&accesses);
+            per_backend.push((be, model.stats().clone()));
+        }
+        for w in per_backend.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "{name}: {:?} and {:?} disagree on batched stats",
+                w[0].0, w[1].0
+            );
+        }
+    }
+    simd::force_backend(saved);
+}
+
+/// Every const-dispatched CAM width: victim buffers at each
+/// monomorphized power-of-two width (its geometry rejects other
+/// counts), AGAC directories from 1 to 32 including every
+/// non-power-of-two in between (the `cam` runtime fallback), and
+/// set-assoc LRU / HAC at every width their scans monomorphize. The
+/// raw cam-vs-const pinning at widths 1..=33 lives in
+/// `cache_sim::cam`'s unit tests; this matrix drives the same widths
+/// through whole models on both backends.
+#[test]
+fn every_const_cam_width_matches_per_access_on_every_backend() {
+    let accesses = stream(9, 6_000);
+    for_each_backend(|be| {
+        for entries in [1usize, 2, 4, 8, 16, 32] {
+            let name = format!("victim{entries}");
+            let build: Builder =
+                Box::new(move || Box::new(VictimCache::new(1024, 32, entries).unwrap()));
+            assert_scalar_batched_agree(&name, be, &build, &accesses);
+        }
+        for entries in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 25, 31, 32] {
+            let name = format!("agac{entries}");
+            let build: Builder =
+                Box::new(move || Box::new(AgacCache::new(1024, 32, entries).unwrap()));
+            assert_scalar_batched_agree(&name, be, &build, &accesses);
+        }
+        for assoc in [1usize, 2, 4, 8, 16, 32] {
+            let name = format!("lru{assoc}way");
+            let build: Builder = Box::new(move || {
+                Box::new(
+                    SetAssociativeCache::new(assoc * 256, 32, assoc, PolicyKind::Lru, 0).unwrap(),
+                )
+            });
+            assert_scalar_batched_agree(&name, be, &build, &accesses);
+        }
+        for lines_per_sub in [1usize, 2, 4, 8, 16, 32] {
+            let name = format!("hac-sub{lines_per_sub}");
+            let build: Builder = Box::new(move || {
+                Box::new(HighlyAssociativeCache::new(2048, 32, lines_per_sub * 32).unwrap())
+            });
+            assert_scalar_batched_agree(&name, be, &build, &accesses);
+        }
+    });
+}
+
+/// Stats and telemetry event order of the batched path vs the
+/// per-access loop, on every backend, for every model that takes an
+/// observer.
+#[test]
+fn batched_event_order_matches_per_access_on_every_backend() {
+    use telemetry::EventRing;
+    let accesses = stream(2024, 10_000);
+    let ring = || EventRing::new(1 << 17);
+    for_each_backend(|be| {
+        macro_rules! check {
+            ($name:expr, $build:expr) => {{
+                let mut scalar = $build;
+                let mut batched = $build;
+                for &(addr, kind) in &accesses {
+                    scalar.access(addr, kind);
+                }
+                batched.access_batch(&accesses);
+                let a: Vec<_> = scalar.observer().iter().map(|(_, e)| e.clone()).collect();
+                let b: Vec<_> = batched.observer().iter().map(|(_, e)| e.clone()).collect();
+                assert!(!a.is_empty(), "{} on {be:?}: no events", $name);
+                assert_eq!(a, b, "{} on {be:?}: batched event order diverges", $name);
+            }};
+        }
+        check!(
+            "direct-mapped",
+            DirectMappedCache::with_observer(16 * 1024, 32, ring()).unwrap()
+        );
+        check!(
+            "8-way LRU",
+            SetAssociativeCache::with_observer(16 * 1024, 32, 8, PolicyKind::Lru, 0, ring())
+                .unwrap()
+        );
+        check!(
+            "4-way random",
+            SetAssociativeCache::with_observer(
+                16 * 1024,
+                32,
+                4,
+                PolicyKind::Random,
+                0xBEEF,
+                ring()
+            )
+            .unwrap()
+        );
+        check!("B-Cache MF8/BAS8", {
+            let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+            let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+            BalancedCache::with_observer(params, ring())
+        });
+        check!(
+            "victim16",
+            VictimCache::with_observer(16 * 1024, 32, 16, ring()).unwrap()
+        );
+        check!(
+            "column-associative",
+            ColumnAssociativeCache::with_observer(16 * 1024, 32, ring()).unwrap()
+        );
+        check!(
+            "skewed",
+            SkewedAssociativeCache::with_observer(16 * 1024, 32, ring()).unwrap()
+        );
+        check!(
+            "AGAC",
+            AgacCache::with_observer(16 * 1024, 32, 8, ring()).unwrap()
+        );
+        check!(
+            "HAC",
+            HighlyAssociativeCache::with_observer(16 * 1024, 32, 1024, ring()).unwrap()
+        );
+        check!(
+            "PAM",
+            PartialMatchCache::with_observer(16 * 1024, 32, 4, ring()).unwrap()
+        );
+        check!(
+            "difference-bit",
+            DifferenceBitCache::with_observer(16 * 1024, 32, ring()).unwrap()
+        );
+        check!(
+            "way-halting",
+            WayHaltingCache::with_observer(16 * 1024, 32, 4, 4, ring()).unwrap()
+        );
+    });
+}
+
+/// The interleaved kernel never changes semantics: on every backend,
+/// each lane of an 8-way round-robin interleaved replay ends in exactly
+/// the state solo replay of its share produces.
+#[test]
+fn interleaved_replay_matches_solo_on_every_backend() {
+    let accesses = stream(55, 24_000);
+    let parts = split_round_robin(&accesses, 8);
+    let views: Vec<&[(Addr, AccessKind)]> = parts.iter().map(|p| p.as_slice()).collect();
+    for_each_backend(|be| {
+        for granule in [1usize, 7, 64] {
+            let mut lanes: Vec<DirectMappedCache> = (0..8)
+                .map(|_| DirectMappedCache::new(16 * 1024, 32).unwrap())
+                .collect();
+            replay_interleaved(&mut lanes, &views, granule);
+            for (lane, part) in parts.iter().enumerate() {
+                let mut solo = DirectMappedCache::new(16 * 1024, 32).unwrap();
+                solo.access_batch(part);
+                assert_eq!(
+                    lanes[lane].stats(),
+                    solo.stats(),
+                    "{be:?} granule {granule} lane {lane}: interleaved replay diverged"
+                );
+            }
+        }
+        // And across model types: one B-Cache lane between DM lanes.
+        let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let params = BCacheParams::new(geom, 8, 8, PolicyKind::Lru).unwrap();
+        let mut mixed: Vec<Box<dyn CacheModel>> = vec![
+            Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+            Box::new(BalancedCache::new(params.clone())),
+            Box::new(DirectMappedCache::new(16 * 1024, 32).unwrap()),
+        ];
+        let three = split_round_robin(&accesses, 3);
+        let tv: Vec<&[(Addr, AccessKind)]> = three.iter().map(|p| p.as_slice()).collect();
+        replay_interleaved(&mut mixed, &tv, 64);
+        let mut solo_bc: Box<dyn CacheModel> = Box::new(BalancedCache::new(params));
+        solo_bc.access_batch(&three[1]);
+        assert_eq!(
+            mixed[1].stats(),
+            solo_bc.stats(),
+            "{be:?}: interleaved B-Cache lane diverged from solo replay"
+        );
+    });
+}
+
+#[test]
+fn forced_backend_round_trips_and_portable_is_always_available() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = simd::backend();
+    let avail = simd::available_backends();
+    assert_eq!(avail[0], Backend::Portable, "portable must come first");
+    for &be in &avail {
+        simd::force_backend(be);
+        assert_eq!(simd::backend(), be);
+    }
+    simd::force_backend(saved);
+    assert_eq!(simd::backend(), saved);
+}
