@@ -134,6 +134,9 @@ impl<O: Observer> CacheModel for DirectMappedCache<O> {
                 self.observer.event(Event::Miss {
                     kind: MissKind::Tag,
                 });
+                if packed::is_dirty(word) {
+                    self.observer.event(Event::Writeback { set: set as u64 });
+                }
             }
             self.observer.event(Event::SetTouch {
                 set: set as u64,
@@ -211,6 +214,9 @@ impl<O: Observer> CacheModel for DirectMappedCache<O> {
                         observer.event(Event::Miss {
                             kind: MissKind::Tag,
                         });
+                        if packed::is_dirty(word) {
+                            observer.event(Event::Writeback { set: set as u64 });
+                        }
                     }
                     observer.event(Event::SetTouch {
                         set: set as u64,

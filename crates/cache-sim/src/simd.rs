@@ -44,6 +44,16 @@ pub enum Backend {
     Avx2,
 }
 
+impl Backend {
+    /// Stable lowercase name, used to stamp bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
 /// `0` = undecided, `1` = portable, `2` = AVX2.
 static BACKEND: AtomicU8 = AtomicU8::new(0);
 

@@ -275,6 +275,18 @@ impl SetUsage {
         self.hits[set] + self.misses[set]
     }
 
+    /// Per-set hit counts as a slice (index = set). The windowed
+    /// profiler scans every set once per window; the slice pair lets
+    /// that loop run without per-element bounds checks.
+    pub fn hit_counts(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Per-set miss counts as a slice (index = set).
+    pub fn miss_counts(&self) -> &[u64] {
+        &self.misses
+    }
+
     /// Clears every counter, keeping the set count.
     pub fn reset(&mut self) {
         self.hits.fill(0);

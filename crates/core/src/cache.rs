@@ -292,6 +292,11 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, O: Observer, const BAS: usize>(
                         observer.event(Event::Miss {
                             kind: MissKind::PdForced,
                         });
+                        if packed::is_dirty(word) {
+                            observer.event(Event::Writeback {
+                                set: (way * groups + group) as u64,
+                            });
+                        }
                         observer.event(Event::SetTouch {
                             set: (way * groups + group) as u64,
                             hit: false,
@@ -317,6 +322,11 @@ fn replay_batch<P: ReplacementPolicy + ?Sized, O: Observer, const BAS: usize>(
                     observer.event(Event::Miss {
                         kind: MissKind::Predetermined,
                     });
+                    if packed::is_dirty(lines[s]) {
+                        observer.event(Event::Writeback {
+                            set: (way * groups + group) as u64,
+                        });
+                    }
                     observer.event(Event::BasVictim {
                         candidates: bas as u32,
                         chosen: way as u32,
@@ -427,6 +437,9 @@ impl<O: Observer> CacheModel for BalancedCache<O> {
                         self.observer.event(Event::Miss {
                             kind: MissKind::PdForced,
                         });
+                        if packed::is_dirty(word) {
+                            self.observer.event(Event::Writeback { set });
+                        }
                         self.observer.event(Event::SetTouch { set, hit: false });
                     }
                     match self.params.pd_hit_policy() {
@@ -481,6 +494,9 @@ impl<O: Observer> CacheModel for BalancedCache<O> {
                     self.observer.event(Event::Miss {
                         kind: MissKind::Predetermined,
                     });
+                    if ev.as_ref().is_some_and(|e| e.dirty) {
+                        self.observer.event(Event::Writeback { set });
+                    }
                     self.observer.event(Event::BasVictim {
                         candidates: self.params.bas() as u32,
                         chosen: way as u32,

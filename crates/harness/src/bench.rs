@@ -7,12 +7,20 @@
 //! model's [`CacheModel::access_batch`] hot path — the same path
 //! [`SideTrace`](crate::run::SideTrace) replay uses — or, with
 //! `--per-access`, through the one-at-a-time dispatched loop the batch
-//! API replaced. Each row records mega-accesses per second:
+//! API replaced. Each row records mega-accesses per second, stamped
+//! with the SIMD backend and lane count that produced it so a number
+//! measured on an AVX2 box is never compared against a portable one
+//! without noticing:
 //!
 //! ```json
 //! {"model": "direct-mapped", "maccesses_per_sec": 123.456,
-//!  "records": 1000000, "seed": 42, "git_rev": "abc1234"}
+//!  "records": 1000000, "seed": 42, "git_rev": "abc1234",
+//!  "backend": "avx2", "lanes": 8}
 //! ```
+//!
+//! `backend`/`lanes` are optional on read (older files parse as
+//! `"unknown"`/0), so the committed `BENCH_baseline.json` predating the
+//! stamp stays valid.
 //!
 //! `BENCH_baseline.json` (committed) holds the pre-optimization numbers;
 //! `bench --smoke` re-measures at a reduced record count and fails if
@@ -170,6 +178,12 @@ pub struct BenchRow {
     pub seed: u64,
     /// `git rev-parse --short HEAD` at measurement time.
     pub git_rev: String,
+    /// SIMD backend the kernels dispatched to (`"avx2"`, `"portable"`;
+    /// `"unknown"` when read from a pre-stamp file).
+    pub backend: String,
+    /// Kernel lane width ([`cache_sim::simd::LANES`]; 0 when read from
+    /// a pre-stamp file).
+    pub lanes: u64,
 }
 
 /// The deterministic benchmark stream: LCG addresses over a 1 MB
@@ -321,6 +335,8 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
         access_stream(opts.records, opts.seed)
     });
     let git_rev = git_rev();
+    let backend = cache_sim::simd::backend().name().to_string();
+    let lanes = cache_sim::simd::LANES as u64;
     rec.counter("bench.records", opts.records);
     let mut rows: Vec<BenchRow> = model_set()
         .into_iter()
@@ -337,6 +353,8 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
                 records: opts.records,
                 seed: opts.seed,
                 git_rev: git_rev.clone(),
+                backend: backend.clone(),
+                lanes,
             }
         })
         .collect();
@@ -349,6 +367,8 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
         records: opts.records,
         seed: opts.seed,
         git_rev: git_rev.clone(),
+        backend: backend.clone(),
+        lanes,
     });
     let nosimd = rec.time(&format!("phase.measure.{NOSIMD_ROW}"), || {
         let saved = cache_sim::simd::backend();
@@ -366,6 +386,11 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
         records: opts.records,
         seed: opts.seed,
         git_rev: git_rev.clone(),
+        // This row forces the portable backend for its measurement, so
+        // it is stamped with what it actually ran, not the dispatch
+        // default.
+        backend: cache_sim::simd::Backend::Portable.name().to_string(),
+        lanes,
     });
     let interleaved = rec.time(&format!("phase.measure.{INTERLEAVE_ROW}"), || {
         measure_interleaved(&accesses)
@@ -376,6 +401,8 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
         records: opts.records,
         seed: opts.seed,
         git_rev,
+        backend,
+        lanes,
     });
     rec.counter("bench.models", rows.len() as u64);
     rows
@@ -401,8 +428,8 @@ pub fn render_json(rows: &[BenchRow]) -> String {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         writeln!(
             out,
-            "  {{\"model\": \"{}\", \"maccesses_per_sec\": {:.3}, \"records\": {}, \"seed\": {}, \"git_rev\": \"{}\"}}{comma}",
-            r.model, r.maccesses_per_sec, r.records, r.seed, r.git_rev
+            "  {{\"model\": \"{}\", \"maccesses_per_sec\": {:.3}, \"records\": {}, \"seed\": {}, \"git_rev\": \"{}\", \"backend\": \"{}\", \"lanes\": {}}}{comma}",
+            r.model, r.maccesses_per_sec, r.records, r.seed, r.git_rev, r.backend, r.lanes
         )
         .expect("writing to a String cannot fail");
     }
@@ -431,13 +458,16 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
 }
 
 /// Parses one row's `"key": value` pairs (fields may appear in any
-/// order; all five are required).
+/// order; the five original fields are required, `backend`/`lanes`
+/// default to `"unknown"`/0 so pre-stamp baseline files still parse).
 fn parse_row(fields: &str) -> Result<BenchRow, String> {
     let mut model = None;
     let mut maccesses = None;
     let mut records = None;
     let mut seed = None;
     let mut git_rev = None;
+    let mut backend = None;
+    let mut lanes = None;
     for field in fields.split(',') {
         let (key, value) = field
             .split_once(':')
@@ -447,6 +477,14 @@ fn parse_row(fields: &str) -> Result<BenchRow, String> {
         match key {
             "model" => model = Some(value.trim_matches('"').to_string()),
             "git_rev" => git_rev = Some(value.trim_matches('"').to_string()),
+            "backend" => backend = Some(value.trim_matches('"').to_string()),
+            "lanes" => {
+                lanes = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad number for lanes: {value:?}"))?,
+                )
+            }
             "maccesses_per_sec" => {
                 maccesses = Some(
                     value
@@ -477,6 +515,8 @@ fn parse_row(fields: &str) -> Result<BenchRow, String> {
         records: records.ok_or("row is missing \"records\"")?,
         seed: seed.ok_or("row is missing \"seed\"")?,
         git_rev: git_rev.ok_or("row is missing \"git_rev\"")?,
+        backend: backend.unwrap_or_else(|| "unknown".to_string()),
+        lanes: lanes.unwrap_or(0),
     })
 }
 
@@ -554,6 +594,8 @@ mod tests {
                 records: 1_000_000,
                 seed: 42,
                 git_rev: "abc1234".into(),
+                backend: "avx2".into(),
+                lanes: 8,
             },
             BenchRow {
                 model: "bcache-mf8-bas8".into(),
@@ -561,6 +603,8 @@ mod tests {
                 records: 1_000_000,
                 seed: 42,
                 git_rev: "abc1234".into(),
+                backend: "portable".into(),
+                lanes: 8,
             },
         ]
     }
@@ -575,6 +619,8 @@ mod tests {
             assert_eq!(p.records, r.records);
             assert_eq!(p.seed, r.seed);
             assert_eq!(p.git_rev, r.git_rev);
+            assert_eq!(p.backend, r.backend);
+            assert_eq!(p.lanes, r.lanes);
             assert!((p.maccesses_per_sec - r.maccesses_per_sec).abs() < 1e-3);
         }
     }
@@ -586,6 +632,19 @@ mod tests {
         assert!(parse_rows("[]").unwrap().is_empty());
         let err = parse_rows("[{\"model\": \"dm\", \"maccesses_per_sec\": \"fast\"}]");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn pre_stamp_rows_parse_with_default_backend() {
+        // A row written before the backend/lanes stamp (the committed
+        // baseline's format) must still parse.
+        let old = "[\n  {\"model\": \"direct-mapped\", \"maccesses_per_sec\": 120.500, \
+                   \"records\": 1000000, \"seed\": 42, \"git_rev\": \"abc1234\"}\n]\n";
+        let rows = parse_rows(old).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].backend, "unknown");
+        assert_eq!(rows[0].lanes, 0);
+        assert!(parse_rows("[{\"model\": \"dm\", \"lanes\": \"wide\"}]").is_err());
     }
 
     #[test]
@@ -657,9 +716,12 @@ mod tests {
         for r in &rows {
             assert!(r.maccesses_per_sec > 0.0, "{}", r.model);
             assert_eq!(r.records, 2_000);
+            assert_eq!(r.lanes, cache_sim::simd::LANES as u64, "{}", r.model);
+            assert_ne!(r.backend, "unknown", "{} is stamped", r.model);
         }
         assert!(rows.iter().any(|r| r.model == ENGINE_ROW));
-        assert!(rows.iter().any(|r| r.model == NOSIMD_ROW));
+        let nosimd = rows.iter().find(|r| r.model == NOSIMD_ROW).unwrap();
+        assert_eq!(nosimd.backend, "portable", "nosimd row stamps what ran");
         assert!(rows.iter().any(|r| r.model == INTERLEAVE_ROW));
         assert!(render_table(&rows).contains("direct-mapped"));
     }
@@ -742,6 +804,8 @@ mod tests {
             records: 1_000_000,
             seed: 42,
             git_rev: "abc1234".into(),
+            backend: "avx2".into(),
+            lanes: 8,
         });
         let ok = check_against_baseline(&extra, &baseline).unwrap();
         assert!(!ok.contains("brand-new"), "{ok}");

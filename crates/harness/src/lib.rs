@@ -18,6 +18,7 @@
 //! | Telemetry replay report | [`runcmd`] | `run` |
 //! | Set-pressure report | [`statscmd`] | `stats` |
 //! | Analytical oracle sweep | [`oraclecmd`] | `oracle` |
+//! | Time-resolved profiling + trace export | [`profilecmd`] | `profile` |
 //!
 //! Experiments default to 2 M trace records with a 10% warm-up prefix
 //! (statistics are reset after warm-up, standing in for the paper's
@@ -56,6 +57,7 @@ pub mod missrate;
 pub mod oraclecmd;
 pub mod parallel;
 pub mod perf;
+pub mod profilecmd;
 pub mod report;
 pub mod run;
 pub mod runcmd;

@@ -39,8 +39,20 @@
 //!                    [--baseline PATH] [--smoke] [--per-access]
 //!   simulator micro-benchmarks at a pinned record count, written as
 //!   BENCH_repro.json rows ({model, maccesses_per_sec, records, seed,
-//!   git_rev}); --smoke shortens the run and fails if direct-mapped
-//!   throughput drops >20% versus the committed BENCH_baseline.json
+//!   git_rev, backend, lanes}); --smoke shortens the run and fails if
+//!   direct-mapped throughput drops >20% versus the committed
+//!   BENCH_baseline.json
+//!
+//! bcache-repro profile [--model NAME] [--benchmark NAME] [--side i|d]
+//!                      [--records N] [--seed S] [--jobs N] [--window N]
+//!                      [--out PREFIX] [--smoke]
+//!   time-resolved profiling of one model on one benchmark: a windowed
+//!   time series (PREFIX.jsonl + PREFIX.csv; miss rate, PD churn,
+//!   writebacks, per-set heat per window), a Chrome Trace Event /
+//!   Perfetto span export of the run (PREFIX.trace.json), and a phase
+//!   attribution + observer-overhead report; --smoke shortens the run
+//!   and fails if the windowed replay costs >5% over the plain batched
+//!   replay
 //! ```
 //!
 //! `run`, `stats`, `fig3`, `bench`, `fuzz` and `oracle` additionally accept
@@ -81,8 +93,8 @@ use std::process::ExitCode;
 use harness::config::RunOptions;
 use harness::telemetry_io::{self, TelemetryFlags};
 use harness::{
-    balance, bench, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, run, runcmd,
-    sensitivity, statscmd, tables,
+    balance, bench, design_space, extensions, fig3, fuzz, kernels_exp, missrate, perf, profilecmd,
+    run, runcmd, sensitivity, statscmd, tables,
 };
 use telemetry::{tele_error, tele_info, tele_warn, EventRing, Recorder};
 
@@ -95,7 +107,9 @@ fn usage() -> ExitCode {
          \x20      bcache-repro fuzz [--iters N] [--seed S] [--jobs N] [--scenario NAME]\n\
          \x20      bcache-repro oracle [--seed S] [--jobs N] [--smoke] [--csv]\n\
          \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]\n\
-         telemetry: run/stats/fig3/bench/fuzz/oracle take --metrics PATH; run/fig3 take --trace-events PATH\n\
+         \x20      bcache-repro profile [--model NAME] [--benchmark NAME] [--side i|d] [--records N] [--seed S]\n\
+         \x20                           [--jobs N] [--window N] [--out PREFIX] [--smoke]\n\
+         telemetry: run/stats/fig3/bench/fuzz/oracle/profile take --metrics PATH; run/fig3 take --trace-events PATH\n\
          robustness: experiments/run/stats take [--retries N] [--backoff-ms MS] [--job-timeout-ms MS]\n\
          \x20          [--inject-fault job=K,mode=panic|hang|corrupt[,times=N]];\n\
          \x20          sweeps (fig3 fig4 fig5 fig12 related all) take [--checkpoint PATH] [--resume PATH]"
@@ -349,6 +363,50 @@ fn main() -> ExitCode {
     }
     if experiment == "bench" {
         return run_bench(&tail, &tele);
+    }
+    if experiment == "profile" {
+        if tele.trace_events.is_some() {
+            tele_warn!("--trace-events is not supported by profile (it writes PREFIX.trace.json); ignoring");
+        }
+        let opts = match profilecmd::ProfileOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        if opts.setup.wants_checkpoint() {
+            tele_warn!(
+                "--checkpoint/--resume apply to the sweep experiments; ignoring for profile"
+            );
+        }
+        let out = match guarded(None, || profilecmd::profile_cmd(&opts)) {
+            Ok(out) => out,
+            Err(code) => return code,
+        };
+        print!("{}", out.report);
+        for (suffix, content) in [
+            (".jsonl", &out.series_jsonl),
+            (".csv", &out.series_csv),
+            (".trace.json", &out.trace_json),
+        ] {
+            let path = format!("{}{suffix}", opts.out);
+            if let Err(e) = std::fs::write(&path, content) {
+                tele_error!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            tele_info!("wrote {path}");
+        }
+        if let Some(path) = &tele.metrics {
+            if !write_metrics_file(path, &out.metrics) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return if out.smoke_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let opts = match RunOptions::parse(&tail) {
         Ok(opts) => opts,

@@ -55,7 +55,7 @@ use std::sync::{Arc, LockResult, Mutex, MutexGuard, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use telemetry::{tele_info, tele_warn, Event, EventRing, FailureKind, Recorder};
+use telemetry::{tele_info, tele_warn, Event, EventRing, FailureKind, Recorder, SpanId, SpanLog};
 use trace_gen::{BenchmarkProfile, Trace, TraceBuffer};
 
 use crate::checkpoint::{Checkpoint, CheckpointValue};
@@ -397,8 +397,9 @@ struct RunState<'a, T, F> {
     jobs: &'a [F],
     /// Global ordinal of job index 0 in this batch.
     base: u64,
-    /// Pending `(job index, attempt)` work items.
-    queue: Mutex<VecDeque<(usize, u32)>>,
+    /// Pending `(job index, attempt, enqueue instant)` work items; the
+    /// instant feeds the queue-wait span.
+    queue: Mutex<VecDeque<(usize, u32, Instant)>>,
     /// Positional result slots.
     slots: Vec<Mutex<Option<T>>>,
     /// Jobs not yet finished (successfully or permanently).
@@ -430,6 +431,10 @@ pub struct Engine {
     fault_events: Mutex<EventRing>,
     /// Optional checkpoint store for [`Engine::run_checkpointed`].
     checkpoint: Mutex<Option<Checkpoint>>,
+    /// Hierarchical wall-clock spans of every `run` (queue wait,
+    /// backoff, execution, watchdog) — the Chrome-trace substrate.
+    /// Wall-clock, hence excluded from golden comparisons.
+    spans: Mutex<SpanLog>,
 }
 
 impl Default for Engine {
@@ -451,6 +456,7 @@ impl Engine {
             failures: Mutex::new(Recorder::new()),
             fault_events: Mutex::new(EventRing::new(FAULT_EVENT_CAPACITY)),
             checkpoint: Mutex::new(None),
+            spans: Mutex::new(SpanLog::new()),
         }
     }
 
@@ -506,6 +512,15 @@ impl Engine {
     /// A snapshot of the typed failure events.
     pub fn fault_events_snapshot(&self) -> EventRing {
         recover(self.fault_events.lock()).clone()
+    }
+
+    /// A snapshot of the hierarchical engine spans recorded so far:
+    /// one `engine.run` root per [`Engine::run`] batch, with per-job
+    /// queue-wait, attempt, backoff, and execution children, plus a
+    /// watchdog span on threaded runs. Wall-clock data — feed it to
+    /// [`telemetry::chrome_trace_json`], never to golden comparisons.
+    pub fn span_snapshot(&self) -> SpanLog {
+        recover(self.spans.lock()).clone()
     }
 
     /// Whether any job attempt has failed on this engine.
@@ -585,10 +600,11 @@ impl Engine {
         if n == 0 {
             return Vec::new();
         }
+        let run_start = Instant::now();
         let state = RunState {
             jobs: &jobs,
             base,
-            queue: Mutex::new((0..n).map(|i| (i, 0)).collect()),
+            queue: Mutex::new((0..n).map(|i| (i, 0, run_start)).collect()),
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
             remaining: AtomicUsize::new(n),
             fatal: Mutex::new(None),
@@ -596,20 +612,24 @@ impl Engine {
             started: (0..n).map(|_| Mutex::new(None)).collect(),
         };
 
+        let root = recover(self.spans.lock()).reserve();
         let workers = self.jobs.min(n);
         if workers <= 1 {
             // Inline supervised path: same loop, no threads. Injected
             // hangs still time out (they watch their own deadline), so
             // no watchdog is needed.
-            self.worker_loop(&state);
+            self.worker_loop(&state, root, 1);
         } else {
+            let state = &state;
             thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| self.worker_loop(&state));
+                for w in 0..workers {
+                    let tid = w as u64 + 1;
+                    s.spawn(move || self.worker_loop(state, root, tid));
                 }
-                s.spawn(|| self.watchdog(&state));
+                s.spawn(move || self.watchdog(state, root));
             });
         }
+        recover(self.spans.lock()).record(root, None, "engine.run", 0, run_start, Instant::now());
 
         if let Some(err) = recover(state.fatal.lock()).take() {
             // Persist whatever completed before surfacing the failure,
@@ -685,7 +705,10 @@ impl Engine {
 
     /// The supervised worker loop: pop, back off on retries, execute
     /// under `catch_unwind`, account failures, requeue or go fatal.
-    fn worker_loop<T, F>(&self, state: &RunState<'_, T, F>)
+    /// Every attempt is recorded as a `job{i}.a{attempt}` span (child
+    /// of `root`) with `backoff`/`exec` children, preceded by a
+    /// `job{i}.wait` span covering the time spent queued.
+    fn worker_loop<T, F>(&self, state: &RunState<'_, T, F>, root: SpanId, tid: u64)
     where
         T: Send,
         F: Fn() -> T + Send + Sync,
@@ -696,7 +719,7 @@ impl Engine {
                 break;
             }
             let next = recover(state.queue.lock()).pop_front();
-            let Some((i, attempt)) = next else {
+            let Some((i, attempt, queued)) = next else {
                 if state.remaining.load(Ordering::Acquire) == 0 {
                     break;
                 }
@@ -704,14 +727,42 @@ impl Engine {
                 thread::sleep(Duration::from_millis(1));
                 continue;
             };
+            let popped = Instant::now();
+            let umbrella = {
+                let mut spans = recover(self.spans.lock());
+                spans.push(Some(root), format!("job{i}.wait"), tid, queued, popped);
+                spans.reserve()
+            };
             if attempt > 0 {
+                let backoff_start = Instant::now();
                 thread::sleep(self.policy.backoff(attempt));
+                recover(self.spans.lock()).push(
+                    Some(umbrella),
+                    "backoff",
+                    tid,
+                    backoff_start,
+                    Instant::now(),
+                );
             }
             let ordinal = state.base + i as u64;
             state.cancel[i].store(false, Ordering::Release);
-            *recover(state.started[i].lock()) = Some(Instant::now());
+            let exec_start = Instant::now();
+            *recover(state.started[i].lock()) = Some(exec_start);
             let result = self.execute_one(&state.jobs[i], ordinal, attempt, &state.cancel[i]);
             *recover(state.started[i].lock()) = None;
+            {
+                let end = Instant::now();
+                let mut spans = recover(self.spans.lock());
+                spans.push(Some(umbrella), "exec", tid, exec_start, end);
+                spans.record(
+                    umbrella,
+                    Some(root),
+                    format!("job{i}.a{attempt}"),
+                    tid,
+                    popped,
+                    end,
+                );
+            }
             match result {
                 Ok(value) => {
                     *recover(state.slots[i].lock()) = Some(value);
@@ -725,7 +776,7 @@ impl Engine {
                     let will_retry = attempt + 1 < max_attempts;
                     self.note_failure(ordinal, attempt, &err, will_retry);
                     if will_retry {
-                        recover(state.queue.lock()).push_back((i, attempt + 1));
+                        recover(state.queue.lock()).push_back((i, attempt + 1, Instant::now()));
                     } else {
                         let mut fatal = recover(state.fatal.lock());
                         if fatal.is_none() {
@@ -837,8 +888,9 @@ impl Engine {
     /// The timeout watchdog: flags overdue jobs and requests their
     /// cooperative cancellation. Runs alongside the workers and exits
     /// with them.
-    fn watchdog<T, F>(&self, state: &RunState<'_, T, F>) {
+    fn watchdog<T, F>(&self, state: &RunState<'_, T, F>, root: SpanId) {
         let timeout = Duration::from_millis(self.policy.timeout_ms);
+        let watchdog_start = Instant::now();
         while state.remaining.load(Ordering::Acquire) > 0 && recover(state.fatal.lock()).is_none() {
             for i in 0..state.started.len() {
                 let overdue =
@@ -853,6 +905,7 @@ impl Engine {
             }
             thread::sleep(Duration::from_millis(5));
         }
+        recover(self.spans.lock()).push(Some(root), "watchdog", 0, watchdog_start, Instant::now());
     }
 }
 

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! bcache-repro run [--bench NAME] [--side i|d] [--records N] [--seed S]
-//!                  [--jobs N] [--metrics PATH] [--trace-events PATH]
+//!                  [--jobs N] [--event-ring-cap N]
+//!                  [--metrics PATH] [--trace-events PATH]
 //! ```
 //!
 //! The metrics split follows the [`Recorder`] contract: counters and
@@ -25,8 +26,9 @@ use crate::parallel::{default_parallelism, job_seed, Engine};
 use crate::run::{replay_bcache_observed, RunLength, Side, SideTrace};
 use crate::telemetry_io::{degraded_summary, record_model};
 
-/// Capacity of the `--trace-events` ring: enough to keep the miss
-/// activity of a default-length replay's tail while bounding memory.
+/// Default capacity of the `--trace-events` ring (`--event-ring-cap`
+/// overrides it): enough to keep the miss activity of a default-length
+/// replay's tail while bounding memory.
 pub const EVENT_RING_CAPACITY: usize = 1 << 16;
 
 /// L1 size the `run` report uses (the paper's headline 16 kB point).
@@ -44,6 +46,9 @@ pub struct RunCmdOptions {
     pub len: RunLength,
     /// Worker threads.
     pub jobs: usize,
+    /// Capacity of the `--trace-events` ring
+    /// (`--event-ring-cap`, default [`EVENT_RING_CAPACITY`]).
+    pub event_ring_cap: usize,
     /// Engine robustness configuration (retries, fault injection, …).
     pub setup: EngineSetup,
 }
@@ -55,6 +60,7 @@ impl Default for RunCmdOptions {
             side: Side::Data,
             len: RunLength::default(),
             jobs: default_parallelism(),
+            event_ring_cap: EVENT_RING_CAPACITY,
             setup: EngineSetup::default(),
         }
     }
@@ -115,6 +121,15 @@ impl RunCmdOptions {
                         return Err("--jobs must be at least 1".into());
                     }
                     opts.jobs = v as usize;
+                    i += 2;
+                }
+                "--event-ring-cap" => {
+                    let v = value(args, i)?;
+                    if v == 0 {
+                        return Err("--event-ring-cap must be at least 1 event".into());
+                    }
+                    opts.event_ring_cap = usize::try_from(v)
+                        .map_err(|_| format!("--event-ring-cap {v} does not fit in usize"))?;
                     i += 2;
                 }
                 other => {
@@ -246,7 +261,7 @@ pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
     // cached stream — instrumentation the timed jobs never pay.
     let events = want_events.then(|| {
         let trace = engine.side_trace(&profile, len, side);
-        let bc = replay_bcache_observed(&trace, 8, 8, SIZE_BYTES, EVENT_RING_CAPACITY);
+        let bc = replay_bcache_observed(&trace, 8, 8, SIZE_BYTES, opts.event_ring_cap);
         bc.observer().clone()
     });
     metrics.merge(&engine.timing_snapshot());
@@ -282,9 +297,21 @@ pub fn run_cmd(opts: &RunCmdOptions, want_events: bool) -> RunCmdOutcome {
     for prefix in ["dm", "bcache"] {
         if let Some(h) = metrics.histogram(&format!("{prefix}.set_accesses")) {
             report.push_str(&format!(
-                "\nper-set access histogram ({prefix}), {} sets:\n{}",
+                "\nper-set access histogram ({prefix}), {} sets ({}):\n{}",
                 h.count(),
+                h.summary(),
                 h.render_ascii(40)
+            ));
+        }
+    }
+    if let Some(ring) = &events {
+        if ring.dropped() > 0 {
+            report.push_str(&format!(
+                "\nWARNING: the event ring dropped {} of {} events (oldest first); \
+                 raise --event-ring-cap (currently {}) to keep more\n",
+                ring.dropped(),
+                ring.pushed(),
+                opts.event_ring_cap
             ));
         }
     }
@@ -335,6 +362,31 @@ mod tests {
         let d = RunCmdOptions::parse::<&str>(&[]).unwrap();
         assert_eq!(d.benchmark, "mcf");
         assert_eq!(d.side, Side::Data);
+        assert_eq!(d.event_ring_cap, EVENT_RING_CAPACITY);
+        let o = RunCmdOptions::parse(&["--event-ring-cap", "128"]).unwrap();
+        assert_eq!(o.event_ring_cap, 128);
+        assert!(RunCmdOptions::parse(&["--event-ring-cap", "0"]).is_err());
+        assert!(RunCmdOptions::parse(&["--event-ring-cap"]).is_err());
+    }
+
+    #[test]
+    fn small_event_ring_reports_drops() {
+        let mut opts = quick(30_000);
+        opts.event_ring_cap = 64;
+        let out = run_cmd(&opts, true);
+        let ring = out.events.as_ref().expect("events were requested");
+        assert!(ring.dropped() > 0, "64 events cannot hold a 30k replay");
+        assert_eq!(ring.len(), 64);
+        assert!(
+            out.report.contains("raise --event-ring-cap (currently 64)"),
+            "{}",
+            out.report
+        );
+        // A roomy ring drops nothing and stays silent.
+        let out = run_cmd(&quick(30_000), true);
+        if out.events.as_ref().unwrap().dropped() == 0 {
+            assert!(!out.report.contains("WARNING: the event ring dropped"));
+        }
     }
 
     #[test]
@@ -344,6 +396,11 @@ mod tests {
         let out = run_cmd(&opts, true);
         assert!(out.report.contains("bcache"), "{}", out.report);
         assert!(out.report.contains("per-set access histogram"));
+        assert!(
+            out.report.contains("p95≤"),
+            "histogram lines carry quantile summaries: {}",
+            out.report
+        );
         // Required metric keys (the CI telemetry smoke asserts these on
         // the written JSON).
         let json = out.metrics.to_json(false);

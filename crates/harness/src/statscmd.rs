@@ -141,8 +141,9 @@ pub fn stats_cmd(opts: &RunOptions) -> StatsOutcome {
         for model in ["dm", "bcache"] {
             if let Some(h) = metrics.histogram(&format!("stats.{bench}.{model}.set_accesses")) {
                 report.push_str(&format!(
-                    "  {model} ({} sets):\n{}",
+                    "  {model} ({} sets, {}):\n{}",
                     h.count(),
+                    h.summary(),
                     indent(&h.render_ascii(36), "    ")
                 ));
             }
@@ -200,6 +201,11 @@ mod tests {
             );
         }
         assert!(out.report.contains("per-set access histograms"));
+        assert!(
+            out.report.contains("p50≤") && out.report.contains("p95≤"),
+            "histogram sections carry quantile summaries: {}",
+            out.report
+        );
         assert!(out.metrics.timing("phase.replay").is_some());
     }
 

@@ -56,6 +56,10 @@ impl TelemetryFlags {
             "--inject-fault",
             "--checkpoint",
             "--resume",
+            "--model",
+            "--benchmark",
+            "--window",
+            "--event-ring-cap",
         ];
         let mut flags = TelemetryFlags::default();
         let mut i = 0;
@@ -202,6 +206,25 @@ mod tests {
         assert_eq!(f.metrics.as_deref(), Some("m.json"));
         assert!(f.trace_events.is_none());
         assert_eq!(a, args(&["--", "--trace-events", "e.jsonl"]));
+    }
+
+    #[test]
+    fn extract_skips_profile_option_values() {
+        // "--metrics" here is the VALUE of profile's --model /
+        // --benchmark, not a telemetry flag.
+        let mut a = args(&[
+            "--model",
+            "--metrics",
+            "--benchmark",
+            "--trace-events",
+            "--window",
+            "4096",
+            "--event-ring-cap",
+            "--metrics",
+        ]);
+        let f = TelemetryFlags::extract(&mut a).unwrap();
+        assert!(!f.any());
+        assert_eq!(a.len(), 8, "nothing stripped: {a:?}");
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub enum Event {
         /// How the miss was classified.
         kind: MissKind,
     },
+    /// A dirty block was evicted and written back to the next level.
+    Writeback {
+        /// Physical set index the dirty victim occupied.
+        set: u64,
+    },
     /// A physical set was touched by an access.
     SetTouch {
         /// Physical set index.
@@ -133,6 +138,9 @@ impl Event {
             }
             Event::Miss { kind } => {
                 let _ = write!(out, "\"miss\", \"kind\": \"{}\"", escape(kind.name()));
+            }
+            Event::Writeback { set } => {
+                let _ = write!(out, "\"writeback\", \"set\": {set}");
             }
             Event::SetTouch { set, hit } => {
                 let _ = write!(out, "\"set_touch\", \"set\": {set}, \"hit\": {hit}");
@@ -287,6 +295,8 @@ pub struct EventCounts {
     pub pd_forced_misses: u64,
     /// Misses classified as predetermined.
     pub predetermined_misses: u64,
+    /// Number of `Writeback` events seen.
+    pub writebacks: u64,
     /// Number of `SetTouch` events that hit.
     pub set_hits: u64,
     /// Number of `SetTouch` events that missed.
@@ -318,6 +328,7 @@ impl Observer for EventCounts {
                 MissKind::PdForced => self.pd_forced_misses += 1,
                 MissKind::Predetermined => self.predetermined_misses += 1,
             },
+            Event::Writeback { .. } => self.writebacks += 1,
             Event::SetTouch { hit, .. } => {
                 if hit {
                     self.set_hits += 1;
@@ -435,6 +446,17 @@ mod tests {
         let mut c = EventCounts::new();
         c.event(e);
         assert_eq!(c.job_failures, 1);
+    }
+
+    #[test]
+    fn writeback_event_renders_and_tallies() {
+        let e = Event::Writeback { set: 23 };
+        let json = e.to_json(4);
+        assert!(json.contains("\"event\": \"writeback\""), "{json}");
+        assert!(json.contains("\"set\": 23"), "{json}");
+        let mut c = EventCounts::new();
+        c.event(e);
+        assert_eq!(c.writebacks, 1);
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //!   when disabled.
 //! * [`EventRing`] — a bounded ring buffer of events with overflow
 //!   (drop) accounting and a JSONL rendering for `--trace-events`.
+//! * [`WindowSeries`] — a time-resolved view: counters snapshotted
+//!   every N accesses into a bounded ring of [`WindowRow`]s (miss
+//!   rate, PD churn, writebacks, per-set occupancy heat), fed either
+//!   from stats deltas or as an [`Observer`], with an additive
+//!   window-aligned merge. Rows are deterministic and render as
+//!   JSONL/CSV (`bcache-repro profile`).
+//! * [`SpanLog`] / [`chrome_trace_json`] — hierarchical wall-clock
+//!   spans (parent/child with [`SpanId`]s) exported as Chrome Trace
+//!   Event JSON that opens directly in `ui.perfetto.dev`. Wall-clock,
+//!   so excluded from golden comparisons like the `timing` section.
 //! * [`tele_error!`] / [`tele_warn!`] / [`tele_info!`] / [`tele_debug!`]
 //!   — leveled logging macros to stderr, filtered by the `BCACHE_LOG`
 //!   environment variable (`off`, `error`, `warn`, `info`, `debug`;
@@ -42,7 +52,13 @@
 pub mod events;
 pub mod log;
 pub mod recorder;
+pub mod spans;
+pub mod timeseries;
+pub mod trace_export;
 
 pub use events::{Event, EventCounts, EventRing, FailureKind, MissKind, NullObserver, Observer};
 pub use log::Level;
 pub use recorder::{Histogram, Recorder, SpanStats, SpanTimer};
+pub use spans::{SpanId, SpanLog, SpanRecord};
+pub use timeseries::{WindowRow, WindowSeries, HEAT_COLUMNS};
+pub use trace_export::chrome_trace_json;

@@ -111,6 +111,43 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped) from the log2
+    /// buckets: the upper bound of the bucket holding the rank-`⌈q·n⌉`
+    /// observation. An upper bound — not an interpolation — so the
+    /// estimate is deterministic and never understates the tail.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.nonzero_buckets() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        Self::bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// One-line p50/p95/p99 summary (log2-bucket upper bounds), e.g.
+    /// `"n=512 p50≤32 p95≤255 p99≤511"`. Empty histograms summarize as
+    /// `"n=0"`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} p50≤{} p95≤{} p99≤{}",
+            self.count,
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
     /// The non-empty buckets as `(index, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.buckets
@@ -438,6 +475,40 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn quantiles_walk_the_log2_buckets() {
+        // 90 values of 1 and 10 of 1000: p50 sits in bucket [1,1],
+        // p95/p99 in 1000's bucket [512, 1023].
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.90), 1);
+        assert_eq!(h.quantile(0.95), 1023);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        // q=0 clamps to the first observation's bucket.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.summary(), "n=100 p50≤1 p95≤1023 p99≤1023");
+        // Edge cases: empty, single value, zero values, the top bucket.
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        assert_eq!(Histogram::new().summary(), "n=0");
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.quantile(0.5), 7);
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.99), 0);
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile(0.5), u64::MAX);
     }
 
     #[test]

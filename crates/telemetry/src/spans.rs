@@ -1,0 +1,256 @@
+//! Hierarchical wall-clock spans: parent/child timing records with
+//! stable ids, the substrate of the Chrome-trace export
+//! ([`crate::trace_export`]).
+//!
+//! Unlike the flat [`SpanTimer`](crate::SpanTimer) totals (which land
+//! in the `timing` section of a [`Recorder`](crate::Recorder)), a
+//! [`SpanLog`] keeps every completed span individually — start, end,
+//! logical thread, and parent link — so a run's phase structure can be
+//! reconstructed on a timeline. Everything here is wall-clock and
+//! therefore **non-deterministic**: span logs must stay out of golden
+//! comparisons, exactly like the `timing` JSON section.
+//!
+//! Threads of a parallel engine time their work locally (two
+//! `Instant`s) and push finished spans behind the owner's lock; ids
+//! can be [`reserved`](SpanLog::reserve) up front so a parent id is
+//! available to children before the parent span itself completes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Identifier of one recorded span, unique within its [`SpanLog`]
+/// (merging remaps ids to keep them unique).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// One completed span: a named `[start, start+dur)` interval on a
+/// logical thread, optionally linked to a parent span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (shown on the timeline).
+    pub name: String,
+    /// Logical thread (trace-viewer lane), e.g. a worker index.
+    pub tid: u64,
+    /// Start offset in nanoseconds from the log's zero point.
+    pub start_ns: u128,
+    /// Duration in nanoseconds.
+    pub dur_ns: u128,
+}
+
+/// An append-only log of completed [`SpanRecord`]s sharing one zero
+/// point (the instant the log was created).
+#[derive(Clone, Debug)]
+pub struct SpanLog {
+    zero: Instant,
+    next_id: u64,
+    spans: Vec<SpanRecord>,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanLog {
+    /// An empty log whose zero point is now.
+    pub fn new() -> Self {
+        SpanLog {
+            zero: Instant::now(),
+            next_id: 1,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The log's zero point: all offsets are relative to this instant.
+    pub fn zero(&self) -> Instant {
+        self.zero
+    }
+
+    /// Allocates an id without recording anything — hand it to children
+    /// as their parent before the parent span finishes, then pass it to
+    /// [`SpanLog::record`].
+    pub fn reserve(&mut self) -> SpanId {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Records a completed span under a previously
+    /// [`reserved`](SpanLog::reserve) id. Instants before the zero
+    /// point clamp to offset 0.
+    pub fn record(
+        &mut self,
+        id: SpanId,
+        parent: Option<SpanId>,
+        name: impl Into<String>,
+        tid: u64,
+        start: Instant,
+        end: Instant,
+    ) {
+        let start_ns = start.saturating_duration_since(self.zero).as_nanos();
+        let dur_ns = end.saturating_duration_since(start).as_nanos();
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            tid,
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// Reserves an id and records the span in one step, returning the
+    /// new id (for use as a parent of later spans).
+    pub fn push(
+        &mut self,
+        parent: Option<SpanId>,
+        name: impl Into<String>,
+        tid: u64,
+        start: Instant,
+        end: Instant,
+    ) -> SpanId {
+        let id = self.reserve();
+        self.record(id, parent, name, tid, start, end);
+        id
+    }
+
+    /// The recorded spans, in completion (push) order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merges another log into this one, rebasing its offsets onto this
+    /// log's zero point and remapping its ids (parent links included)
+    /// past `self`'s id space so they stay unique.
+    pub fn merge(&mut self, other: &SpanLog) {
+        let offset: i128 = if other.zero >= self.zero {
+            other.zero.saturating_duration_since(self.zero).as_nanos() as i128
+        } else {
+            -(self.zero.saturating_duration_since(other.zero).as_nanos() as i128)
+        };
+        let mut remap: HashMap<SpanId, SpanId> = HashMap::new();
+        for span in &other.spans {
+            remap.entry(span.id).or_insert_with(|| self.reserve());
+        }
+        for span in &other.spans {
+            let start = (span.start_ns as i128 + offset).max(0) as u128;
+            self.spans.push(SpanRecord {
+                id: remap[&span.id],
+                parent: span.parent.and_then(|p| remap.get(&p).copied()),
+                name: span.name.clone(),
+                tid: span.tid,
+                start_ns: start,
+                dur_ns: span.dur_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reserve_record_and_push() {
+        let mut log = SpanLog::new();
+        let zero = log.zero();
+        let root = log.reserve();
+        let child = log.push(
+            Some(root),
+            "child",
+            3,
+            zero + Duration::from_micros(10),
+            zero + Duration::from_micros(40),
+        );
+        log.record(
+            root,
+            None,
+            "root",
+            0,
+            zero,
+            zero + Duration::from_micros(100),
+        );
+        assert_eq!(log.len(), 2);
+        assert_ne!(root, child);
+        let c = &log.spans()[0];
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.tid, 3);
+        assert_eq!(c.start_ns, 10_000);
+        assert_eq!(c.dur_ns, 30_000);
+        let r = &log.spans()[1];
+        assert_eq!(r.id, root);
+        assert_eq!(r.parent, None);
+        assert_eq!(r.dur_ns, 100_000);
+        // Children fall inside their parent's interval.
+        assert!(c.start_ns >= r.start_ns);
+        assert!(c.start_ns + c.dur_ns <= r.start_ns + r.dur_ns);
+    }
+
+    #[test]
+    fn pre_zero_instants_clamp() {
+        let mut log = SpanLog::new();
+        let zero = log.zero();
+        let early = zero.checked_sub(Duration::from_secs(1)).unwrap_or(zero);
+        log.push(None, "early", 0, early, zero + Duration::from_nanos(5));
+        let s = &log.spans()[0];
+        assert_eq!(s.start_ns, 0);
+    }
+
+    #[test]
+    fn merge_rebases_and_remaps() {
+        let mut a = SpanLog::new();
+        let zero_a = a.zero();
+        let a_root = a.push(None, "a.root", 0, zero_a, zero_a + Duration::from_micros(5));
+
+        let mut b = SpanLog::new();
+        let zero_b = b.zero();
+        let b_root = b.reserve();
+        b.push(
+            Some(b_root),
+            "b.child",
+            1,
+            zero_b + Duration::from_micros(1),
+            zero_b + Duration::from_micros(2),
+        );
+        b.record(
+            b_root,
+            None,
+            "b.root",
+            1,
+            zero_b,
+            zero_b + Duration::from_micros(3),
+        );
+
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        let names: Vec<&str> = a.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.root", "b.child", "b.root"]);
+        // Ids stay unique after the merge, parent links follow the remap.
+        let child = a.spans().iter().find(|s| s.name == "b.child").unwrap();
+        let root = a.spans().iter().find(|s| s.name == "b.root").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+        assert_ne!(root.id, a_root);
+        let mut ids: Vec<SpanId> = a.spans().iter().map(|s| s.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        // b's offsets were rebased onto a's zero (b started later).
+        assert!(root.start_ns >= a.spans()[0].start_ns);
+    }
+}

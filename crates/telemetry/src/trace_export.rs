@@ -1,0 +1,141 @@
+//! Chrome Trace Event / Perfetto JSON export of a [`SpanLog`].
+//!
+//! Emits the [Trace Event Format] JSON object (`traceEvents` array)
+//! that `chrome://tracing` and <https://ui.perfetto.dev> open
+//! directly: one `"ph": "X"` complete event per recorded span with
+//! microsecond `ts`/`dur`, plus `"ph": "M"` metadata events naming the
+//! process and each logical thread. The span's id and parent link ride
+//! along in `args`, so tooling (and the CI validator) can check the
+//! nesting without re-deriving it from timestamps. Std-only writer —
+//! the workspace carries no serde.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::recorder::escape;
+use crate::spans::SpanLog;
+
+/// The fixed pid of the exported trace (one process per export).
+pub const TRACE_PID: u64 = 1;
+
+/// Renders `log` as a Chrome Trace Event JSON object.
+///
+/// `process_name` labels the process lane; `thread_names` maps logical
+/// thread ids to display names (threads missing from the map are shown
+/// as `tid-N`). Timestamps are microseconds with nanosecond precision
+/// kept in the fraction.
+pub fn chrome_trace_json(
+    log: &SpanLog,
+    process_name: &str,
+    thread_names: &[(u64, String)],
+) -> String {
+    let names: BTreeMap<u64, &str> = thread_names
+        .iter()
+        .map(|(tid, name)| (*tid, name.as_str()))
+        .collect();
+    let mut tids: Vec<u64> = log.spans().iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let _ = write!(
+        out,
+        " {{\"ph\": \"M\", \"pid\": {TRACE_PID}, \"tid\": 0, \"ts\": 0, \
+         \"name\": \"process_name\", \"args\": {{\"name\": \"{}\"}}}}",
+        escape(process_name)
+    );
+    for tid in &tids {
+        let fallback = format!("tid-{tid}");
+        let name = names.get(tid).copied().unwrap_or(&fallback);
+        let _ = write!(
+            out,
+            ",\n {{\"ph\": \"M\", \"pid\": {TRACE_PID}, \"tid\": {tid}, \"ts\": 0, \
+             \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        );
+    }
+    for span in log.spans() {
+        let _ = write!(
+            out,
+            ",\n {{\"ph\": \"X\", \"pid\": {TRACE_PID}, \"tid\": {}, \"ts\": {}, \
+             \"dur\": {}, \"name\": \"{}\", \"args\": {{\"id\": {}",
+            span.tid,
+            micros(span.start_ns),
+            micros(span.dur_ns),
+            escape(&span.name),
+            span.id.0,
+        );
+        if let Some(parent) = span.parent {
+            let _ = write!(out, ", \"parent\": {}", parent.0);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Nanoseconds rendered as microseconds with three fraction digits
+/// (the Trace Event `ts`/`dur` unit).
+fn micros(ns: u128) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn micros_keeps_nanosecond_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn export_shape_and_metadata() {
+        let mut log = SpanLog::new();
+        let zero = log.zero();
+        let root = log.reserve();
+        log.push(
+            Some(root),
+            "exec \"quoted\"",
+            2,
+            zero + Duration::from_micros(3),
+            zero + Duration::from_micros(7),
+        );
+        log.record(root, None, "run", 0, zero, zero + Duration::from_micros(10));
+        let json = chrome_trace_json(&log, "bcache-repro", &[(2, "worker-2".into())]);
+        assert!(json.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"name\": \"process_name\""));
+        assert!(json.contains("{\"name\": \"bcache-repro\"}"));
+        assert!(json.contains("{\"name\": \"worker-2\"}"));
+        assert!(json.contains("{\"name\": \"tid-0\"}"), "fallback tid name");
+        // The child span carries its id, its parent link, and escaped
+        // quotes in the name.
+        assert!(json.contains("\"name\": \"exec \\\"quoted\\\"\""));
+        assert!(json.contains(&format!("\"parent\": {}", root.0)));
+        // Complete events have the required fields.
+        for line in json.lines().filter(|l| l.contains("\"ph\": \"X\"")) {
+            for field in ["\"pid\":", "\"tid\":", "\"ts\":", "\"dur\":", "\"name\":"] {
+                assert!(line.contains(field), "{line} lacks {field}");
+            }
+        }
+        assert_eq!(
+            json.lines().filter(|l| l.contains("\"ph\": \"X\"")).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_log_is_still_valid_json_shape() {
+        let json = chrome_trace_json(&SpanLog::new(), "empty", &[]);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("process_name"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}
