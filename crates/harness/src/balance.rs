@@ -21,35 +21,54 @@ pub struct BalanceRow {
 }
 
 /// Runs the Table 7 analysis over the data caches of all 26 benchmarks.
-pub fn table7(len: RunLength) -> Vec<BalanceRow> {
+///
+/// # Errors
+///
+/// Returns a message when the fixed Table 7 cache configuration cannot
+/// be constructed (a build/configuration defect, not a data error).
+pub fn table7(len: RunLength) -> Result<Vec<BalanceRow>, String> {
     table7_with(&Engine::with_default_parallelism(), len)
 }
 
 /// [`table7`] on a caller-owned [`Engine`]: one job per benchmark over
 /// the shared cached traces.
-pub fn table7_with(engine: &Engine, len: RunLength) -> Vec<BalanceRow> {
+///
+/// # Errors
+///
+/// See [`table7`]. Construction errors surface as `Err` instead of a
+/// worker panic so the CLI can report them cleanly.
+pub fn table7_with(engine: &Engine, len: RunLength) -> Result<Vec<BalanceRow>, String> {
     let benchmarks = profiles::all();
     let jobs: Vec<_> = benchmarks
         .iter()
         .map(|p| move || balance_on(p.name, &engine.side_trace(p, len, Side::Data)))
         .collect();
-    engine.run(jobs)
+    engine.run(jobs).into_iter().collect()
 }
 
-fn balance_on(benchmark: &str, trace: &SideTrace) -> BalanceRow {
-    let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid geometry");
-    let mut dm = DirectMappedCache::from_geometry(geom).expect("valid geometry");
-    let params = BCacheParams::paper_default(geom).expect("paper design point");
+fn balance_on(benchmark: &str, trace: &SideTrace) -> Result<BalanceRow, String> {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1)
+        .map_err(|e| format!("table 7 geometry (16 kB, 32 B lines, direct-mapped): {e}"))?;
+    let mut dm = DirectMappedCache::from_geometry(geom)
+        .map_err(|e| format!("table 7 direct-mapped baseline: {e}"))?;
+    let params = BCacheParams::paper_default(geom)
+        .map_err(|e| format!("table 7 B-Cache design point (MF=8, BAS=8): {e}"))?;
     let mut bc = BalancedCache::new(params);
     {
         let mut models: [&mut dyn CacheModel; 2] = [&mut dm, &mut bc];
         trace.replay_into(&mut models);
     }
-    BalanceRow {
+    Ok(BalanceRow {
         benchmark: benchmark.to_string(),
-        baseline: dm.set_usage().expect("dm tracks usage").balance(),
-        bcache: bc.set_usage().expect("bcache tracks usage").balance(),
-    }
+        baseline: dm
+            .set_usage()
+            .ok_or("table 7 baseline reports no set usage")?
+            .balance(),
+        bcache: bc
+            .set_usage()
+            .ok_or("table 7 B-Cache reports no set usage")?
+            .balance(),
+    })
 }
 
 /// Averages the six balance statistics over rows.
@@ -125,6 +144,7 @@ mod tests {
             profile.name,
             &SideTrace::extract(records, Side::Data, len.warmup),
         )
+        .unwrap()
     }
 
     #[test]

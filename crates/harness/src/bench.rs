@@ -236,7 +236,12 @@ fn measure(
 }
 
 /// Runs the micro-benchmarks and returns one row per model.
-pub fn run(opts: &BenchOptions) -> Vec<BenchRow> {
+///
+/// # Errors
+///
+/// Returns a message when a benchmark cache configuration cannot be
+/// constructed (a build defect in the fixed 16 kB model set).
+pub fn run(opts: &BenchOptions) -> Result<Vec<BenchRow>, String> {
     run_recorded(opts, &mut telemetry::Recorder::new())
 }
 
@@ -263,15 +268,14 @@ pub const INTERLEAVE_LANES: usize = 8;
 /// independent 16 kB direct-mapped caches, each replaying its
 /// round-robin share of the stream, rotated every
 /// [`crate::interleave::DEFAULT_GRANULE`] accesses.
-fn measure_interleaved(accesses: &[(Addr, AccessKind)]) -> f64 {
+fn measure_interleaved(accesses: &[(Addr, AccessKind)]) -> Result<f64, String> {
     let lanes = crate::interleave::split_round_robin(accesses, INTERLEAVE_LANES);
     let views: Vec<&[(Addr, AccessKind)]> = lanes.iter().map(|l| l.as_slice()).collect();
-    let pass = || {
-        let mut models: Vec<cache_sim::DirectMappedCache> = (0..INTERLEAVE_LANES)
-            .map(|_| {
-                cache_sim::DirectMappedCache::new(16 * 1024, 32).expect("bench geometry is valid")
-            })
-            .collect();
+    let pass = || -> Result<(), String> {
+        let mut models = (0..INTERLEAVE_LANES)
+            .map(|_| cache_sim::DirectMappedCache::new(16 * 1024, 32))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("bench interleave geometry (16 kB, 32 B lines): {e}"))?;
         crate::interleave::replay_interleaved(
             &mut models,
             &views,
@@ -283,54 +287,61 @@ fn measure_interleaved(accesses: &[(Addr, AccessKind)]) -> f64 {
                 .map(|m| m.stats().total().misses())
                 .sum::<u64>(),
         );
+        Ok(())
     };
-    pass();
+    pass()?;
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        pass();
+        pass()?;
         best = best.min(start.elapsed().as_secs_f64());
     }
-    accesses.len() as f64 / best / 1e6
+    Ok(accesses.len() as f64 / best / 1e6)
 }
 
 /// Best-of-three throughput of [`ENGINE_ROW`]: four chunks of the
 /// stream, each replayed through its own direct-mapped model inside an
 /// engine job (the shards are independent caches — this measures
 /// dispatch, not cache behavior).
-fn measure_engine_dispatch(accesses: &[(Addr, AccessKind)], seed: u64) -> f64 {
+fn measure_engine_dispatch(accesses: &[(Addr, AccessKind)], seed: u64) -> Result<f64, String> {
     let engine = crate::parallel::Engine::new(4);
     let chunk = accesses.len().div_ceil(4).max(1);
-    let pass = |engine: &crate::parallel::Engine| {
+    let pass = |engine: &crate::parallel::Engine| -> Result<(), String> {
         let jobs: Vec<_> = accesses
             .chunks(chunk)
             .map(|shard| {
-                move || {
+                move || -> Result<u64, String> {
                     let mut dm = CacheConfig::DirectMapped
                         .build(16 * 1024, seed)
-                        .expect("bench configs build at 16 kB");
+                        .map_err(|e| format!("bench direct-mapped config at 16 kB: {e}"))?;
                     dm.access_batch(shard);
-                    std::hint::black_box(dm.stats().total().misses())
+                    Ok(std::hint::black_box(dm.stats().total().misses()))
                 }
             })
             .collect();
-        std::hint::black_box(engine.run(jobs));
+        for shard in engine.run(jobs) {
+            std::hint::black_box(shard?);
+        }
+        Ok(())
     };
-    pass(&engine);
+    pass(&engine)?;
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        pass(&engine);
+        pass(&engine)?;
         best = best.min(start.elapsed().as_secs_f64());
     }
-    accesses.len() as f64 / best / 1e6
+    Ok(accesses.len() as f64 / best / 1e6)
 }
 
 /// [`run`] with per-phase telemetry: stream-generation and per-model
 /// measurement wall-time spans land in `rec`'s `timing` section, and
 /// the run shape (records, model count) in its counters. The timed
 /// passes themselves are untouched — the spans wrap them from outside.
-pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<BenchRow> {
+pub fn run_recorded(
+    opts: &BenchOptions,
+    rec: &mut telemetry::Recorder,
+) -> Result<Vec<BenchRow>, String> {
     let accesses = rec.time("phase.stream_gen", || {
         access_stream(opts.records, opts.seed)
     });
@@ -338,29 +349,27 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
     let backend = cache_sim::simd::backend().name().to_string();
     let lanes = cache_sim::simd::LANES as u64;
     rec.counter("bench.records", opts.records);
-    let mut rows: Vec<BenchRow> = model_set()
-        .into_iter()
-        .map(|(name, config)| {
-            let mut model = config
-                .build(16 * 1024, opts.seed)
-                .expect("bench configs build at 16 kB");
-            let maccesses_per_sec = rec.time(&format!("phase.measure.{name}"), || {
-                measure(&mut model, &accesses, opts.per_access)
-            });
-            BenchRow {
-                model: name.to_string(),
-                maccesses_per_sec,
-                records: opts.records,
-                seed: opts.seed,
-                git_rev: git_rev.clone(),
-                backend: backend.clone(),
-                lanes,
-            }
-        })
-        .collect();
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for (name, config) in model_set() {
+        let mut model = config
+            .build(16 * 1024, opts.seed)
+            .map_err(|e| format!("bench model {name} at 16 kB: {e}"))?;
+        let maccesses_per_sec = rec.time(&format!("phase.measure.{name}"), || {
+            measure(&mut model, &accesses, opts.per_access)
+        });
+        rows.push(BenchRow {
+            model: name.to_string(),
+            maccesses_per_sec,
+            records: opts.records,
+            seed: opts.seed,
+            git_rev: git_rev.clone(),
+            backend: backend.clone(),
+            lanes,
+        });
+    }
     let engine_dispatch = rec.time(&format!("phase.measure.{ENGINE_ROW}"), || {
         measure_engine_dispatch(&accesses, opts.seed)
-    });
+    })?;
     rows.push(BenchRow {
         model: ENGINE_ROW.to_string(),
         maccesses_per_sec: engine_dispatch,
@@ -373,13 +382,15 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
     let nosimd = rec.time(&format!("phase.measure.{NOSIMD_ROW}"), || {
         let saved = cache_sim::simd::backend();
         cache_sim::simd::force_backend(cache_sim::simd::Backend::Portable);
-        let mut model = CacheConfig::DirectMapped
+        // Restore the dispatched backend before propagating any build
+        // error — a failed row must not leave SIMD forced off.
+        let result = CacheConfig::DirectMapped
             .build(16 * 1024, opts.seed)
-            .expect("bench configs build at 16 kB");
-        let m = measure(&mut model, &accesses, opts.per_access);
+            .map_err(|e| format!("bench direct-mapped config at 16 kB: {e}"))
+            .map(|mut model| measure(&mut model, &accesses, opts.per_access));
         cache_sim::simd::force_backend(saved);
-        m
-    });
+        result
+    })?;
     rows.push(BenchRow {
         model: NOSIMD_ROW.to_string(),
         maccesses_per_sec: nosimd,
@@ -394,7 +405,7 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
     });
     let interleaved = rec.time(&format!("phase.measure.{INTERLEAVE_ROW}"), || {
         measure_interleaved(&accesses)
-    });
+    })?;
     rows.push(BenchRow {
         model: INTERLEAVE_ROW.to_string(),
         maccesses_per_sec: interleaved,
@@ -405,7 +416,7 @@ pub fn run_recorded(opts: &BenchOptions, rec: &mut telemetry::Recorder) -> Vec<B
         lanes,
     });
     rec.counter("bench.models", rows.len() as u64);
-    rows
+    Ok(rows)
 }
 
 /// The short git revision, or `"unknown"` outside a work tree.
@@ -707,7 +718,7 @@ mod tests {
             records: 2_000,
             ..BenchOptions::default()
         };
-        let rows = run(&opts);
+        let rows = run(&opts).unwrap();
         assert_eq!(
             rows.len(),
             model_set().len() + 3,
@@ -733,7 +744,7 @@ mod tests {
             ..BenchOptions::default()
         };
         let mut rec = telemetry::Recorder::new();
-        let rows = run_recorded(&opts, &mut rec);
+        let rows = run_recorded(&opts, &mut rec).unwrap();
         assert_eq!(rows.len(), model_set().len() + 3);
         assert_eq!(rec.counter_value("bench.models"), rows.len() as u64);
         assert_eq!(rec.counter_value("bench.records"), 1_000);

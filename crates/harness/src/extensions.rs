@@ -62,15 +62,19 @@ pub const DROWSY_LEAKAGE_FACTOR: f64 = 0.10;
 /// Section 6.4: both caches' less-accessed sets could be put in a drowsy
 /// state; the B-Cache balances accesses yet keeps a substantial drowsy
 /// candidate pool.
-pub fn drowsy_analysis(len: RunLength) -> Vec<DrowsyRow> {
-    table7(len)
+///
+/// # Errors
+///
+/// Propagates the Table 7 configuration error ([`table7`]).
+pub fn drowsy_analysis(len: RunLength) -> Result<Vec<DrowsyRow>, String> {
+    Ok(table7(len)?
         .into_iter()
         .map(|r: BalanceRow| DrowsyRow {
             benchmark: r.benchmark,
             baseline_sleepable: r.baseline.less_accessed_sets,
             bcache_sleepable: r.bcache.less_accessed_sets,
         })
-        .collect()
+        .collect())
 }
 
 /// Renders the drowsy-compatibility table.
@@ -197,7 +201,7 @@ mod tests {
 
     #[test]
     fn drowsy_pool_shrinks_but_survives_balancing() {
-        let rows = drowsy_analysis(RunLength::with_records(60_000));
+        let rows = drowsy_analysis(RunLength::with_records(60_000)).unwrap();
         assert_eq!(rows.len(), 26);
         let ave_dm: f64 =
             rows.iter().map(|r| r.baseline_sleepable).sum::<f64>() / rows.len() as f64;

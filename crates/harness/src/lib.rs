@@ -19,6 +19,7 @@
 //! | Set-pressure report | [`statscmd`] | `stats` |
 //! | Analytical oracle sweep | [`oraclecmd`] | `oracle` |
 //! | Time-resolved profiling + trace export | [`profilecmd`] | `profile` |
+//! | Multi-tenant simulation server | [`serve`] | `serve`, `loadgen` |
 //!
 //! Experiments default to 2 M trace records with a 10% warm-up prefix
 //! (statistics are reset after warm-up, standing in for the paper's
@@ -62,6 +63,7 @@ pub mod report;
 pub mod run;
 pub mod runcmd;
 pub mod sensitivity;
+pub mod serve;
 pub mod statscmd;
 pub mod tables;
 pub mod telemetry_io;

@@ -53,6 +53,23 @@
 //!   attribution + observer-overhead report; --smoke shortens the run
 //!   and fails if the windowed replay costs >5% over the plain batched
 //!   replay
+//!
+//! bcache-repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!                    [--outbuf-cap N] [--checkpoint PATH] [--resume PATH]
+//!                    [--retries N] [--smoke] [--fuzz-frames]
+//!   persistent multi-tenant simulation server: replay/sweep/profile
+//!   jobs as line-delimited JSON over TCP, per-tenant fair scheduling
+//!   with bounded queues (explicit busy rejects), incremental row
+//!   streaming with bounded outbound buffers, panic isolation per job,
+//!   and checkpointed sweeps that survive server restarts; --smoke and
+//!   --fuzz-frames run the self-contained CI batteries
+//!
+//! bcache-repro loadgen [--addr HOST:PORT] [--connections N] [--requests N]
+//!                      [--records N] [--seed S] [--out PATH]
+//!   saturation client: N connections x a deterministic mix of job
+//!   types against a serve instance (or an in-process one without
+//!   --addr), reporting jobs/s and latency percentiles; --out writes a
+//!   bench-schema JSON row (model serve-loadgen)
 //! ```
 //!
 //! `run`, `stats`, `fig3`, `bench`, `fuzz` and `oracle` additionally accept
@@ -109,6 +126,10 @@ fn usage() -> ExitCode {
          \x20      bcache-repro bench [--records N] [--seed S] [--out PATH] [--baseline PATH] [--smoke] [--per-access]\n\
          \x20      bcache-repro profile [--model NAME] [--benchmark NAME] [--side i|d] [--records N] [--seed S]\n\
          \x20                           [--jobs N] [--window N] [--out PREFIX] [--smoke]\n\
+         \x20      bcache-repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--outbuf-cap N]\n\
+         \x20                         [--checkpoint PATH] [--resume PATH] [--retries N] [--smoke] [--fuzz-frames]\n\
+         \x20      bcache-repro loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--records N]\n\
+         \x20                           [--seed S] [--out PATH]\n\
          telemetry: run/stats/fig3/bench/fuzz/oracle/profile take --metrics PATH; run/fig3 take --trace-events PATH\n\
          robustness: experiments/run/stats take [--retries N] [--backoff-ms MS] [--job-timeout-ms MS]\n\
          \x20          [--inject-fault job=K,mode=panic|hang|corrupt[,times=N]];\n\
@@ -198,7 +219,13 @@ fn run_bench(args: &[String], tele: &TelemetryFlags) -> ExitCode {
         }
     };
     let mut rec = Recorder::new();
-    let rows = bench::run_recorded(&opts, &mut rec);
+    let rows = match bench::run_recorded(&opts, &mut rec) {
+        Ok(rows) => rows,
+        Err(msg) => {
+            tele_error!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", bench::render_table(&rows));
     if let Err(e) = std::fs::write(&opts.out, bench::render_json(&rows)) {
         tele_error!("cannot write {}: {e}", opts.out);
@@ -408,6 +435,57 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    if experiment == "serve" {
+        if tele.any() {
+            tele_warn!("--metrics/--trace-events are not supported by serve; ignoring");
+        }
+        let opts = match harness::serve::ServeOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        return match harness::serve::serve_cmd(opts) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                tele_error!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if experiment == "loadgen" {
+        if tele.any() {
+            tele_warn!("--metrics/--trace-events are not supported by loadgen; ignoring");
+        }
+        let opts = match harness::serve::LoadgenOptions::parse(&tail) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                tele_error!("{msg}");
+                return usage();
+            }
+        };
+        return match harness::serve::run_loadgen(&opts) {
+            Ok(report) => {
+                print!("{}", report.render(&opts));
+                if let Some(path) = &opts.out {
+                    if let Err(e) = std::fs::write(path, report.to_bench_json(&opts)) {
+                        tele_error!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    tele_info!("wrote {path}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                tele_error!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match RunOptions::parse(&tail) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -516,10 +594,13 @@ fn main() -> ExitCode {
                 let grid = design_space::design_space_grid_with(&engine, len);
                 print!("{}", design_space::render_tables_5_and_6(&grid));
             }
-            "tab7" => print!(
-                "{}",
-                balance::render_table7(&balance::table7_with(&engine, len))
-            ),
+            "tab7" => match balance::table7_with(&engine, len) {
+                Ok(rows) => print!("{}", balance::render_table7(&rows)),
+                Err(msg) => {
+                    tele_error!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "related" => {
                 let fig = missrate::related_work_with(&engine, len);
                 print!("{}", if csv { fig.render_csv() } else { fig.render() });
@@ -547,10 +628,13 @@ fn main() -> ExitCode {
                 )
             }
             "hac" => print!("{}", extensions::render_hac_comparison()),
-            "drowsy" => print!(
-                "{}",
-                extensions::render_drowsy(&extensions::drowsy_analysis(len))
-            ),
+            "drowsy" => match extensions::drowsy_analysis(len) {
+                Ok(rows) => print!("{}", extensions::render_drowsy(&rows)),
+                Err(msg) => {
+                    tele_error!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "vp" => print!("{}", extensions::render_vp_analysis()),
             "all" => {
                 print!("{}", tables::render_table4());
@@ -566,19 +650,25 @@ fn main() -> ExitCode {
                 print!("{}", perf::render_figure9(&rows));
                 let grid = design_space::design_space_grid_with(&engine, len);
                 print!("{}", design_space::render_tables_5_and_6(&grid));
-                print!(
-                    "{}",
-                    balance::render_table7(&balance::table7_with(&engine, len))
-                );
+                match balance::table7_with(&engine, len) {
+                    Ok(rows) => print!("{}", balance::render_table7(&rows)),
+                    Err(msg) => {
+                        tele_error!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 for fig in missrate::figure12_with(&engine, len) {
                     println!("{}", fig.render());
                 }
                 print!("{}", missrate::related_work_with(&engine, len).render());
                 print!("{}", extensions::render_hac_comparison());
-                print!(
-                    "{}",
-                    extensions::render_drowsy(&extensions::drowsy_analysis(len))
-                );
+                match extensions::drowsy_analysis(len) {
+                    Ok(rows) => print!("{}", extensions::render_drowsy(&rows)),
+                    Err(msg) => {
+                        tele_error!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 print!("{}", extensions::render_vp_analysis());
                 print!(
                     "{}",

@@ -342,8 +342,9 @@ pub fn replay_windowed<M: CacheModel + ?Sized>(
 
 /// Builds the profiled model and runs the windowed replay, returning
 /// the series plus a recorder fragment with the model's aggregate
-/// counters/histograms.
-fn profile_replay(
+/// counters/histograms. Shared with the serve subsystem's profile
+/// jobs, which stream the same rows over the wire.
+pub(crate) fn profile_replay(
     config: CacheConfig,
     model_name: &str,
     seed: u64,

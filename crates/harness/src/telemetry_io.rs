@@ -60,6 +60,12 @@ impl TelemetryFlags {
             "--benchmark",
             "--window",
             "--event-ring-cap",
+            "--addr",
+            "--queue-cap",
+            "--outbuf-cap",
+            "--workers",
+            "--connections",
+            "--requests",
         ];
         let mut flags = TelemetryFlags::default();
         let mut i = 0;

@@ -113,7 +113,7 @@ fn sensitivity_studies_are_identical_at_every_width() {
 fn table7_is_identical_at_every_width() {
     let runs: Vec<_> = engines()
         .iter()
-        .map(|e| balance::table7_with(e, len()))
+        .map(|e| balance::table7_with(e, len()).unwrap())
         .collect();
     for rows in &runs[1..] {
         assert_eq!(*rows, runs[0]);

@@ -262,9 +262,13 @@ impl WindowSeries {
         self.completed
     }
 
-    /// Completed rows lost to the retention bound.
+    /// Completed rows lost to the retention bound. Saturating: a
+    /// series assembled from externally-pushed rows (or a merge of
+    /// shards with disjoint index coverage) can retain more rows than
+    /// its own completion counter saw, and that must read as zero
+    /// drops, not an underflow.
     pub fn dropped(&self) -> u64 {
-        self.completed - self.rows.len() as u64
+        self.completed.saturating_sub(self.rows.len() as u64)
     }
 
     /// Total accesses attributed to the series, including the open
@@ -379,13 +383,18 @@ impl WindowSeries {
         }
         merged.extend(mine);
         merged.extend(theirs);
+        let distinct = merged.len() as u64;
         // Re-apply the retention bound from the front (oldest drop).
         let overflow = merged.len().saturating_sub(self.capacity);
         self.rows = merged.into_iter().skip(overflow).collect();
         // Both producers emit contiguous indices from 0, so the number
         // of distinct completed windows across shards is the larger
         // count — two shards of one split stream cover the same grid.
-        self.completed = self.completed.max(other.completed);
+        // Shards with disjoint index coverage (external push_row
+        // producers) can hold more distinct windows than either
+        // counter saw; clamp so the completed ≥ retained invariant
+        // behind `dropped` holds and merge-time evictions are counted.
+        self.completed = self.completed.max(other.completed).max(distinct);
         self.total_accesses += other.total_accesses;
         if other.current.accesses > 0 {
             if self.current.index == other.current.index {
@@ -600,6 +609,37 @@ mod tests {
         assert_eq!(rows[0].accesses, 4);
         assert_eq!(rows[0].hits, 2);
         assert_eq!(rows[0].misses, 2);
+    }
+
+    #[test]
+    fn merge_past_capacity_never_underflows_drop_accounting() {
+        // Regression: `dropped()` computed `completed - rows.len()`
+        // unchecked. Merging shards with disjoint window indices
+        // retains more rows than either shard's completion counter,
+        // which used to underflow (panic in debug, bogus huge count in
+        // release).
+        let mut a = WindowSeries::new(2, 4);
+        let mut b = WindowSeries::new(2, 4);
+        for i in 0..3u64 {
+            a.push_row(WindowRow::zero(i)); // indices 0, 1, 2
+            b.push_row(WindowRow::zero(i + 5)); // indices 5, 6, 7
+        }
+        assert_eq!(a.completed(), 3);
+        a.merge(&b);
+        assert_eq!(a.len(), 6, "disjoint shards concatenate");
+        assert!(a.completed() >= a.len() as u64);
+        assert_eq!(a.dropped(), 0, "no retention eviction happened");
+        // And when the merge itself evicts past capacity, the drop
+        // count stays consistent instead of underflowing.
+        let mut small = WindowSeries::with_capacity(2, 4, 2);
+        let mut other = WindowSeries::with_capacity(2, 4, 2);
+        for i in 0..2u64 {
+            small.push_row(WindowRow::zero(i));
+            other.push_row(WindowRow::zero(i + 10));
+        }
+        small.merge(&other);
+        assert_eq!(small.len(), 2, "retention bound re-applied");
+        assert_eq!(small.dropped(), 2, "evicted rows are accounted");
     }
 
     #[test]

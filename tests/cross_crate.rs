@@ -78,7 +78,7 @@ fn every_table_renders_nonempty() {
     }
     let grid = design_space::design_space_grid(RunLength::with_records(20_000));
     assert!(design_space::render_tables_5_and_6(&grid).contains("Table 6"));
-    let rows = balance::table7(RunLength::with_records(20_000));
+    let rows = balance::table7(RunLength::with_records(20_000)).unwrap();
     assert_eq!(rows.len(), 26);
     assert!(balance::render_table7(&rows).contains("wupwise"));
 }
